@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Ablation — PocketSearch against the caching baselines the paper
+ * argues around: a browser URL-substring cache (footnote 4 / Section 8:
+ * serves only part of the navigational repeats), a same-capacity LRU
+ * pair cache (no community warm start, no popularity selection), and
+ * the no-cache always-radio path.
+ */
+
+#include "bench_common.h"
+#include "baseline/browser_cache.h"
+#include "baseline/lru_cache.h"
+#include "core/pocket_search.h"
+#include "harness/workbench.h"
+
+using namespace pc;
+
+int
+main()
+{
+    bench::banner("Ablation", "PocketSearch vs caching baselines");
+    harness::Workbench wb;
+
+    workload::PopulationSampler sampler(wb.population());
+    Rng seeder(777);
+    const u32 users_per_class = 50;
+
+    u64 events = 0;
+    u64 ps_hits = 0, ps_nav_hits = 0;
+    u64 browser_hits = 0, lru_hits = 0;
+    u64 nav_events = 0;
+
+    for (int c = 0; c < 4; ++c) {
+        for (u32 u = 0; u < users_per_class; ++u) {
+            Rng user_rng = seeder.fork();
+            const auto profile = sampler.sampleUserOfClass(
+                user_rng, workload::UserClass(c));
+            workload::UserStream stream(wb.universe(), profile,
+                                        seeder.next(), /*epoch=*/0);
+            stream.setEpoch(1);
+
+            pc::nvm::FlashConfig fc;
+            fc.capacity = 64 * kMiB;
+            pc::nvm::FlashDevice flash(fc);
+            pc::simfs::FlashStore store(flash);
+            core::PocketSearch ps(wb.universe(), store);
+            SimTime t = 0;
+            ps.loadCommunity(wb.communityCache(), t);
+            baseline::BrowserSubstringCache browser(wb.universe());
+            baseline::LruPairCache lru(
+                wb.communityCache().pairs.size());
+
+            for (const auto &ev : stream.month(0)) {
+                ++events;
+                const bool nav =
+                    wb.universe().isNavigationalPair(ev.pair);
+                nav_events += nav;
+                const bool ps_hit = ps.containsPair(ev.pair);
+                ps_hits += ps_hit;
+                ps_nav_hits += ps_hit && nav;
+                browser_hits += browser.wouldHit(ev.pair);
+                lru_hits += lru.lookup(ev.pair);
+                ps.recordClick(ev.pair, t);
+                browser.recordVisit(ev.pair);
+                lru.insert(ev.pair);
+            }
+        }
+    }
+
+    const double e = double(events);
+    AsciiTable t(strformat("Hit rates over %llu replayed queries "
+                           "(50 users/class; LRU capacity = community "
+                           "cache pair count)",
+                           (unsigned long long)events));
+    t.header({"scheme", "hit rate", "notes"});
+    t.row({"PocketSearch (community+personalization)",
+           bench::pct(double(ps_hits) / e),
+           "the paper's design"});
+    t.row({"LRU pair cache (same capacity)",
+           bench::pct(double(lru_hits) / e),
+           "no warm start, no popularity selection"});
+    t.row({"Browser URL-substring cache",
+           bench::pct(double(browser_hits) / e),
+           "serves only visited navigational repeats"});
+    t.row({"No cache (always radio)", "0.0%", "every query pays 3G"});
+    t.print();
+
+    AsciiTable nav("Footnote-4 check: substring matching vs "
+                   "PocketSearch on navigational queries");
+    nav.header({"metric", "value"});
+    nav.row({"navigational share of all queries",
+             bench::pct(double(nav_events) / e)});
+    nav.row({"browser cache hit rate on all queries",
+             bench::pct(double(browser_hits) / e)});
+    nav.row({"PocketSearch navigational hits alone",
+             bench::pct(double(ps_nav_hits) / e)});
+    nav.row({"browser hits / PocketSearch nav hits",
+             bench::pct(double(browser_hits) /
+                        double(std::max<u64>(ps_nav_hits, 1)))});
+    nav.print();
+    return 0;
+}

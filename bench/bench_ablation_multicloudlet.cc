@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Ablation — Section 7's multi-cloudlet resource questions, made
+ * quantitative on the search cloudlet:
+ *
+ *  1. hit rate vs flash budget (what happens when several cloudlets
+ *     squeeze each other's storage allocation);
+ *  2. DRAM index pressure vs a PCM index tier: the index-at-boot cost
+ *     the paper's three-tier proposal (Figure 3) eliminates.
+ */
+
+#include "bench_common.h"
+#include "core/cache_content.h"
+#include "device/replay.h"
+#include "harness/workbench.h"
+#include "nvm/byte_device.h"
+
+using namespace pc;
+using namespace pc::core;
+
+int
+main()
+{
+    bench::banner("Ablation",
+                  "multi-cloudlet storage budgeting & index tiers");
+    harness::Workbench wb;
+    CacheContentBuilder builder(wb.universe());
+
+    // 1. Hit rate vs flash budget.
+    AsciiTable t("Search-cloudlet hit rate vs flash budget "
+                 "(30 users/class replay)");
+    t.header({"flash budget", "pairs cached", "volume share covered",
+              "combined hit rate"});
+    for (Bytes budget : {64 * kKiB, 128 * kKiB, 256 * kKiB, 512 * kKiB,
+                         1 * kMiB, 2 * kMiB, 4 * kMiB}) {
+        ContentPolicy policy;
+        policy.kind = ThresholdKind::FlashBudget;
+        policy.flashBudget = budget;
+        const auto contents = builder.build(wb.triplets(), policy);
+        device::ReplayDriver driver(wb.universe(), contents,
+                                    wb.population());
+        device::ReplayConfig cfg;
+        cfg.usersPerClass = 30;
+        const auto res = driver.run(cfg);
+        t.row({humanBytes(budget),
+               strformat("%zu", contents.pairs.size()),
+               bench::pct(contents.cumulativeShare),
+               bench::pct(res.overallMeanHitRate)});
+    }
+    t.print();
+    std::printf("\nDiminishing returns past ~1 MB: when search, ads, "
+                "maps and web-content cloudlets compete, the\nOS can "
+                "shrink the search allocation several-fold before hit "
+                "rate falls off its plateau.\n");
+
+    // 2. Index tier: DRAM vs PCM vs reload-from-NAND at boot.
+    ContentPolicy at55;
+    at55.kind = ThresholdKind::VolumeShare;
+    at55.volumeShare = 0.55;
+    const auto cache = builder.build(wb.triplets(), at55);
+    const Bytes index_bytes = cache.dramBytes;
+
+    pc::nvm::ByteDevice dram(pc::nvm::dramConfig());
+    pc::nvm::ByteDevice pcm(pc::nvm::pcmConfig());
+    pc::nvm::FlashDevice nand{pc::nvm::FlashConfig{}};
+
+    const SimTime dram_probe = dram.read(0, 64);
+    const SimTime pcm_probe = pcm.read(0, 64);
+    const SimTime nand_reload = nand.read(0, index_bytes);
+    const SimTime pcm_boot = 0; // index persists in place
+
+    AsciiTable tiers(strformat(
+        "Index placement (Section 3.3's three-tier proposal), "
+        "index size = %s",
+        humanBytes(index_bytes).c_str()));
+    tiers.header({"tier", "per-probe latency", "boot-time index load",
+                  "survives power cycle"});
+    tiers.row({"DRAM (index reloaded from NAND at boot)",
+               humanTime(dram_probe), humanTime(nand_reload), "no"});
+    tiers.row({"PCM index tier", humanTime(pcm_probe),
+               humanTime(pcm_boot), "yes"});
+    tiers.print();
+    std::printf("\nIndex size at the 55%% point: %s. At tens of GB of "
+                "cloudlet data across services, indexes reach\nGBs and "
+                "the NAND reload grows to seconds-to-minutes — the "
+                "paper's case for a PCM middle tier.\n",
+                humanBytes(index_bytes).c_str());
+
+    // Scale the reload cost to the paper's multi-cloudlet projection.
+    AsciiTable scaled("Projected index reload from NAND at boot");
+    scaled.header({"aggregate index size", "NAND reload time",
+                   "PCM (in-place)"});
+    for (Bytes idx : {16 * kMiB, 128 * kMiB, 1 * kGiB, 4 * kGiB}) {
+        pc::nvm::FlashConfig big;
+        big.capacity = 8 * kGiB;
+        pc::nvm::FlashDevice nand_big(big);
+        scaled.row({humanBytes(idx),
+                    humanTime(nand_big.read(0, idx)), "~0 (persistent)"});
+    }
+    scaled.print();
+    return 0;
+}

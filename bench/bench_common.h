@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared helpers for the per-table/per-figure bench binaries: uniform
+ * "paper vs measured" reporting on top of the AsciiTable printer.
+ */
+
+#ifndef PC_BENCH_BENCH_COMMON_H
+#define PC_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace pc::bench {
+
+/** Print the standard experiment banner. */
+inline void
+banner(const std::string &id, const std::string &what)
+{
+    std::printf("\n################################################\n");
+    std::printf("# %s — %s\n", id.c_str(), what.c_str());
+    std::printf("################################################\n");
+}
+
+/** Format a ratio like "16.2x". */
+inline std::string
+times(double x)
+{
+    return strformat("%.1fx", x);
+}
+
+/** Format a percentage like "65.3%". */
+inline std::string
+pct(double frac)
+{
+    return strformat("%.1f%%", 100.0 * frac);
+}
+
+} // namespace pc::bench
+
+#endif // PC_BENCH_BENCH_COMMON_H

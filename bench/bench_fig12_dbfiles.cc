@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 12 — average time to retrieve two search results from the
+ * flash database as a function of the number of database files, with
+ * the deviation across queries, plus the flash-fragmentation side of
+ * the trade-off (Section 5.2.2's reason for settling on 32 files).
+ */
+
+#include "bench_common.h"
+#include "core/cache_content.h"
+#include "core/pocket_search.h"
+#include "harness/workbench.h"
+#include "util/stats.h"
+
+using namespace pc;
+using namespace pc::core;
+
+int
+main()
+{
+    bench::banner("Figure 12",
+                  "retrieval time vs number of database files");
+    harness::Workbench wb;
+    CacheContentBuilder builder(wb.universe());
+    ContentPolicy policy;
+    policy.kind = ThresholdKind::VolumeShare;
+    policy.volumeShare = 0.55;
+    const auto cache = builder.build(wb.triplets(), policy);
+
+    AsciiTable t(strformat(
+        "Average time to retrieve two results (%zu cached results)",
+        cache.uniqueResults));
+    t.header({"database files", "avg time", "stddev", "flash physical",
+              "internal waste"});
+
+    for (u32 files : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+        pc::nvm::FlashConfig fc;
+        fc.capacity = 256 * kMiB;
+        pc::nvm::FlashDevice flash(fc);
+        pc::simfs::FlashStore store(flash);
+        PocketSearchConfig cfg;
+        cfg.db.numFiles = files;
+        PocketSearch ps(wb.universe(), store, cfg);
+        SimTime load = 0;
+        ps.loadCommunity(cache, load);
+
+        // Retrieve the top two results for a sample of cached queries,
+        // mirroring the paper's 100-query experiment.
+        RunningStat ms;
+        u32 sampled = 0;
+        for (std::size_t i = 0; i < cache.pairs.size() && sampled < 100;
+             i += std::max<std::size_t>(cache.pairs.size() / 100, 1)) {
+            const auto &q =
+                wb.universe().query(cache.pairs[i].pair.query);
+            auto out = ps.lookup(q.text, 2);
+            if (!out.hit)
+                continue;
+            ms.add(toMillis(out.fetchTime));
+            ++sampled;
+        }
+        const auto stats = store.stats();
+        t.row({strformat("%u", files),
+               strformat("%.2f ms", ms.mean()),
+               strformat("%.2f ms", ms.stddev()),
+               humanBytes(stats.physicalBytes),
+               bench::pct(stats.wasteRatio())});
+    }
+    t.print();
+
+    std::printf("\nPaper: time falls as headers shrink and flattens "
+                "past ~32 files, while fragmentation keeps\ngrowing — "
+                "32 files is the best trade-off; Table 4's 10 ms fetch "
+                "corresponds to the 32-file point.\n");
+    return 0;
+}

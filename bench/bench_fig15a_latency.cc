@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 15(a) — average search user response time per query when
+ * served by PocketSearch vs each radio on the phone.
+ *
+ * Paper anchors: PocketSearch 16x faster than 3G, 25x than EDGE, 7x
+ * than 802.11g; the WiFi number is "slightly higher than 2 seconds".
+ * Queries are spaced one minute apart so each radio exchange pays its
+ * wake-up ramp (the paper's single-query user experience).
+ */
+
+#include "bench_common.h"
+#include "device/mobile_device.h"
+#include "harness/workbench.h"
+#include "util/stats.h"
+
+using namespace pc;
+using namespace pc::device;
+
+int
+main()
+{
+    bench::banner("Figure 15a", "avg user response time per query");
+    harness::Workbench wb;
+
+    const ServePath paths[] = {ServePath::PocketSearch,
+                               ServePath::ThreeG, ServePath::Edge,
+                               ServePath::Wifi};
+    double avg_ms[4] = {0, 0, 0, 0};
+
+    for (int p = 0; p < 4; ++p) {
+        MobileDevice dev(wb.universe());
+        dev.installCommunityCache(wb.communityCache());
+        RunningStat ms;
+        const auto &cache = wb.communityCache();
+        u32 served = 0;
+        for (std::size_t i = 0;
+             i < cache.pairs.size() && served < 100;
+             i += std::max<std::size_t>(cache.pairs.size() / 100, 1)) {
+            const auto out = dev.serveQuery(cache.pairs[i].pair,
+                                            paths[p], false);
+            ms.add(toMillis(out.latency));
+            ++served;
+            dev.advanceTime(60 * kSecond); // user thinks between queries
+        }
+        avg_ms[p] = ms.mean();
+    }
+
+    AsciiTable t("Average search user response time (100 cached "
+                 "queries)");
+    t.header({"serving path", "avg response time",
+              "PocketSearch speedup (measured)", "paper speedup"});
+    const char *paper[] = {"-", "16x", "25x", "7x"};
+    for (int p = 0; p < 4; ++p) {
+        t.row({servePathName(paths[p]),
+               strformat("%.0f ms", avg_ms[p]),
+               p == 0 ? "-" : bench::times(avg_ms[p] / avg_ms[0]),
+               paper[p]});
+    }
+    t.print();
+    return 0;
+}

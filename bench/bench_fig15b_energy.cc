@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 15(b) — average whole-device energy per query for PocketSearch
+ * vs each radio.
+ *
+ * Paper anchors: PocketSearch is 23x more energy-efficient than 3G,
+ * 41x than EDGE, 11x than 802.11g — a wider gap than the latency one
+ * because a hit both avoids radio power and finishes sooner.
+ */
+
+#include "bench_common.h"
+#include "device/mobile_device.h"
+#include "harness/workbench.h"
+#include "util/stats.h"
+
+using namespace pc;
+using namespace pc::device;
+
+int
+main()
+{
+    bench::banner("Figure 15b", "avg energy per query");
+    harness::Workbench wb;
+
+    const ServePath paths[] = {ServePath::PocketSearch,
+                               ServePath::ThreeG, ServePath::Edge,
+                               ServePath::Wifi};
+    double avg_mj[4] = {0, 0, 0, 0}; // millijoules
+
+    for (int p = 0; p < 4; ++p) {
+        MobileDevice dev(wb.universe());
+        dev.installCommunityCache(wb.communityCache());
+        RunningStat mj;
+        const auto &cache = wb.communityCache();
+        u32 served = 0;
+        for (std::size_t i = 0;
+             i < cache.pairs.size() && served < 100;
+             i += std::max<std::size_t>(cache.pairs.size() / 100, 1)) {
+            const auto out = dev.serveQuery(cache.pairs[i].pair,
+                                            paths[p], false);
+            mj.add(out.energy / 1000.0);
+            ++served;
+            dev.advanceTime(60 * kSecond);
+        }
+        avg_mj[p] = mj.mean();
+    }
+
+    AsciiTable t("Average energy per query (100 cached queries)");
+    t.header({"serving path", "avg energy", "PocketSearch advantage "
+              "(measured)", "paper"});
+    const char *paper[] = {"-", "23x", "41x", "11x"};
+    for (int p = 0; p < 4; ++p) {
+        t.row({servePathName(paths[p]),
+               strformat("%.0f mJ", avg_mj[p]),
+               p == 0 ? "-" : bench::times(avg_mj[p] / avg_mj[0]),
+               paper[p]});
+    }
+    t.print();
+
+    std::printf("\nThe energy gap exceeds the latency gap (Fig 15a) "
+                "because a hit both avoids radio power and\nfinishes an "
+                "order of magnitude sooner — the paper's two savings "
+                "mechanisms (Figure 16).\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 2 — smartphone NVM capacity evolution under the Table 1
+ * roadmap, one series per capacity-increasing technique combination.
+ *
+ * Paper anchors: high-end phones may reach ~1 TB as early as 2018;
+ * low-end phones trail 64:1 (16 GB in 2018, eventually 256 GB).
+ */
+
+#include "bench_common.h"
+#include "nvm/capacity.h"
+
+using namespace pc;
+using namespace pc::nvm;
+
+int
+main()
+{
+    bench::banner("Figure 2", "NVM capacity evolution for smartphones");
+
+    TechRoadmap roadmap;
+    CapacityProjection proj(roadmap);
+    const auto scenarios = CapacityProjection::figure2Scenarios();
+
+    AsciiTable t("High-end smartphone NVM capacity by scenario");
+    std::vector<std::string> header = {"year"};
+    for (const auto &s : scenarios)
+        header.push_back(s.name());
+    header.push_back("low-end (full scenario)");
+    t.header(header);
+
+    for (const auto &node : roadmap.nodes()) {
+        std::vector<std::string> row = {strformat("%d", node.year)};
+        for (const auto &s : scenarios)
+            row.push_back(humanBytes(proj.project(node.year, s).highEnd));
+        row.push_back(
+            humanBytes(proj.project(node.year, scenarios.back()).lowEnd));
+        t.row(row);
+    }
+    t.print();
+
+    const ScenarioFlags all{true, true, true, true};
+    AsciiTable claims("Headline claims: paper vs this model");
+    claims.header({"claim", "paper", "measured"});
+    claims.row({"high-end reaches 1 TB in", "2018",
+                strformat("%d", proj.yearCapacityReaches(1024ull * kGiB,
+                                                         all))});
+    claims.row({"low-end capacity in 2018", "16 GB",
+                humanBytes(proj.project(2018, all).lowEnd)});
+    claims.row({"low-end eventual capacity", "256 GB",
+                humanBytes(proj.project(2026, all).lowEnd)});
+    claims.print();
+    return 0;
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the hot operations on the
+ * PocketSearch fast path and in the workload generator: hash-table
+ * lookup (the paper's 10 us budget), database fetch, click-ranking
+ * update, Zipf sampling and universe pair sampling.
+ *
+ * These measure *host* performance of the implementation (the simulated
+ * latencies above are modelled, not measured).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/cache_content.h"
+#include "core/pocket_search.h"
+#include "harness/workbench.h"
+#include "util/hash.h"
+#include "util/zipf.h"
+
+using namespace pc;
+using namespace pc::core;
+
+namespace {
+
+/** Lazily built shared fixture (workbench is expensive). */
+struct Fixture
+{
+    Fixture()
+        : wb(harness::smallWorkbenchConfig())
+    {
+        pc::nvm::FlashConfig fc;
+        fc.capacity = 256 * kMiB;
+        flash = std::make_unique<pc::nvm::FlashDevice>(fc);
+        store = std::make_unique<pc::simfs::FlashStore>(*flash);
+        ps = std::make_unique<PocketSearch>(wb.universe(), *store);
+        SimTime t = 0;
+        ps->loadCommunity(wb.communityCache(), t);
+    }
+
+    harness::Workbench wb;
+    std::unique_ptr<pc::nvm::FlashDevice> flash;
+    std::unique_ptr<pc::simfs::FlashStore> store;
+    std::unique_ptr<PocketSearch> ps;
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+void
+BM_HashTableLookup(benchmark::State &state)
+{
+    auto &f = fixture();
+    const auto &cache = f.wb.communityCache();
+    std::vector<std::string> queries;
+    for (std::size_t i = 0; i < 64 && i < cache.pairs.size(); ++i)
+        queries.push_back(
+            f.wb.universe().query(cache.pairs[i].pair.query).text);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        auto refs = f.ps->table().lookup(queries[i % queries.size()]);
+        benchmark::DoNotOptimize(refs);
+        ++i;
+    }
+}
+BENCHMARK(BM_HashTableLookup);
+
+void
+BM_HashTableMiss(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state) {
+        auto refs = f.ps->table().lookup("definitely not cached query");
+        benchmark::DoNotOptimize(refs);
+    }
+}
+BENCHMARK(BM_HashTableMiss);
+
+void
+BM_DatabaseFetch(benchmark::State &state)
+{
+    auto &f = fixture();
+    const auto &cache = f.wb.communityCache();
+    const auto &r =
+        f.wb.universe().result(cache.pairs[0].pair.result);
+    const u64 key = urlHash(r.url);
+    for (auto _ : state) {
+        ResultRecord rec;
+        SimTime t = 0;
+        benchmark::DoNotOptimize(f.ps->db().fetch(key, rec, t));
+        benchmark::DoNotOptimize(rec);
+    }
+}
+BENCHMARK(BM_DatabaseFetch);
+
+void
+BM_ApplyClick(benchmark::State &state)
+{
+    auto &f = fixture();
+    const auto &cache = f.wb.communityCache();
+    const auto &q =
+        f.wb.universe().query(cache.pairs[0].pair.query);
+    const auto &r =
+        f.wb.universe().result(cache.pairs[0].pair.result);
+    const u64 key = urlHash(r.url);
+    for (auto _ : state)
+        f.ps->table().applyClick(q.text, key, 0.1);
+}
+BENCHMARK(BM_ApplyClick);
+
+void
+BM_QueryHash(benchmark::State &state)
+{
+    const std::string q = "michael jackson";
+    for (auto _ : state)
+        benchmark::DoNotOptimize(queryHash(q, 0));
+}
+BENCHMARK(BM_QueryHash);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    ZipfSampler z(u64(state.range(0)), 1.0);
+    Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(z.sample(rng));
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000)->Arg(10000000);
+
+void
+BM_UniverseSamplePair(benchmark::State &state)
+{
+    auto &f = fixture();
+    Rng rng(11);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.wb.universe().samplePair(
+            rng, workload::DeviceType::Smartphone));
+    }
+}
+BENCHMARK(BM_UniverseSamplePair);
+
+void
+BM_UserStreamEvent(benchmark::State &state)
+{
+    auto &f = fixture();
+    workload::UserProfile profile;
+    profile.monthlyVolume = 1000000; // never exhausts during the bench
+    profile.newRate = 0.4;
+    workload::UserStream stream(f.wb.universe(), profile, 3);
+    stream.beginMonth(0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stream.next());
+}
+BENCHMARK(BM_UserStreamEvent);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Table 1 — NVM technology scaling trends 2010-2026.
+ *
+ * Prints the roadmap the capacity projections are built on, exactly as
+ * the paper tabulates it, plus the derived total capacity multiplier of
+ * each generation relative to 2010.
+ */
+
+#include "bench_common.h"
+#include "nvm/technology.h"
+
+using namespace pc;
+using namespace pc::nvm;
+
+int
+main()
+{
+    bench::banner("Table 1", "NVM technology scaling trends");
+
+    TechRoadmap roadmap;
+    AsciiTable t("Technology scaling trends (paper Table 1, verbatim)");
+    t.header({"year", "family", "tech (nm)", "scaling factor",
+              "chip stack", "cell layers", "bits per cell",
+              "total multiplier vs 2010"});
+    for (const auto &node : roadmap.nodes()) {
+        t.row({strformat("%d", node.year), node.familyName(),
+               strformat("%d", node.techNm),
+               strformat("%d", node.scalingFactor),
+               strformat("%d", node.chipStack),
+               strformat("%d", node.cellLayers),
+               strformat("%d", node.bitsPerCell),
+               strformat("%.0fx",
+                         node.fullMultiplier(roadmap.baseline()))});
+    }
+    t.print();
+
+    std::printf("\nFlash dominates through 2016; a post-flash NVM "
+                "(PCM/RRAM/STT-MRAM class) takes over in 2018,\n"
+                "stalling density scaling for one generation; scaling "
+                "stops at 5 nm in 2022.\n");
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Table 6 — user classes by monthly query volume and their population
+ * shares, measured from the generated community month (users under 20
+ * queries/month are excluded, as in the paper).
+ */
+
+#include "bench_common.h"
+#include "harness/workbench.h"
+#include "logs/analyzer.h"
+
+using namespace pc;
+using namespace pc::logs;
+
+int
+main()
+{
+    bench::banner("Table 6", "user classes by monthly query volume");
+    harness::Workbench wb;
+    LogAnalyzer an(wb.buildLog());
+    const auto census = an.classCensus(20);
+
+    const char *ranges[] = {"[20,40)", "[40,140)", "[140,460)",
+                            "[460,inf)"};
+    const double paper[] = {0.55, 0.36, 0.08, 0.01};
+
+    AsciiTable t("Classes of users and their characteristics");
+    t.header({"user class", "monthly query volume", "paper share",
+              "measured share", "measured users"});
+    for (int c = 0; c < 4; ++c) {
+        t.row({workload::userClassName(census[c].cls), ranges[c],
+               bench::pct(paper[c]), bench::pct(census[c].share),
+               strformat("%llu", (unsigned long long)census[c].users)});
+    }
+    t.print();
+    return 0;
+}

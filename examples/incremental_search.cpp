@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Incremental search: recreates the paper's Figure 1 GUI behaviour in
+ * the terminal. As each character of a query is "typed", the
+ * auto-suggest box instantly fills with cached completions *and their
+ * actual search results* — no radio involved at any point.
+ */
+
+#include <cstdio>
+
+#include "core/pocket_search.h"
+#include "harness/workbench.h"
+#include "util/strings.h"
+
+using namespace pc;
+
+int
+main()
+{
+    harness::Workbench wb(harness::smallWorkbenchConfig());
+
+    pc::nvm::FlashConfig fc;
+    fc.capacity = 256 * kMiB;
+    pc::nvm::FlashDevice flash(fc);
+    pc::simfs::FlashStore store(flash);
+    core::PocketSearch ps(wb.universe(), store);
+    SimTime t = 0;
+    ps.loadCommunity(wb.communityCache(), t);
+
+    std::printf("auto-suggest index: %zu queries in %s of fast "
+                "memory\n\n",
+                ps.suggestIndex().size(),
+                humanBytes(ps.suggestIndex().memoryBytes()).c_str());
+
+    // "Type" the most popular cached query, character by character.
+    const auto &top = wb.communityCache().pairs.front().pair;
+    const std::string target = wb.universe().query(top.query).text;
+
+    for (std::size_t len = 1; len <= target.size(); ++len) {
+        const std::string typed = target.substr(0, len);
+        auto out = ps.suggestWithResults(typed, 3, 1);
+        std::printf("[%s_]  (%s per keystroke)\n", typed.c_str(),
+                    humanTime(out.latency).c_str());
+        if (out.rows.empty())
+            std::printf("      (no cached completions)\n");
+        for (const auto &row : out.rows) {
+            std::printf("      %-24s", row.suggestion.query.c_str());
+            if (!row.results.empty())
+                std::printf("  -> %s", row.results[0].url.c_str());
+            std::printf("\n");
+        }
+        // Stop early once the box has narrowed to the target.
+        if (out.rows.size() == 1 &&
+            out.rows[0].suggestion.query == target && len >= 3)
+            break;
+    }
+
+    std::printf("\nThe user taps the first row: the full results page "
+                "renders from flash in ~370 ms —\nno 3G wake-up, no "
+                "round trips (compare several seconds via the radio).\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Offline search: the paper's motivating scenario pushed to its limit.
+ * On a subway/flight, the radio is unavailable — every query the cache
+ * cannot answer simply fails — and without results there is no
+ * click-through, so the cache can only personalize on its own hits.
+ * Even so, PocketSearch keeps roughly half the user's searches working
+ * with no connectivity at all, instantly.
+ */
+
+#include <cstdio>
+
+#include "core/pocket_search.h"
+#include "harness/workbench.h"
+#include "util/strings.h"
+#include "util/stats.h"
+
+using namespace pc;
+
+int
+main()
+{
+    harness::Workbench wb(harness::smallWorkbenchConfig());
+
+    pc::nvm::FlashConfig fc;
+    fc.capacity = 256 * kMiB;
+    pc::nvm::FlashDevice flash(fc);
+    pc::simfs::FlashStore store(flash);
+    core::PocketSearch ps(wb.universe(), store);
+    SimTime t = 0;
+    ps.loadCommunity(wb.communityCache(), t);
+
+    // 40 commuters of mixed classes go underground for a day.
+    workload::PopulationSampler sampler(wb.population());
+    Rng seeder(404);
+    RunningStat offline_rate;
+    RunningStat serve_ms;
+    for (int u = 0; u < 40; ++u) {
+        Rng ur = seeder.fork();
+        auto profile = sampler.sampleUser(ur);
+        workload::UserStream stream(wb.universe(), profile,
+                                    seeder.next(), 0);
+        stream.setEpoch(1);
+
+        // Each commuter gets their own phone cache copy.
+        pc::nvm::FlashDevice f2(fc);
+        pc::simfs::FlashStore s2(f2);
+        core::PocketSearch cache(wb.universe(), s2);
+        SimTime tt = 0;
+        cache.loadCommunity(wb.communityCache(), tt);
+
+        u64 served = 0, failed = 0;
+        for (const auto &ev : stream.month(0)) {
+            auto out = cache.lookupPair(ev.pair, 2);
+            const bool ok = out.hit && cache.containsPair(ev.pair);
+            if (ok) {
+                ++served;
+                serve_ms.add(toMillis(out.hashLookupTime +
+                                      out.fetchTime));
+                // Clicks still personalize, radio or not.
+                cache.recordClick(ev.pair, tt);
+            } else {
+                ++failed; // no radio: the query simply fails
+            }
+        }
+        offline_rate.add(double(served) / double(served + failed));
+    }
+
+    std::printf("Offline search with no radio at all (40 users, one "
+                "month of queries):\n");
+    std::printf("  queries still answered: %.0f%% on average "
+                "(min %.0f%%, max %.0f%%)\n",
+                100.0 * offline_rate.mean(), 100.0 * offline_rate.min(),
+                100.0 * offline_rate.max());
+    std::printf("  served from flash in %.1f ms on average (plus "
+                "~360 ms of page rendering)\n", serve_ms.mean());
+    std::printf("\nThe same cache also relieves the network when "
+                "connectivity exists: every one of those\nqueries "
+                "would otherwise have hit the cell and the search "
+                "datacenter.\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Quickstart: build a community cache from synthetic mobile search
+ * logs, install it in a PocketSearch instance on a simulated phone's
+ * flash, look up queries, and watch personalization re-rank results.
+ *
+ * This walks the library's core API end to end in ~80 lines:
+ *
+ *   QueryUniverse  -> the world of queries/results
+ *   LogGenerator   -> a month of community search logs
+ *   TripletTable   -> <query, result, volume> aggregation (Table 3)
+ *   CacheContentBuilder -> pick what to cache (Section 5.1)
+ *   PocketSearch   -> the on-phone cache (hash table + flash DB)
+ */
+
+#include <cstdio>
+
+#include "core/cache_content.h"
+#include "core/pocket_search.h"
+#include "harness/workbench.h"
+#include "util/strings.h"
+
+using namespace pc;
+
+int
+main()
+{
+    // 1. A small world and one month of community logs. The Workbench
+    //    bundles the steps; see its source for the unbundled calls.
+    std::printf("Building a small world and a month of logs...\n");
+    harness::Workbench wb(harness::smallWorkbenchConfig());
+    std::printf("  %zu log records, %zu distinct (query, result) pairs\n",
+                wb.buildLog().size(), wb.triplets().rows().size());
+
+    // 2. The community cache: top pairs covering 55%% of click volume.
+    const auto &cache = wb.communityCache();
+    std::printf("  cache: %zu pairs, %zu results, %s DRAM + %s flash\n",
+                cache.pairs.size(), cache.uniqueResults,
+                humanBytes(cache.dramBytes).c_str(),
+                humanBytes(cache.flashBytes).c_str());
+
+    // 3. A phone: flash device, file store, PocketSearch.
+    pc::nvm::FlashConfig flash_cfg;
+    flash_cfg.capacity = 1 * kGiB;
+    pc::nvm::FlashDevice flash(flash_cfg);
+    pc::simfs::FlashStore store(flash);
+    core::PocketSearch ps(wb.universe(), store);
+    SimTime push_time = 0;
+    ps.loadCommunity(cache, push_time);
+    std::printf("  community push wrote flash for %s\n",
+                humanTime(push_time).c_str());
+
+    // 4. Look up the most popular cached query.
+    const auto &top_pair = cache.pairs.front().pair;
+    const std::string &query = wb.universe().query(top_pair.query).text;
+    auto out = ps.lookup(query, 2);
+    std::printf("\nlookup(\"%s\") -> %s in %s\n", query.c_str(),
+                out.hit ? "HIT" : "MISS",
+                humanTime(out.hashLookupTime + out.fetchTime).c_str());
+    for (const auto &rec : out.results)
+        std::printf("  %s — %s\n", rec.title.c_str(), rec.url.c_str());
+
+    // 5. A miss: an unpopular query is not cached...
+    const u32 cold = wb.universe().numResults() - 1;
+    const workload::PairRef cold_pair{
+        wb.universe().result(cold).queries.front().first, cold};
+    const std::string &cold_q =
+        wb.universe().query(cold_pair.query).text;
+    std::printf("\nlookup(\"%s\") -> %s\n", cold_q.c_str(),
+                ps.lookup(cold_q).hit ? "HIT" : "MISS");
+
+    // ...until the user clicks through once (personalization).
+    SimTime learn = 0;
+    ps.recordClick(cold_pair, learn);
+    std::printf("after one click-through -> %s (cache learned it)\n",
+                ps.lookup(cold_q).hit ? "HIT" : "MISS");
+
+    // 6. Personalized re-ranking: keep clicking the second result of a
+    //    two-result query and watch it take the top spot.
+    for (const auto &sp : cache.pairs) {
+        const auto refs = ps.table().lookup(
+            wb.universe().query(sp.pair.query).text);
+        if (refs.size() < 2)
+            continue;
+        const std::string &q2 =
+            wb.universe().query(sp.pair.query).text;
+        auto before = ps.lookup(q2, 2);
+        std::printf("\nre-ranking demo on \"%s\":\n  before: %s\n",
+                    q2.c_str(), before.results[0].url.c_str());
+        // Click the currently-second result three times.
+        for (int i = 0; i < 3; ++i)
+            ps.table().applyClick(q2, before.urlHashes[1], 0.1);
+        auto after = ps.lookup(q2, 2);
+        std::printf("  after 3 clicks on the runner-up: %s\n",
+                    after.results[0].url.c_str());
+        break;
+    }
+
+    std::printf("\nDone. See examples/day_in_the_life.cpp for the full "
+                "device (latency/energy) simulation.\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Search with advertisements: PocketSearch as the paper's full "search
+ * and advertisement pocket cloudlet" (Figure 1 shows ads in the box),
+ * with the Section 7 coordinator deciding when the ad cache is even
+ * consulted and keeping eviction coordinated.
+ */
+
+#include <cstdio>
+
+#include "core/ad_cloudlet.h"
+#include "core/coordinator.h"
+#include "harness/workbench.h"
+#include "util/strings.h"
+
+using namespace pc;
+using namespace pc::core;
+
+int
+main()
+{
+    harness::Workbench wb(harness::smallWorkbenchConfig());
+
+    pc::nvm::FlashConfig fc;
+    fc.capacity = 512 * kMiB;
+    pc::nvm::FlashDevice flash(fc);
+    pc::simfs::FlashStore store(flash);
+    PocketSearch search(wb.universe(), store);
+    AdCloudlet ads(store);
+    CloudletCoordinator coord(search, ads);
+
+    // Overnight push: the community cache plus an ad for each of the
+    // 200 most popular cached queries (sponsors bid on head queries).
+    SimTime t = 0;
+    search.loadCommunity(wb.communityCache(), t);
+    for (std::size_t i = 0;
+         i < 200 && i < wb.communityCache().pairs.size(); ++i) {
+        const auto &q = wb.universe()
+                            .query(wb.communityCache().pairs[i].pair.query)
+                            .text;
+        if (ads.containsQuery(q))
+            continue;
+        AdRecord ad;
+        ad.advertiser = "SponsorOf_" + q.substr(0, 6);
+        ad.banner = "Great deals on " + q + "!";
+        ad.targetUrl = "www.deals.com/" + q;
+        ads.installAd(q, ad, t);
+    }
+    std::printf("pushed: %zu search pairs, %zu ads (%s + %s flash)\n\n",
+                search.pairs(), ads.entries(),
+                humanBytes(search.flashLogicalBytes()).c_str(),
+                humanBytes(ads.dataBytes()).c_str());
+
+    // 1. A popular query: local results AND a local ad, instantly.
+    const auto &hot =
+        wb.universe().query(wb.communityCache().pairs[0].pair.query).text;
+    auto page = coord.serveQuery(hot, 2);
+    std::printf("serve(\"%s\") in %s:\n", hot.c_str(),
+                humanTime(page.latency).c_str());
+    for (const auto &rec : page.search.results)
+        std::printf("  result: %s\n", rec.url.c_str());
+    if (page.adShown)
+        std::printf("  ad:     [%s] %s\n", page.ad.advertiser.c_str(),
+                    page.ad.banner.c_str());
+
+    // 2. A cold query: search misses and the ad cache is not even
+    //    probed — the radio wake-up dominates anyway.
+    const u32 cold = wb.universe().numResults() - 1;
+    const auto &cold_q = wb.universe()
+                             .query(wb.universe().result(cold)
+                                        .queries.front()
+                                        .first)
+                             .text;
+    page = coord.serveQuery(cold_q, 2);
+    std::printf("\nserve(\"%s\") -> search MISS; ad probes skipped so "
+                "far: %llu\n",
+                cold_q.c_str(),
+                (unsigned long long)coord.stats().adProbesSkipped);
+
+    // 3. Coordinated eviction: dropping a query removes its ad too.
+    std::printf("\nevicting \"%s\" from both cloudlets...\n",
+                hot.c_str());
+    coord.evictQueries({hot});
+    page = coord.serveQuery(hot, 2);
+    std::printf("serve(\"%s\") -> %s, ad shown: %s\n", hot.c_str(),
+                page.search.hit ? "HIT" : "MISS",
+                page.adShown ? "yes" : "no");
+    std::printf("\ncoordinator totals: %llu pages, %llu search hits, "
+                "%llu ads shown, %llu probes skipped\n",
+                (unsigned long long)coord.stats().pagesServed,
+                (unsigned long long)coord.stats().searchHits,
+                (unsigned long long)coord.stats().adHits,
+                (unsigned long long)coord.stats().adProbesSkipped);
+    return 0;
+}

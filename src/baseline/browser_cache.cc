@@ -1,0 +1,34 @@
+#include "baseline/browser_cache.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace pc::baseline {
+
+bool
+BrowserSubstringCache::wouldHit(const workload::PairRef &p) const
+{
+    const auto &q = universe_->query(p.query).text;
+    const auto &target = universe_->result(p.result).url;
+    // The suggestion matches when the typed text is a substring of a
+    // visited address; it satisfies the user only when that address is
+    // the one they are after.
+    for (const auto &url : history_) {
+        if (url == target &&
+            contains(stripUrlDecoration(url), q)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+BrowserSubstringCache::recordVisit(const workload::PairRef &p)
+{
+    const auto &url = universe_->result(p.result).url;
+    if (std::find(history_.begin(), history_.end(), url) == history_.end())
+        history_.push_back(url);
+}
+
+} // namespace pc::baseline

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Browser URL-substring cache baseline (footnote 4 / Section 8 of the
+ * paper).
+ *
+ * High-end smartphone browsers suggest previously visited sites whose
+ * address contains the typed query as a substring. This serves only a
+ * portion of *navigational* repeat queries — it has no notion of search
+ * results, no community warm start, and nothing for non-navigational
+ * queries — which is the paper's argument for a real search cloudlet.
+ */
+
+#ifndef PC_BASELINE_BROWSER_CACHE_H
+#define PC_BASELINE_BROWSER_CACHE_H
+
+#include <string>
+#include <vector>
+
+#include "workload/universe.h"
+
+namespace pc::baseline {
+
+/**
+ * Substring-matching history cache.
+ */
+class BrowserSubstringCache
+{
+  public:
+    /** @param universe Interprets pair ids. */
+    explicit BrowserSubstringCache(const workload::QueryUniverse &universe)
+        : universe_(&universe)
+    {
+    }
+
+    /**
+     * Would the browser's suggestion list satisfy this intent? True when
+     * the query string matches (as substring) a previously visited URL
+     * and that URL is the one the user wants.
+     */
+    bool wouldHit(const workload::PairRef &p) const;
+
+    /** Record a visit (the user navigated to the pair's result). */
+    void recordVisit(const workload::PairRef &p);
+
+    /** Number of URLs in the history. */
+    std::size_t historySize() const { return history_.size(); }
+
+  private:
+    const workload::QueryUniverse *universe_;
+    std::vector<std::string> history_; ///< Visited URLs (decorations kept).
+};
+
+} // namespace pc::baseline
+
+#endif // PC_BASELINE_BROWSER_CACHE_H

@@ -1,0 +1,93 @@
+#include "core/ad_cloudlet.h"
+
+#include "util/logging.h"
+
+namespace pc::core {
+
+AdCloudlet::AdCloudlet(pc::simfs::FlashStore &store,
+                       const AdCloudletConfig &cfg)
+    : store_(store), cfg_(cfg), file_(store.create("ads.dat"))
+{
+    pc_assert(cfg_.bannerSize > 0, "banner size must be positive");
+}
+
+Bytes
+AdCloudlet::indexBytes() const
+{
+    return Bytes(ads_.size()) * cfg_.indexEntryBytes;
+}
+
+Bytes
+AdCloudlet::dataBytes() const
+{
+    return Bytes(ads_.size()) * cfg_.bannerSize;
+}
+
+void
+AdCloudlet::rewriteFile(SimTime &time)
+{
+    const std::string blob(std::size_t(dataBytes()), '\0');
+    store_.truncateAndWrite(file_, blob, time);
+}
+
+void
+AdCloudlet::installAd(const std::string &query, const AdRecord &ad,
+                      SimTime &time)
+{
+    const bool grew = !ads_.count(query);
+    ads_[query] = ad;
+    if (grew) {
+        // Append one banner's worth of payload.
+        store_.append(file_, std::string(std::size_t(cfg_.bannerSize),
+                                         '\0'),
+                      time);
+    }
+}
+
+bool
+AdCloudlet::containsQuery(const std::string &query) const
+{
+    return ads_.count(query) != 0;
+}
+
+bool
+AdCloudlet::serve(const std::string &query, AdRecord &ad, SimTime &time)
+{
+    ++lookups_;
+    const auto it = ads_.find(query);
+    if (it == ads_.end())
+        return false;
+    ++hits_;
+    ad = it->second;
+    time += cfg_.fetchLatency;
+    return true;
+}
+
+bool
+AdCloudlet::evictQuery(const std::string &query)
+{
+    if (ads_.erase(query) == 0)
+        return false;
+    SimTime t = 0;
+    rewriteFile(t);
+    return true;
+}
+
+Bytes
+AdCloudlet::shrinkTo(Bytes data_budget)
+{
+    const u64 keep = data_budget / cfg_.bannerSize;
+    if (keep >= ads_.size())
+        return 0;
+    const Bytes before = dataBytes();
+    // Without per-ad value information, drop arbitrary entries beyond
+    // the budget (the coordinator prefers evictQuery for targeted
+    // eviction).
+    while (ads_.size() > keep)
+        ads_.erase(ads_.begin());
+    SimTime t = 0;
+    rewriteFile(t);
+    return before - dataBytes();
+}
+
+} // namespace pc::core

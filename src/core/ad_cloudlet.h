@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The mobile-ads side of PocketSearch (Sections 5 and 7).
+ *
+ * The paper's cloudlet is a "search and advertisement" cache: when the
+ * user submits a query, both the search and the ad cloudlet are
+ * invoked for it. Ads are keyed by query like search results — a
+ * (query, ad) pair is cached when the community clicks that ad for
+ * that query — and ad banners live in their own flash files.
+ *
+ * Section 7's coordination insight is explicit: "If a particular query
+ * misses in the local search cache, there is not much benefit in
+ * hitting the ad cache because the latency bottleneck to service this
+ * query will be waking up the radio" — and eviction should drop
+ * closely-related items together. AdCloudlet therefore exposes the
+ * hooks CloudletCoordinator needs: query-keyed lookup and query-keyed
+ * eviction.
+ */
+
+#ifndef PC_CORE_AD_CLOUDLET_H
+#define PC_CORE_AD_CLOUDLET_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cloudlet.h"
+#include "simfs/flash_store.h"
+#include "util/types.h"
+
+namespace pc::core {
+
+/** One cached advertisement. */
+struct AdRecord
+{
+    std::string advertiser; ///< Display name.
+    std::string banner;     ///< Banner payload (text stand-in).
+    std::string targetUrl;  ///< Click-through destination.
+};
+
+/** Ad cloudlet configuration. */
+struct AdCloudletConfig
+{
+    /** Banner payload size (Table 2: ~5 KB per ad banner). */
+    Bytes bannerSize = 5 * kKiB;
+    /** Per-entry index bytes (query hash + ad id + revenue weight). */
+    Bytes indexEntryBytes = 24;
+    /** Modelled flash fetch time for one banner. */
+    SimTime fetchLatency = 6 * kMillisecond;
+};
+
+/**
+ * Query-keyed advertisement cache.
+ */
+class AdCloudlet : public Cloudlet
+{
+  public:
+    /**
+     * @param store Flash store holding the banner file. Must outlive
+     *        the cloudlet.
+     */
+    explicit AdCloudlet(pc::simfs::FlashStore &store,
+                        const AdCloudletConfig &cfg = {});
+
+    std::string name() const override { return "ads"; }
+    Bytes indexBytes() const override;
+    Bytes dataBytes() const override;
+    u64 lookups() const override { return lookups_; }
+    u64 hits() const override { return hits_; }
+    Bytes shrinkTo(Bytes data_budget) override;
+
+    /**
+     * Install an ad for a query (the community push pairs popular
+     * queries with their top ad).
+     * @param[out] time Accumulates flash write latency.
+     */
+    void installAd(const std::string &query, const AdRecord &ad,
+                   SimTime &time);
+
+    /** True if a query has a cached ad (no stats side effects). */
+    bool containsQuery(const std::string &query) const;
+
+    /**
+     * Serve the ad for a query.
+     * @param[out] ad The banner, on a hit.
+     * @param[out] time Accumulates flash fetch latency on a hit.
+     * @return True on a hit.
+     */
+    bool serve(const std::string &query, AdRecord &ad, SimTime &time);
+
+    /**
+     * Coordinated eviction (Section 7): drop the ad cached for a
+     * query, e.g. because the search cloudlet evicted that query.
+     * @return True if an ad was evicted.
+     */
+    bool evictQuery(const std::string &query);
+
+    /** Number of cached (query -> ad) entries. */
+    std::size_t entries() const { return ads_.size(); }
+
+  private:
+    /** Rebuild the banner payload file to the current data size. */
+    void rewriteFile(SimTime &time);
+
+    pc::simfs::FlashStore &store_;
+    AdCloudletConfig cfg_;
+    pc::simfs::FileId file_;
+    std::unordered_map<std::string, AdRecord> ads_;
+    u64 lookups_ = 0;
+    u64 hits_ = 0;
+};
+
+} // namespace pc::core
+
+#endif // PC_CORE_AD_CLOUDLET_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Generic pocket-cloudlet interface (Sections 3 and 7).
+ *
+ * PocketSearch is one instance of a broader family: every pocket
+ * cloudlet owns flash space for its data, keeps an index in fast memory,
+ * is refreshed from community/personal models, and competes with its
+ * siblings and with user data for device resources. This interface is
+ * what the multi-cloudlet resource-management experiments program
+ * against.
+ */
+
+#ifndef PC_CORE_CLOUDLET_H
+#define PC_CORE_CLOUDLET_H
+
+#include <string>
+
+#include "util/types.h"
+
+namespace pc::core {
+
+/**
+ * Abstract pocket cloudlet, for device-level resource accounting.
+ */
+class Cloudlet
+{
+  public:
+    virtual ~Cloudlet() = default;
+
+    /** Service name ("search", "ads", "maps", ...). */
+    virtual std::string name() const = 0;
+
+    /** Index bytes held in fast memory (DRAM/PCM tier). */
+    virtual Bytes indexBytes() const = 0;
+
+    /** Data bytes held in bulk NVM (logical). */
+    virtual Bytes dataBytes() const = 0;
+
+    /** Lookups served so far. */
+    virtual u64 lookups() const = 0;
+
+    /** Lookups served locally (hits). */
+    virtual u64 hits() const = 0;
+
+    /** Hit rate; 0 when idle. */
+    double
+    hitRate() const
+    {
+        const u64 n = lookups();
+        return n ? double(hits()) / double(n) : 0.0;
+    }
+
+    /**
+     * Shrink toward a storage budget by evicting lowest-value content.
+     * @return Bytes actually released.
+     */
+    virtual Bytes shrinkTo(Bytes data_budget) = 0;
+};
+
+} // namespace pc::core
+
+#endif // PC_CORE_CLOUDLET_H

@@ -1,0 +1,47 @@
+#include "core/coordinator.h"
+
+namespace pc::core {
+
+ServedPage
+CloudletCoordinator::serveQuery(const std::string &query, u32 max_results)
+{
+    ServedPage page;
+    ++stats_.pagesServed;
+
+    page.search = search_.lookup(query, max_results);
+    page.latency = page.search.hashLookupTime + page.search.fetchTime;
+
+    if (!page.search.hit) {
+        // Search miss: the query goes to the cloud, whose response
+        // carries its own ads — probing the local ad cache would only
+        // burn time and index bandwidth (Section 7).
+        ++stats_.adProbesSkipped;
+        return page;
+    }
+    ++stats_.searchHits;
+
+    AdRecord ad;
+    SimTime ad_time = 0;
+    if (ads_.serve(query, ad, ad_time)) {
+        ++stats_.adHits;
+        page.adShown = true;
+        page.ad = std::move(ad);
+        page.latency += ad_time;
+    }
+    return page;
+}
+
+std::size_t
+CloudletCoordinator::evictQueries(const std::vector<std::string> &queries)
+{
+    std::size_t ads_evicted = 0;
+    for (const auto &q : queries) {
+        search_.table().eraseQuery(q);
+        if (ads_.evictQuery(q))
+            ++ads_evicted;
+    }
+    stats_.adsEvictedWithQueries += ads_evicted;
+    return ads_evicted;
+}
+
+} // namespace pc::core

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Cross-cloudlet coordination (Section 7 of the paper).
+ *
+ * Two policies the paper calls for, made concrete:
+ *
+ *  - *Serving*: search and ads are invoked for the same query, but if
+ *    the query misses in the search cache there is no benefit in
+ *    probing the ad cache — the radio wake-up dominates anyway, and
+ *    the cloud response carries its own ads. The coordinator probes
+ *    ads only after a search hit.
+ *
+ *  - *Eviction*: closely related items should leave together. When
+ *    queries are evicted from the search cache, the coordinator drops
+ *    their ads too; an ad whose query can no longer be served locally
+ *    is dead weight.
+ */
+
+#ifndef PC_CORE_COORDINATOR_H
+#define PC_CORE_COORDINATOR_H
+
+#include <string>
+#include <vector>
+
+#include "core/ad_cloudlet.h"
+#include "core/pocket_search.h"
+
+namespace pc::core {
+
+/** What the user sees for one query: results plus (maybe) an ad. */
+struct ServedPage
+{
+    LookupOutcome search;   ///< The search-side outcome.
+    bool adShown = false;   ///< An ad accompanied the local results.
+    AdRecord ad;            ///< The banner, when adShown.
+    SimTime latency = 0;    ///< Search + ad serving time.
+};
+
+/** Coordination statistics. */
+struct CoordinatorStats
+{
+    u64 pagesServed = 0;
+    u64 searchHits = 0;
+    u64 adProbesSkipped = 0; ///< Ad cache untouched after search miss.
+    u64 adHits = 0;
+    u64 adsEvictedWithQueries = 0;
+};
+
+/**
+ * Serve-and-evict coordinator over the search and ad cloudlets.
+ */
+class CloudletCoordinator
+{
+  public:
+    /**
+     * @param search The search cache; must outlive the coordinator.
+     * @param ads The ad cache; must outlive the coordinator.
+     */
+    CloudletCoordinator(PocketSearch &search, AdCloudlet &ads)
+        : search_(search), ads_(ads)
+    {
+    }
+
+    /**
+     * Serve one query across both cloudlets under the Section 7 rule:
+     * the ad cache is probed only when the search cache hits.
+     */
+    ServedPage serveQuery(const std::string &query, u32 max_results = 2);
+
+    /**
+     * Coordinated eviction: remove queries from the search cache and
+     * their ads from the ad cache in one sweep.
+     * @return Number of (query, ad) pairs removed from the ad cache.
+     */
+    std::size_t evictQueries(const std::vector<std::string> &queries);
+
+    /** Coordination statistics. */
+    const CoordinatorStats &stats() const { return stats_; }
+
+  private:
+    PocketSearch &search_;
+    AdCloudlet &ads_;
+    CoordinatorStats stats_;
+};
+
+} // namespace pc::core
+
+#endif // PC_CORE_COORDINATOR_H

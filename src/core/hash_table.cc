@@ -1,0 +1,234 @@
+#include "core/hash_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pc::core {
+
+QueryHashTable::QueryHashTable(HashEntryLayout layout)
+    : layout_(layout)
+{
+    pc_assert(layout_.resultsPerEntry >= 1 && layout_.resultsPerEntry <= 8,
+              "resultsPerEntry must be in [1, 8]");
+}
+
+const QueryHashTable::Entry *
+QueryHashTable::findEntry(std::string_view query, u32 slot) const
+{
+    const auto it = table_.find(queryHash(query, slot));
+    if (it == table_.end())
+        return nullptr;
+    // Guard against key collisions between different queries: verify the
+    // stored query hash matches.
+    if (it->second.queryHash != fnv1a(query))
+        return nullptr;
+    return &it->second;
+}
+
+QueryHashTable::Entry *
+QueryHashTable::findEntry(std::string_view query, u32 slot)
+{
+    return const_cast<Entry *>(
+        static_cast<const QueryHashTable *>(this)->findEntry(query, slot));
+}
+
+std::vector<ResultRef>
+QueryHashTable::lookup(std::string_view query, SimTime *time) const
+{
+    if (time)
+        *time += kLookupLatency;
+    std::vector<ResultRef> out;
+    for (u32 slot = 0; slot < kMaxChain; ++slot) {
+        const Entry *e = findEntry(query, slot);
+        if (!e)
+            break;
+        for (u32 i = 0; i < layout_.resultsPerEntry; ++i) {
+            if (e->sr[i].urlHash != 0)
+                out.push_back(e->sr[i]);
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ResultRef &a, const ResultRef &b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  return a.urlHash < b.urlHash;
+              });
+    return out;
+}
+
+bool
+QueryHashTable::locate(std::string_view query, u64 url_hash, u64 &key,
+                       u32 &idx) const
+{
+    for (u32 slot = 0; slot < kMaxChain; ++slot) {
+        const Entry *e = findEntry(query, slot);
+        if (!e)
+            return false;
+        for (u32 i = 0; i < layout_.resultsPerEntry; ++i) {
+            if (e->sr[i].urlHash == url_hash) {
+                key = queryHash(query, slot);
+                idx = i;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+QueryHashTable::containsPair(std::string_view query, u64 url_hash) const
+{
+    u64 key;
+    u32 idx;
+    return locate(query, url_hash, key, idx);
+}
+
+bool
+QueryHashTable::insert(std::string_view query, u64 url_hash, double score,
+                       bool user_accessed)
+{
+    pc_assert(url_hash != 0, "url hash 0 is the empty-slot sentinel");
+    if (containsPair(query, url_hash))
+        return false;
+
+    // Find the first entry in the chain with a free slot, or append a
+    // new entry at the end of the chain.
+    for (u32 slot = 0; slot < kMaxChain; ++slot) {
+        const u64 key = queryHash(query, slot);
+        auto it = table_.find(key);
+        if (it == table_.end()) {
+            Entry e;
+            e.queryHash = fnv1a(query);
+            e.sr[0] = ResultRef{url_hash, score, user_accessed};
+            table_.emplace(key, e);
+            ++pairs_;
+            return true;
+        }
+        if (it->second.queryHash != fnv1a(query)) {
+            // A cross-query 64-bit key collision would break chain
+            // walking; with mixed FNV hashes this is effectively
+            // impossible, so treat it as an internal error.
+            pc_panic("query hash key collision");
+        }
+        for (u32 i = 0; i < layout_.resultsPerEntry; ++i) {
+            if (it->second.sr[i].urlHash == 0) {
+                it->second.sr[i] =
+                    ResultRef{url_hash, score, user_accessed};
+                ++pairs_;
+                return true;
+            }
+        }
+    }
+    pc_panic("hash chain overflow for query '", std::string(query), "'");
+}
+
+bool
+QueryHashTable::applyClick(std::string_view query, u64 url_hash,
+                           double lambda)
+{
+    // Decay every unclicked sibling of the query: S = S * e^-lambda
+    // (Equation 2); raise the clicked pair by 1 (Equation 1).
+    const double decay = std::exp(-lambda);
+    bool existed = false;
+    for (u32 slot = 0; slot < kMaxChain; ++slot) {
+        Entry *e = findEntry(query, slot);
+        if (!e)
+            break;
+        for (u32 i = 0; i < layout_.resultsPerEntry; ++i) {
+            ResultRef &r = e->sr[i];
+            if (r.urlHash == 0)
+                continue;
+            if (r.urlHash == url_hash) {
+                r.score += 1.0;
+                r.userAccessed = true;
+                existed = true;
+            } else {
+                r.score *= decay;
+            }
+        }
+    }
+    if (!existed) {
+        // First click on a previously uncached pair: new entry with the
+        // maximum initial score (Section 5.3).
+        insert(query, url_hash, 1.0, true);
+    }
+    return existed;
+}
+
+bool
+QueryHashTable::setScore(std::string_view query, u64 url_hash, double score)
+{
+    u64 key;
+    u32 idx;
+    if (!locate(query, url_hash, key, idx))
+        return false;
+    table_[key].sr[idx].score = score;
+    return true;
+}
+
+bool
+QueryHashTable::markAccessed(std::string_view query, u64 url_hash)
+{
+    u64 key;
+    u32 idx;
+    if (!locate(query, url_hash, key, idx))
+        return false;
+    table_[key].sr[idx].userAccessed = true;
+    return true;
+}
+
+bool
+QueryHashTable::erasePair(std::string_view query, u64 url_hash)
+{
+    // Collect the whole chain, drop the pair, then rebuild the chain so
+    // slot keys stay contiguous.
+    std::vector<ResultRef> all;
+    u32 chain_len = 0;
+    for (u32 slot = 0; slot < kMaxChain; ++slot) {
+        const Entry *e = findEntry(query, slot);
+        if (!e)
+            break;
+        ++chain_len;
+        for (u32 i = 0; i < layout_.resultsPerEntry; ++i) {
+            if (e->sr[i].urlHash != 0)
+                all.push_back(e->sr[i]);
+        }
+    }
+    const auto it = std::find_if(all.begin(), all.end(),
+                                 [&](const ResultRef &r) {
+                                     return r.urlHash == url_hash;
+                                 });
+    if (it == all.end())
+        return false;
+    all.erase(it);
+
+    for (u32 slot = 0; slot < chain_len; ++slot)
+        table_.erase(queryHash(query, slot));
+    pairs_ -= 1 + all.size();
+    for (const auto &r : all)
+        insert(query, r.urlHash, r.score, r.userAccessed);
+    return true;
+}
+
+std::size_t
+QueryHashTable::eraseQuery(std::string_view query)
+{
+    std::size_t removed = 0;
+    for (u32 slot = 0; slot < kMaxChain; ++slot) {
+        const u64 key = queryHash(query, slot);
+        auto it = table_.find(key);
+        if (it == table_.end() || it->second.queryHash != fnv1a(query))
+            break;
+        for (u32 i = 0; i < layout_.resultsPerEntry; ++i) {
+            if (it->second.sr[i].urlHash != 0)
+                ++removed;
+        }
+        table_.erase(it);
+    }
+    pairs_ -= removed;
+    return removed;
+}
+
+} // namespace pc::core

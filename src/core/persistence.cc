@@ -1,0 +1,116 @@
+#include "core/persistence.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace pc::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'C', 'I', 'X'};
+
+template <typename T>
+void
+put(std::string &out, T v)
+{
+    char buf[sizeof(T)];
+    std::memcpy(buf, &v, sizeof(T));
+    out.append(buf, sizeof(T));
+}
+
+template <typename T>
+bool
+get(std::string_view blob, std::size_t &pos, T &v)
+{
+    if (pos + sizeof(T) > blob.size())
+        return false;
+    std::memcpy(&v, blob.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return true;
+}
+
+} // namespace
+
+Bytes
+persistIndex(PocketSearch &ps, pc::simfs::FlashStore &store,
+             const std::string &file_name, SimTime &time)
+{
+    // The hash table stores only hashes; the suggest index holds the
+    // query strings, so it enumerates the cached queries for us. (With
+    // suggestions disabled there are no strings to persist — keep the
+    // feature on if snapshots are wanted.)
+    const auto suggestions = ps.suggestIndex().suggest("", ~u32(0));
+
+    std::string blob;
+    blob.append(kMagic, 4);
+    put<u32>(blob, 0); // patched below
+
+    u32 pairs = 0;
+    for (const auto &sug : suggestions) {
+        const auto refs = ps.table().lookup(sug.query);
+        for (const auto &r : refs) {
+            pc_assert(sug.query.size() < 0x10000, "query too long");
+            put<u16>(blob, u16(sug.query.size()));
+            blob.append(sug.query);
+            put<u64>(blob, r.urlHash);
+            put<double>(blob, r.score);
+            put<u8>(blob, r.userAccessed ? 1 : 0);
+            ++pairs;
+        }
+    }
+    std::memcpy(blob.data() + 4, &pairs, sizeof(u32));
+
+    pc::simfs::FileId f = store.lookup(file_name);
+    if (f == pc::simfs::kNoFile) {
+        f = store.create(file_name);
+        store.append(f, blob, time);
+    } else {
+        store.truncateAndWrite(f, blob, time);
+    }
+    return blob.size();
+}
+
+RestoreResult
+restoreIndex(PocketSearch &ps, pc::simfs::FlashStore &store,
+             const std::string &file_name)
+{
+    RestoreResult res;
+    const pc::simfs::FileId f = store.lookup(file_name);
+    if (f == pc::simfs::kNoFile)
+        return res;
+
+    std::string blob;
+    store.read(f, 0, store.size(f), blob, res.loadTime);
+    res.loadTime +=
+        SimTime(blob.size()) * PocketSearch::kIndexParsePerByte;
+
+    if (blob.size() < 8 || std::memcmp(blob.data(), kMagic, 4) != 0)
+        return res;
+    std::size_t pos = 4;
+    u32 count = 0;
+    if (!get(blob, pos, count))
+        return res;
+
+    for (u32 i = 0; i < count; ++i) {
+        u16 qlen = 0;
+        if (!get(blob, pos, qlen))
+            return res;
+        if (pos + qlen > blob.size())
+            return res;
+        const std::string query(blob.substr(pos, qlen));
+        pos += qlen;
+        u64 url = 0;
+        double score = 0;
+        u8 accessed = 0;
+        if (!get(blob, pos, url) || !get(blob, pos, score) ||
+            !get(blob, pos, accessed))
+            return res;
+        ps.restorePair(query, url, score, accessed != 0);
+        ++res.pairs;
+    }
+    res.ok = true;
+    return res;
+}
+
+} // namespace pc::core

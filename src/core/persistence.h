@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Cache persistence across power cycles (Section 3.3).
+ *
+ * Flash survives a power cycle; DRAM does not. The paper's two-tier
+ * design therefore commits the index to NAND and reloads it at boot
+ * (the cost the proposed PCM tier would eliminate). This module is
+ * that commit path: it serializes the full index state — query
+ * strings, result hashes, scores, accessed flags — into a flash file,
+ * and restores it into a fresh PocketSearch after "reboot". The result
+ * database needs no separate snapshot: its files and headers are
+ * already on flash and re-attach by themselves.
+ *
+ * Format (PCIX): magic, pair count, then per pair:
+ *   u16 query length | query bytes | u64 url hash | double score |
+ *   u8 accessed flag.
+ */
+
+#ifndef PC_CORE_PERSISTENCE_H
+#define PC_CORE_PERSISTENCE_H
+
+#include <string>
+
+#include "core/pocket_search.h"
+
+namespace pc::core {
+
+/** Outcome of a restore. */
+struct RestoreResult
+{
+    bool ok = false;          ///< Snapshot present and well-formed.
+    std::size_t pairs = 0;    ///< Pairs restored.
+    SimTime loadTime = 0;     ///< Flash read + deserialize time.
+};
+
+/**
+ * Serialize the cache index into `file_name` on the store backing
+ * `ps` (overwriting any previous snapshot).
+ *
+ * @param[out] time Accumulates the flash commit latency.
+ * @return Bytes written.
+ */
+Bytes persistIndex(PocketSearch &ps, pc::simfs::FlashStore &store,
+                   const std::string &file_name, SimTime &time);
+
+/**
+ * Restore a snapshot into a (freshly constructed) PocketSearch whose
+ * result database has re-attached to the same store.
+ */
+RestoreResult restoreIndex(PocketSearch &ps,
+                           pc::simfs::FlashStore &store,
+                           const std::string &file_name);
+
+} // namespace pc::core
+
+#endif // PC_CORE_PERSISTENCE_H

@@ -1,0 +1,198 @@
+#include "core/pocket_search.h"
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace pc::core {
+
+std::string
+cacheModeName(CacheMode m)
+{
+    switch (m) {
+      case CacheMode::Combined:
+        return "combined";
+      case CacheMode::CommunityOnly:
+        return "community-only";
+      case CacheMode::PersonalizationOnly:
+        return "personalization-only";
+    }
+    return "?";
+}
+
+std::string
+indexTierName(IndexTier t)
+{
+    switch (t) {
+      case IndexTier::DramFromNand:
+        return "dram-from-nand";
+      case IndexTier::Pcm:
+        return "pcm";
+    }
+    return "?";
+}
+
+PocketSearch::PocketSearch(const QueryUniverse &universe,
+                           pc::simfs::FlashStore &store,
+                           const PocketSearchConfig &cfg)
+    : universe_(universe),
+      store_(store),
+      cfg_(cfg),
+      table_(cfg.layout),
+      db_(store, cfg.db)
+{
+}
+
+SimTime
+PocketSearch::tierProbePenalty() const
+{
+    return cfg_.indexTier == IndexTier::Pcm ? kPcmProbePenalty : 0;
+}
+
+SimTime
+PocketSearch::bootIndexLoadTime() const
+{
+    if (cfg_.indexTier == IndexTier::Pcm)
+        return 0; // persistent in place (Section 3.3's selling point)
+    // Stream the serialized index in from NAND and deserialize it.
+    const Bytes index_bytes = dramBytes() + suggest_.memoryBytes();
+    if (index_bytes == 0)
+        return 0;
+    SimTime t = store_.device().read(0, index_bytes);
+    t += SimTime(index_bytes) * kIndexParsePerByte;
+    return t;
+}
+
+void
+PocketSearch::loadCommunity(const CacheContents &contents, SimTime &time)
+{
+    if (cfg_.mode == CacheMode::PersonalizationOnly)
+        return;
+    for (const auto &sp : contents.pairs)
+        installPair(sp.pair, sp.score, /*user_accessed=*/false, time);
+}
+
+bool
+PocketSearch::installPair(const workload::PairRef &p, double score,
+                          bool user_accessed, SimTime &time)
+{
+    const auto &q = universe_.query(p.query);
+    const auto &r = universe_.result(p.result);
+    table_.insert(q.text, urlHash(r.url), score, user_accessed);
+    if (cfg_.enableSuggest)
+        suggest_.insert(q.text, score);
+    return db_.addRecord(r, time);
+}
+
+void
+PocketSearch::restorePair(const std::string &query, u64 url_hash,
+                          double score, bool user_accessed)
+{
+    table_.insert(query, url_hash, score, user_accessed);
+    if (cfg_.enableSuggest)
+        suggest_.insert(query, score);
+}
+
+SuggestOutcome
+PocketSearch::suggestWithResults(std::string_view prefix,
+                                 u32 max_suggestions,
+                                 u32 results_per_suggestion)
+{
+    SuggestOutcome out;
+    const auto suggestions =
+        suggest_.suggest(prefix, max_suggestions, &out.latency);
+    for (const auto &sug : suggestions) {
+        SuggestOutcome::Row row;
+        row.suggestion = sug;
+        const auto refs = table_.lookup(sug.query, &out.latency);
+        const u32 n =
+            std::min<u32>(results_per_suggestion, u32(refs.size()));
+        for (u32 i = 0; i < n; ++i) {
+            ResultRecord rec;
+            if (db_.fetch(refs[i].urlHash, rec, out.latency))
+                row.results.push_back(std::move(rec));
+        }
+        out.rows.push_back(std::move(row));
+    }
+    return out;
+}
+
+LookupOutcome
+PocketSearch::lookup(const std::string &query_text, u32 max_results)
+{
+    LookupOutcome out;
+    ++stats_.lookups;
+    out.hashLookupTime += tierProbePenalty();
+    const auto refs = table_.lookup(query_text, &out.hashLookupTime);
+    if (refs.empty())
+        return out;
+    out.hit = true;
+    ++stats_.queryHits;
+    const u32 n = std::min<u32>(max_results, u32(refs.size()));
+    for (u32 i = 0; i < n; ++i) {
+        ResultRecord rec;
+        if (db_.fetch(refs[i].urlHash, rec, out.fetchTime)) {
+            out.results.push_back(std::move(rec));
+            out.urlHashes.push_back(refs[i].urlHash);
+        }
+    }
+    return out;
+}
+
+LookupOutcome
+PocketSearch::lookupPair(const workload::PairRef &p, u32 max_results)
+{
+    const auto &q = universe_.query(p.query);
+    LookupOutcome out = lookup(q.text, max_results);
+    if (out.hit && containsPair(p))
+        ++stats_.pairHits;
+    return out;
+}
+
+bool
+PocketSearch::containsPair(const workload::PairRef &p) const
+{
+    const auto &q = universe_.query(p.query);
+    const auto &r = universe_.result(p.result);
+    return table_.containsPair(q.text, urlHash(r.url));
+}
+
+bool
+PocketSearch::containsQuery(const std::string &query_text) const
+{
+    return !table_.lookup(query_text).empty();
+}
+
+void
+PocketSearch::recordClick(const workload::PairRef &p, SimTime &time)
+{
+    ++stats_.clicksRecorded;
+    const auto &q = universe_.query(p.query);
+    const auto &r = universe_.result(p.result);
+    const u64 uh = urlHash(r.url);
+
+    if (cfg_.mode == CacheMode::CommunityOnly) {
+        // Static cache: no learning, no re-ranking state accumulates.
+        return;
+    }
+
+    const bool existed = table_.applyClick(q.text, uh, cfg_.lambda);
+    if (!existed)
+        ++stats_.pairsLearned;
+    if (cfg_.enableSuggest) {
+        // Keep the box in sync: the clicked query's best score rose.
+        const auto refs = table_.lookup(q.text);
+        if (!refs.empty())
+            suggest_.insert(q.text, refs.front().score);
+    }
+    if (db_.addRecord(r, time))
+        ++stats_.recordsLearned;
+}
+
+void
+PocketSearch::clearTable()
+{
+    table_.clear();
+    suggest_.clear();
+}
+
+} // namespace pc::core

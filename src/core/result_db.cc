@@ -1,0 +1,205 @@
+#include "core/result_db.h"
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace pc::core {
+
+ResultDatabase::ResultDatabase(pc::simfs::FlashStore &store,
+                               const DbConfig &cfg, std::string prefix)
+    : store_(store), cfg_(cfg), prefix_(std::move(prefix))
+{
+    pc_assert(cfg_.numFiles >= 1, "database needs at least one file");
+    dataFiles_.reserve(cfg_.numFiles);
+    indexFiles_.reserve(cfg_.numFiles);
+    const bool attaching = store_.lookup(dataFileName(0)) !=
+                           pc::simfs::kNoFile;
+    for (u32 f = 0; f < cfg_.numFiles; ++f) {
+        if (attaching) {
+            // Flash survives power cycles: re-attach to the files and
+            // rebuild the in-memory location map from the headers.
+            const auto data = store_.lookup(dataFileName(f));
+            const auto idx = store_.lookup(indexFileName(f));
+            pc_assert(data != pc::simfs::kNoFile &&
+                          idx != pc::simfs::kNoFile,
+                      "database files missing on attach");
+            dataFiles_.push_back(data);
+            indexFiles_.push_back(idx);
+        } else {
+            dataFiles_.push_back(store_.create(dataFileName(f)));
+            indexFiles_.push_back(store_.create(indexFileName(f)));
+        }
+    }
+    if (attaching)
+        recoverLocations();
+}
+
+void
+ResultDatabase::recoverLocations()
+{
+    locations_.clear();
+    SimTime sink = 0;
+    for (u32 f = 0; f < cfg_.numFiles; ++f) {
+        std::string header;
+        store_.read(indexFiles_[f], 0, store_.size(indexFiles_[f]),
+                    header, sink);
+        for (const auto &line : split(header, '\n')) {
+            if (line.empty())
+                continue;
+            const auto parts = split(line, ':');
+            pc_assert(parts.size() == 3, "corrupt database header");
+            Location loc;
+            loc.file = f;
+            loc.offset = std::strtoull(parts[1].c_str(), nullptr, 10);
+            loc.length = std::strtoull(parts[2].c_str(), nullptr, 10);
+            const u64 key = std::strtoull(parts[0].c_str(), nullptr, 16);
+            locations_.emplace(key, loc);
+        }
+    }
+}
+
+std::string
+ResultDatabase::dataFileName(u32 file) const
+{
+    return strformat("%s_%02u.dat", prefix_.c_str(), file);
+}
+
+std::string
+ResultDatabase::indexFileName(u32 file) const
+{
+    return strformat("%s_%02u.idx", prefix_.c_str(), file);
+}
+
+std::string
+ResultDatabase::encode(const ResultInfo &r)
+{
+    // Plain-text record, '|'-separated like the paper's portable plain
+    // files (Figure 13); padded to the modelled ~500-byte record size so
+    // flash accounting matches QueryUniverse::recordSize().
+    std::string rec = r.title + "|" + r.description + "|" + r.url + "\n";
+    const Bytes target = workload::QueryUniverse::recordSize(r);
+    if (rec.size() < target)
+        rec.append(target - rec.size(), ' ');
+    return rec;
+}
+
+bool
+ResultDatabase::decode(std::string_view text, ResultRecord &out)
+{
+    // Strip padding and the trailing newline.
+    const auto nl = text.find('\n');
+    if (nl == std::string_view::npos)
+        return false;
+    const std::string_view body = text.substr(0, nl);
+    const auto p1 = body.find('|');
+    if (p1 == std::string_view::npos)
+        return false;
+    const auto p2 = body.find('|', p1 + 1);
+    if (p2 == std::string_view::npos)
+        return false;
+    out.title = std::string(body.substr(0, p1));
+    out.description = std::string(body.substr(p1 + 1, p2 - p1 - 1));
+    out.url = std::string(body.substr(p2 + 1));
+    return true;
+}
+
+bool
+ResultDatabase::addRecord(const ResultInfo &r, SimTime &time)
+{
+    const u64 key = urlHash(r.url);
+    if (locations_.count(key))
+        return false;
+
+    const u32 file = fileOf(key);
+    const std::string rec = encode(r);
+
+    Location loc;
+    loc.file = file;
+    loc.offset = store_.size(dataFiles_[file]);
+    loc.length = rec.size();
+
+    store_.append(dataFiles_[file], rec, time);
+    // Augment the header with this record's (hash, offset, length).
+    const std::string idx_line = strformat(
+        "%016llx:%llu:%llu\n", (unsigned long long)key,
+        (unsigned long long)loc.offset, (unsigned long long)loc.length);
+    store_.append(indexFiles_[file], idx_line, time);
+
+    locations_.emplace(key, loc);
+    return true;
+}
+
+bool
+ResultDatabase::contains(u64 url_hash) const
+{
+    return locations_.count(url_hash) != 0;
+}
+
+bool
+ResultDatabase::fetch(u64 url_hash, ResultRecord &out, SimTime &time) const
+{
+    const auto it = locations_.find(url_hash);
+    if (it == locations_.end())
+        return false;
+    const Location &loc = it->second;
+
+    // 1. Open the data file (directory/metadata overhead).
+    pc::simfs::FileId data = store_.open(dataFileName(loc.file), time);
+    pc_assert(data != pc::simfs::kNoFile, "database file vanished");
+
+    // 2. Read and parse the header: every (hash, offset) line of this
+    //    file. This is the term that penalizes small file counts — one
+    //    big file means one big header per lookup (Figure 12).
+    std::string header;
+    const Bytes idx_size = store_.size(indexFiles_[loc.file]);
+    time += cfg_.perReadOverhead;
+    store_.read(indexFiles_[loc.file], 0, idx_size, header, time);
+    time += SimTime(header.size()) * cfg_.parsePerByte;
+
+    // 3. Read the record at its offset.
+    std::string text;
+    time += cfg_.perReadOverhead;
+    const Bytes got = store_.read(data, loc.offset, loc.length, text, time);
+    pc_assert(got == loc.length, "truncated database record");
+    time += cfg_.recordParse;
+
+    const bool ok = decode(text, out);
+    pc_assert(ok, "corrupt database record");
+    return true;
+}
+
+Bytes
+ResultDatabase::logicalBytes() const
+{
+    Bytes total = 0;
+    for (u32 f = 0; f < cfg_.numFiles; ++f)
+        total += store_.size(dataFiles_[f]);
+    return total;
+}
+
+Bytes
+ResultDatabase::physicalBytes() const
+{
+    Bytes total = 0;
+    for (u32 f = 0; f < cfg_.numFiles; ++f) {
+        total += store_.physicalSize(dataFiles_[f]);
+        total += store_.physicalSize(indexFiles_[f]);
+    }
+    return total;
+}
+
+std::vector<std::string>
+ResultDatabase::fileNames() const
+{
+    std::vector<std::string> names;
+    for (u32 f = 0; f < cfg_.numFiles; ++f) {
+        names.push_back(dataFileName(f));
+        names.push_back(indexFileName(f));
+    }
+    return names;
+}
+
+} // namespace pc::core

@@ -1,0 +1,80 @@
+#include "core/table_codec.h"
+
+#include <cstring>
+
+namespace pc::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'C', 'H', 'T'};
+constexpr std::size_t kHeaderBytes = 4 + 4; // magic + u32 count
+constexpr std::size_t kRecordBytes = 8 + 8 + 8 + 1;
+
+template <typename T>
+void
+put(std::string &out, T v)
+{
+    char buf[sizeof(T)];
+    std::memcpy(buf, &v, sizeof(T));
+    out.append(buf, sizeof(T));
+}
+
+template <typename T>
+T
+get(const char *p)
+{
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    return v;
+}
+
+} // namespace
+
+Bytes
+wireSize(std::size_t pairs)
+{
+    return kHeaderBytes + pairs * kRecordBytes;
+}
+
+std::string
+encodeTable(const QueryHashTable &table)
+{
+    std::string out;
+    out.reserve(wireSize(table.pairs()));
+    out.append(kMagic, 4);
+    put<u32>(out, u32(table.pairs()));
+    table.forEachPair([&](u64 query_fnv, const ResultRef &r) {
+        put<u64>(out, query_fnv);
+        put<u64>(out, r.urlHash);
+        put<double>(out, r.score);
+        put<u8>(out, r.userAccessed ? 1 : 0);
+    });
+    return out;
+}
+
+std::optional<std::vector<WirePair>>
+decodeTable(std::string_view blob)
+{
+    if (blob.size() < kHeaderBytes ||
+        std::memcmp(blob.data(), kMagic, 4) != 0)
+        return std::nullopt;
+    const u32 count = get<u32>(blob.data() + 4);
+    if (blob.size() != kHeaderBytes + std::size_t(count) * kRecordBytes)
+        return std::nullopt;
+
+    std::vector<WirePair> out;
+    out.reserve(count);
+    const char *p = blob.data() + kHeaderBytes;
+    for (u32 i = 0; i < count; ++i) {
+        WirePair w;
+        w.queryFnv = get<u64>(p);
+        w.urlHash = get<u64>(p + 8);
+        w.score = get<double>(p + 16);
+        w.accessed = get<u8>(p + 24) != 0;
+        out.push_back(w);
+        p += kRecordBytes;
+    }
+    return out;
+}
+
+} // namespace pc::core

@@ -1,0 +1,118 @@
+#include "core/tile_cloudlet.h"
+
+#include <algorithm>
+
+#include "core/pocket_search.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace pc::core {
+
+TileCloudlet::TileCloudlet(pc::simfs::FlashStore &store,
+                           const TileCloudletConfig &cfg)
+    : store_(store),
+      cfg_(cfg),
+      zipf_(cfg.universeItems, cfg.popularitySkew),
+      file_(store.create(cfg.name + ".dat"))
+{
+    pc_assert(cfg_.itemSize > 0, "item size must be positive");
+}
+
+Bytes
+TileCloudlet::indexBytes() const
+{
+    return Bytes(cached_.size()) * cfg_.indexEntryBytes;
+}
+
+Bytes
+TileCloudlet::dataBytes() const
+{
+    return Bytes(cached_.size()) * cfg_.itemSize;
+}
+
+void
+TileCloudlet::rewriteFile(SimTime &time)
+{
+    // Tile payloads are opaque; model them as zero-filled blocks of the
+    // right aggregate size so flash accounting stays faithful.
+    const std::string blob(std::size_t(dataBytes()), '\0');
+    store_.truncateAndWrite(file_, blob, time);
+}
+
+void
+TileCloudlet::fillTop(u64 count, SimTime &time)
+{
+    count = std::min(count, cfg_.universeItems);
+    cached_.clear();
+    cached_.reserve(count);
+    for (u64 i = 0; i < count; ++i)
+        cached_.insert(i);
+    topK_ = count;
+    rewriteFile(time);
+}
+
+bool
+TileCloudlet::access(u64 id, SimTime &time)
+{
+    ++lookups_;
+    if (!cached_.count(id))
+        return false;
+    ++hits_;
+    // One item read: open the tile file and read the item's extent.
+    pc::simfs::FileId f = store_.open(cfg_.name + ".dat", time);
+    pc_assert(f == file_, "tile file changed identity");
+    // Items are laid out by rank; ranks are a prefix so offset = rank.
+    std::string out;
+    store_.read(file_, id * cfg_.itemSize, cfg_.itemSize, out, time);
+    return true;
+}
+
+double
+TileCloudlet::expectedHitRate() const
+{
+    if (topK_ == 0)
+        return 0.0;
+    return zipf_.cdf(topK_ - 1);
+}
+
+Bytes
+TileCloudlet::shrinkTo(Bytes data_budget)
+{
+    const u64 keep = std::min<u64>(data_budget / cfg_.itemSize, topK_);
+    if (keep >= topK_)
+        return 0;
+    const Bytes before = dataBytes();
+    // Evict lowest-popularity items (the highest cached ranks).
+    for (u64 r = keep; r < topK_; ++r)
+        cached_.erase(r);
+    topK_ = keep;
+    SimTime t = 0;
+    rewriteFile(t);
+    return before - dataBytes();
+}
+
+Bytes
+SearchCloudlet::indexBytes() const
+{
+    return ps_.dramBytes();
+}
+
+Bytes
+SearchCloudlet::dataBytes() const
+{
+    return ps_.flashLogicalBytes();
+}
+
+u64
+SearchCloudlet::lookups() const
+{
+    return ps_.stats().lookups;
+}
+
+u64
+SearchCloudlet::hits() const
+{
+    return ps_.stats().queryHits;
+}
+
+} // namespace pc::core

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Generic item-cache pocket cloudlet (ads, map tiles, yellow pages).
+ *
+ * Section 7 of the paper discusses how cloudlets other than search —
+ * each caching fixed-size items selected by community popularity —
+ * share the device's storage. TileCloudlet models that family: a set of
+ * popular item ids cached in flash, with Zipf-distributed accesses, a
+ * popularity-ordered content list so shrinkTo() can evict lowest-value
+ * items first, and hit/footprint accounting through the Cloudlet
+ * interface.
+ */
+
+#ifndef PC_CORE_TILE_CLOUDLET_H
+#define PC_CORE_TILE_CLOUDLET_H
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/cloudlet.h"
+#include "simfs/flash_store.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace pc::core {
+
+/** Configuration of an item cloudlet. */
+struct TileCloudletConfig
+{
+    std::string name = "tiles";
+    Bytes itemSize = 5 * kKiB;      ///< Table 2 granularity.
+    u64 universeItems = 1'000'000;  ///< Distinct items in the service.
+    double popularitySkew = 0.8;    ///< Zipf exponent of accesses.
+    /** Per-item index entry bytes (id + offset in fast memory). */
+    Bytes indexEntryBytes = 16;
+};
+
+/**
+ * Popularity-cached item store.
+ */
+class TileCloudlet : public Cloudlet
+{
+  public:
+    /**
+     * @param store Flash store holding the item payload file. Must
+     *        outlive the cloudlet.
+     * @param cfg Service shape.
+     */
+    TileCloudlet(pc::simfs::FlashStore &store,
+                 const TileCloudletConfig &cfg);
+
+    std::string name() const override { return cfg_.name; }
+    Bytes indexBytes() const override;
+    Bytes dataBytes() const override;
+    u64 lookups() const override { return lookups_; }
+    u64 hits() const override { return hits_; }
+
+    /**
+     * Fill the cache with the `count` most popular items (the
+     * community push). Replaces current contents.
+     * @param[out] time Accumulates flash write latency.
+     */
+    void fillTop(u64 count, SimTime &time);
+
+    /**
+     * Serve an access to item `id`.
+     * @param[out] time Accumulates flash read latency on a hit.
+     * @return True on a cache hit.
+     */
+    bool access(u64 id, SimTime &time);
+
+    /** Sample a community access (Zipf over item popularity). */
+    u64 sampleAccess(Rng &rng) const { return zipf_.sample(rng); }
+
+    /** Expected hit rate of the current contents under the Zipf. */
+    double expectedHitRate() const;
+
+    /** Items currently cached. */
+    u64 itemsCached() const { return cached_.size(); }
+
+    Bytes shrinkTo(Bytes data_budget) override;
+
+    /** Configuration. */
+    const TileCloudletConfig &config() const { return cfg_; }
+
+  private:
+    /** Rewrite the payload file to match `cachedTop_` items. */
+    void rewriteFile(SimTime &time);
+
+    pc::simfs::FlashStore &store_;
+    TileCloudletConfig cfg_;
+    ZipfSampler zipf_;
+    pc::simfs::FileId file_;
+    /** Cached item ids (popularity ranks). */
+    std::unordered_set<u64> cached_;
+    /** Highest rank cached + 1 (contents are always a top-k prefix). */
+    u64 topK_ = 0;
+    u64 lookups_ = 0;
+    u64 hits_ = 0;
+};
+
+/**
+ * Cloudlet-interface adapter over PocketSearch, so the search cache
+ * participates in device-level resource accounting alongside its
+ * sibling cloudlets.
+ */
+class PocketSearch;
+
+class SearchCloudlet : public Cloudlet
+{
+  public:
+    /** @param ps The search cache; must outlive the adapter. */
+    explicit SearchCloudlet(PocketSearch &ps) : ps_(ps) {}
+
+    std::string name() const override { return "search"; }
+    Bytes indexBytes() const override;
+    Bytes dataBytes() const override;
+    u64 lookups() const override;
+    u64 hits() const override;
+
+    /**
+     * The search cache cannot drop individual records cheaply (they
+     * are shared across queries); shrinking is handled by rebuilding
+     * content at a smaller budget during the nightly update, so the
+     * online shrink is a no-op that reports zero released bytes.
+     */
+    Bytes shrinkTo(Bytes) override { return 0; }
+
+  private:
+    PocketSearch &ps_;
+};
+
+} // namespace pc::core
+
+#endif // PC_CORE_TILE_CLOUDLET_H

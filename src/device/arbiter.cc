@@ -1,0 +1,77 @@
+#include "device/arbiter.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pc::device {
+
+void
+ResourceArbiter::attach(core::Cloudlet &cloudlet)
+{
+    cloudlets_.push_back(&cloudlet);
+}
+
+Bytes
+ResourceArbiter::totalDataBytes() const
+{
+    Bytes total = 0;
+    for (const auto *c : cloudlets_)
+        total += c->dataBytes();
+    return total;
+}
+
+Bytes
+ResourceArbiter::totalIndexBytes() const
+{
+    Bytes total = 0;
+    for (const auto *c : cloudlets_)
+        total += c->indexBytes();
+    return total;
+}
+
+double
+ResourceArbiter::valueDensity(const core::Cloudlet &c)
+{
+    // Hits delivered per cached byte. +1 terms keep fresh (unused)
+    // cloudlets comparable without dividing by zero.
+    return (double(c.hits()) + 1.0) / (double(c.dataBytes()) + 1.0);
+}
+
+ArbitrationResult
+ResourceArbiter::enforceDataBudget(Bytes budget)
+{
+    ArbitrationResult result;
+    result.totalBefore = totalDataBytes();
+    result.totalAfter = result.totalBefore;
+    if (result.totalBefore <= budget)
+        return result;
+
+    // Least valuable first.
+    std::vector<core::Cloudlet *> order = cloudlets_;
+    std::sort(order.begin(), order.end(),
+              [](const core::Cloudlet *a, const core::Cloudlet *b) {
+                  return valueDensity(*a) < valueDensity(*b);
+              });
+
+    Bytes excess = result.totalBefore - budget;
+    for (core::Cloudlet *c : order) {
+        if (excess == 0)
+            break;
+        const Bytes before = c->dataBytes();
+        // Ask this cloudlet to give up as much of the excess as it
+        // holds; it may release less (e.g. search only shrinks via its
+        // nightly rebuild).
+        const Bytes target = before > excess ? before - excess : 0;
+        const Bytes released = c->shrinkTo(target);
+        if (released > 0) {
+            result.actions.push_back(
+                ArbitrationAction{c->name(), before, released});
+            excess = released >= excess ? 0 : excess - released;
+        }
+    }
+    result.totalAfter = totalDataBytes();
+    return result;
+}
+
+} // namespace pc::device

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * OS resource arbitration across pocket cloudlets (Section 7).
+ *
+ * "The operating system will need to limit memory consumption such
+ * that enough memory is available to user data and applications" —
+ * when the user installs apps or shoots video, the OS reclaims flash
+ * from the cloudlets. The arbiter shrinks the least valuable content
+ * first: cloudlets are ranked by hit-value density (how many local
+ * hits each cached byte has been producing), and the low-density ones
+ * give up storage before the high-density ones are touched.
+ */
+
+#ifndef PC_DEVICE_ARBITER_H
+#define PC_DEVICE_ARBITER_H
+
+#include <string>
+#include <vector>
+
+#include "core/cloudlet.h"
+#include "util/types.h"
+
+namespace pc::device {
+
+/** One arbitration decision, for reporting. */
+struct ArbitrationAction
+{
+    std::string cloudlet;
+    Bytes before = 0;
+    Bytes released = 0;
+};
+
+/** Outcome of one enforcement pass. */
+struct ArbitrationResult
+{
+    Bytes totalBefore = 0;
+    Bytes totalAfter = 0;
+    std::vector<ArbitrationAction> actions;
+
+    Bytes released() const { return totalBefore - totalAfter; }
+};
+
+/**
+ * Budget enforcer over a set of attached cloudlets.
+ */
+class ResourceArbiter
+{
+  public:
+    /** Attach a cloudlet (not owned; must outlive the arbiter). */
+    void attach(core::Cloudlet &cloudlet);
+
+    /** Total data bytes across attached cloudlets. */
+    Bytes totalDataBytes() const;
+
+    /** Total fast-memory index bytes across attached cloudlets. */
+    Bytes totalIndexBytes() const;
+
+    /**
+     * Enforce a data budget: if the cloudlets exceed it, shrink the
+     * lowest value-density cloudlets first until the total fits (or
+     * nothing more can be released).
+     */
+    ArbitrationResult enforceDataBudget(Bytes budget);
+
+    /** Attached cloudlets, in attach order. */
+    const std::vector<core::Cloudlet *> &cloudlets() const
+    {
+        return cloudlets_;
+    }
+
+  private:
+    /** Hits produced per cached byte; the shrink ordering key. */
+    static double valueDensity(const core::Cloudlet &c);
+
+    std::vector<core::Cloudlet *> cloudlets_;
+};
+
+} // namespace pc::device
+
+#endif // PC_DEVICE_ARBITER_H

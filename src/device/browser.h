@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Browser rendering model.
+ *
+ * Rendering dominates PocketSearch's hit-path response time: of the
+ * 378 ms the prototype needs to serve a cached query, 361 ms (96.7%) is
+ * the embedded browser laying out the results page (Table 4). Page
+ * navigation adds the landing page's own download+render time (Table 5).
+ */
+
+#ifndef PC_DEVICE_BROWSER_H
+#define PC_DEVICE_BROWSER_H
+
+#include "util/types.h"
+
+namespace pc::device {
+
+/** Landing-page weight classes of Table 5. */
+enum class PageWeight
+{
+    Lightweight, ///< ~15 s to download+render over 3G.
+    Heavyweight, ///< ~30 s.
+};
+
+/** Rendering/processing time model (2010-era smartphone browser). */
+struct BrowserConfig
+{
+    /** Render a search-results page (Table 4: 361 ms). */
+    SimTime searchPageRender = fromMillis(361);
+    /** Miscellaneous app overhead per query (Table 4: 7 ms). */
+    SimTime miscOverhead = fromMillis(7);
+    /** Full download+render of a lightweight landing page over 3G. */
+    SimTime lightPageLoad = 15 * kSecond;
+    /** Full download+render of a heavyweight landing page over 3G. */
+    SimTime heavyPageLoad = 30 * kSecond;
+    /** Extra CPU power drawn while rendering. */
+    MilliWatts renderPower = 300.0;
+};
+
+/**
+ * Stateless browser timing model.
+ */
+class Browser
+{
+  public:
+    explicit Browser(const BrowserConfig &cfg = {}) : cfg_(cfg) {}
+
+    /** Time to render a search results page. */
+    SimTime renderSearchPage() const { return cfg_.searchPageRender; }
+
+    /** Fixed per-query app overhead. */
+    SimTime miscOverhead() const { return cfg_.miscOverhead; }
+
+    /** Landing-page load time (download + render, over 3G). */
+    SimTime
+    pageLoad(PageWeight w) const
+    {
+        return w == PageWeight::Lightweight ? cfg_.lightPageLoad
+                                            : cfg_.heavyPageLoad;
+    }
+
+    /** Configuration. */
+    const BrowserConfig &config() const { return cfg_; }
+
+  private:
+    BrowserConfig cfg_;
+};
+
+} // namespace pc::device
+
+#endif // PC_DEVICE_BROWSER_H

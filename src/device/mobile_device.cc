@@ -1,0 +1,153 @@
+#include "device/mobile_device.h"
+
+#include "util/logging.h"
+
+namespace pc::device {
+
+std::string
+servePathName(ServePath p)
+{
+    switch (p) {
+      case ServePath::PocketSearch:
+        return "PocketSearch";
+      case ServePath::ThreeG:
+        return "3G";
+      case ServePath::Edge:
+        return "Edge";
+      case ServePath::Wifi:
+        return "802.11g";
+    }
+    return "?";
+}
+
+MobileDevice::MobileDevice(const core::QueryUniverse &universe,
+                           const DeviceConfig &cfg,
+                           const PocketSearchConfig &ps_cfg)
+    : cfg_(cfg),
+      browser_(cfg.browser),
+      threeG_(radio::threeGConfig()),
+      edge_(radio::edgeConfig()),
+      wifi_(radio::wifiConfig())
+{
+    pc::nvm::FlashConfig fc = cfg_.flash;
+    fc.capacity = cfg_.flashCapacity;
+    flash_ = std::make_unique<pc::nvm::FlashDevice>(fc);
+    store_ = std::make_unique<pc::simfs::FlashStore>(*flash_, cfg_.store);
+    ps_ = std::make_unique<PocketSearch>(universe, *store_, ps_cfg);
+}
+
+SimTime
+MobileDevice::installCommunityCache(const core::CacheContents &contents)
+{
+    SimTime t = 0;
+    ps_->loadCommunity(contents, t);
+    return t;
+}
+
+radio::RadioLink &
+MobileDevice::link(ServePath p)
+{
+    switch (p) {
+      case ServePath::ThreeG:
+        return threeG_;
+      case ServePath::Edge:
+        return edge_;
+      case ServePath::Wifi:
+        return wifi_;
+      case ServePath::PocketSearch:
+        break;
+    }
+    pc_panic("no radio link for this serve path");
+}
+
+void
+MobileDevice::addSegment(QueryOutcome &out, const char *label, SimTime dur,
+                         MilliWatts power) const
+{
+    if (dur <= 0)
+        return;
+    out.trace.push_back({label, dur, power});
+    out.energy += energyOver(power, dur);
+}
+
+QueryOutcome
+MobileDevice::serveQuery(const workload::PairRef &pair, ServePath path,
+                         bool record_click)
+{
+    QueryOutcome out;
+
+    if (path == ServePath::PocketSearch) {
+        auto lookup = ps_->lookupPair(pair, 2);
+        out.hashLookupTime = lookup.hashLookupTime;
+        // Operationally the user is served locally only when the result
+        // they are after is among the cached results for the query.
+        out.cacheHit = lookup.hit && ps_->containsPair(pair);
+        if (out.cacheHit) {
+            out.fetchTime = lookup.fetchTime;
+            out.renderTime = browser_.renderSearchPage();
+            out.miscTime = browser_.miscOverhead();
+            out.latency = out.hashLookupTime + out.fetchTime +
+                          out.renderTime + out.miscTime;
+            addSegment(out, "local-serve",
+                       out.hashLookupTime + out.fetchTime + out.miscTime,
+                       cfg_.basePower);
+            addSegment(out, "render", out.renderTime,
+                       cfg_.basePower + browser_.config().renderPower);
+            if (record_click) {
+                SimTime learn = 0;
+                ps_->recordClick(pair, learn);
+                // Learning happens after results display; it costs
+                // energy but not user latency.
+                addSegment(out, "learn", learn, cfg_.basePower);
+            }
+            now_ += out.latency;
+            return out;
+        }
+        // Miss: fall through to 3G (the phone's default data path),
+        // having paid only the 10us probe.
+    }
+
+    radio::RadioLink &radio =
+        link(path == ServePath::PocketSearch ? ServePath::ThreeG : path);
+    const auto xfer = radio.request(now_ + out.hashLookupTime,
+                                    cfg_.requestBytes, cfg_.responseBytes,
+                                    cfg_.serverTime);
+    out.radioTime = xfer.latency;
+    out.renderTime = browser_.renderSearchPage();
+    out.miscTime = browser_.miscOverhead();
+    out.latency = out.hashLookupTime + out.radioTime + out.renderTime +
+                  out.miscTime;
+
+    // Device trace: base power under every radio segment, plus the
+    // radio's own power; then the render burst; the radio tail runs
+    // concurrently with/after render but only its radio power counts
+    // (the user may have left the app).
+    addSegment(out, "probe", out.hashLookupTime, cfg_.basePower);
+    for (const auto &seg : xfer.segments) {
+        if (seg.label == "tail") {
+            addSegment(out, "radio-tail", seg.duration, seg.power);
+        } else {
+            addSegment(out, seg.label.c_str(), seg.duration,
+                       cfg_.basePower + seg.power);
+        }
+    }
+    addSegment(out, "render", out.renderTime,
+               cfg_.basePower + browser_.config().renderPower);
+    addSegment(out, "misc", out.miscTime, cfg_.basePower);
+
+    if (record_click && path == ServePath::PocketSearch) {
+        SimTime learn = 0;
+        ps_->recordClick(pair, learn);
+        addSegment(out, "learn", learn, cfg_.basePower);
+    }
+    now_ += out.latency;
+    return out;
+}
+
+SimTime
+MobileDevice::navigationLatency(const QueryOutcome &q, PageWeight w) const
+{
+    return q.latency + browser_.pageLoad(w);
+}
+
+} // namespace pc::device

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The simulated smartphone: flash + file store + PocketSearch + radios +
+ * browser, with end-to-end latency and energy accounting.
+ *
+ * This is the measurement platform standing in for the paper's Sony
+ * Ericsson Xperia X1a (Windows Mobile 6.1, AT&T): it reproduces the
+ * serve-a-query pipeline of Section 6.1 — cache probe, local fetch and
+ * render on a hit; radio exchange and render on a miss — and produces
+ * the per-query latency (Figure 15a), energy (Figure 15b), breakdown
+ * (Table 4), navigation times (Table 5), and power traces (Figure 16).
+ */
+
+#ifndef PC_DEVICE_MOBILE_DEVICE_H
+#define PC_DEVICE_MOBILE_DEVICE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pocket_search.h"
+#include "device/browser.h"
+#include "radio/link.h"
+
+namespace pc::device {
+
+using core::CacheMode;
+using core::PocketSearch;
+using core::PocketSearchConfig;
+using radio::PowerSegment;
+
+/** Which path a query is served through. */
+enum class ServePath
+{
+    PocketSearch, ///< Cache first; radio fallback on miss.
+    ThreeG,       ///< Always over 3G.
+    Edge,         ///< Always over EDGE.
+    Wifi,         ///< Always over 802.11g.
+};
+
+/** Display name of a serve path. */
+std::string servePathName(ServePath p);
+
+/** Device-level constants. */
+struct DeviceConfig
+{
+    /** Base platform power while the user is interacting (screen+CPU). */
+    MilliWatts basePower = 550.0;
+    /** Flash capacity dedicated to cloudlets. */
+    Bytes flashCapacity = 1 * kGiB;
+    /** Search request payload (query + headers). */
+    Bytes requestBytes = 1 * kKiB;
+    /** Search response payload (results page). */
+    Bytes responseBytes = 100 * kKiB;
+    /** Server-side processing time per query. */
+    SimTime serverTime = fromMillis(250);
+    BrowserConfig browser{};
+    pc::simfs::StoreConfig store{};
+    pc::nvm::FlashConfig flash{};
+};
+
+/** Everything measured about one served query. */
+struct QueryOutcome
+{
+    bool cacheHit = false;
+    SimTime latency = 0;        ///< Submit -> results page rendered.
+    MicroJoules energy = 0;     ///< Whole-device energy for the query.
+    SimTime hashLookupTime = 0; ///< Cache probe time.
+    SimTime fetchTime = 0;      ///< Flash retrieval time (hits).
+    SimTime radioTime = 0;      ///< Radio exchange time (misses).
+    SimTime renderTime = 0;     ///< Browser render time.
+    SimTime miscTime = 0;       ///< App overhead.
+    /** Whole-device power timeline (base + radio), for Figure 16. */
+    std::vector<PowerSegment> trace;
+};
+
+/**
+ * The simulated phone.
+ */
+class MobileDevice
+{
+  public:
+    /**
+     * @param universe World model for PocketSearch.
+     * @param cfg Device constants.
+     * @param ps_cfg PocketSearch configuration.
+     */
+    MobileDevice(const core::QueryUniverse &universe,
+                 const DeviceConfig &cfg = {},
+                 const PocketSearchConfig &ps_cfg = {});
+
+    /**
+     * Install community cache contents (the overnight push).
+     * @return Flash write time of the push.
+     */
+    SimTime installCommunityCache(const core::CacheContents &contents);
+
+    /**
+     * Serve one query end to end.
+     *
+     * @param pair The (query, clicked result) intent being replayed.
+     * @param path Serving policy.
+     * @param record_click Whether to feed the click back into
+     *        personalization (hit-rate experiments do; latency
+     *        microbenchmarks usually don't).
+     */
+    QueryOutcome serveQuery(const workload::PairRef &pair, ServePath path,
+                            bool record_click = true);
+
+    /**
+     * Navigation latency: query serving plus landing-page load
+     * (Table 5). The landing page always loads over 3G.
+     */
+    SimTime navigationLatency(const QueryOutcome &q, PageWeight w) const;
+
+    /** The cache. */
+    PocketSearch &pocketSearch() { return *ps_; }
+    /** The cache. */
+    const PocketSearch &pocketSearch() const { return *ps_; }
+
+    /** A radio by path (must not be PocketSearch). */
+    radio::RadioLink &link(ServePath p);
+
+    /** Simulated now (advances as queries are served). */
+    SimTime now() const { return now_; }
+
+    /** Advance simulated time (e.g., idle gaps between queries). */
+    void advanceTime(SimTime dt) { now_ += dt; }
+
+    /** Device constants. */
+    const DeviceConfig &config() const { return cfg_; }
+
+    /** The flash file store (inspection). */
+    pc::simfs::FlashStore &store() { return *store_; }
+
+    /** The raw flash device (inspection). */
+    pc::nvm::FlashDevice &flash() { return *flash_; }
+
+  private:
+    /** Append a device-power segment and charge energy. */
+    void addSegment(QueryOutcome &out, const char *label, SimTime dur,
+                    MilliWatts power) const;
+
+    DeviceConfig cfg_;
+    std::unique_ptr<pc::nvm::FlashDevice> flash_;
+    std::unique_ptr<pc::simfs::FlashStore> store_;
+    std::unique_ptr<PocketSearch> ps_;
+    Browser browser_;
+    radio::RadioLink threeG_;
+    radio::RadioLink edge_;
+    radio::RadioLink wifi_;
+    SimTime now_ = 0;
+};
+
+} // namespace pc::device
+
+#endif // PC_DEVICE_MOBILE_DEVICE_H

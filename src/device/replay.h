@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Hit-rate replay driver (Section 6.2's methodology).
+ *
+ * Replays per-user month-long query streams against per-user
+ * PocketSearch caches warmed with community contents built from the
+ * preceding month's logs, and aggregates hit rates per user class,
+ * per week, and per navigational split — Figures 17, 18 and 19.
+ */
+
+#ifndef PC_DEVICE_REPLAY_H
+#define PC_DEVICE_REPLAY_H
+
+#include <array>
+#include <vector>
+
+#include "core/pocket_search.h"
+#include "workload/population.h"
+#include "workload/stream.h"
+
+namespace pc::device {
+
+using core::CacheContents;
+using core::CacheMode;
+using workload::StreamEvent;
+using workload::UserClass;
+using workload::UserProfile;
+
+/** Per-user replay measurement. */
+struct UserReplayResult
+{
+    UserProfile profile;
+    u64 events = 0;
+    u64 hits = 0;
+    u64 navHits = 0;
+    u64 nonNavHits = 0;
+    /** Events/hits within week 1, weeks 1-2, full month. */
+    std::array<u64, 3> windowEvents{{0, 0, 0}};
+    std::array<u64, 3> windowHits{{0, 0, 0}};
+
+    double hitRate() const
+    {
+        return events ? double(hits) / double(events) : 0.0;
+    }
+    double windowHitRate(std::size_t w) const
+    {
+        return windowEvents[w]
+            ? double(windowHits[w]) / double(windowEvents[w]) : 0.0;
+    }
+};
+
+/** Aggregated per-class replay measurement. */
+struct ClassReplayResult
+{
+    UserClass cls = UserClass::Low;
+    u64 users = 0;
+    double meanHitRate = 0.0;
+    double meanWeek1HitRate = 0.0;
+    double meanWeeks12HitRate = 0.0;
+    double navHitShare = 0.0;    ///< Fraction of hits navigational.
+    double nonNavHitShare = 0.0;
+};
+
+/** Replay experiment configuration. */
+struct ReplayConfig
+{
+    CacheMode mode = CacheMode::Combined;
+    u32 usersPerClass = 100;
+    u64 seed = 99;
+    /** Ranking decay lambda (Equation 2). */
+    double lambda = 0.10;
+};
+
+/** Full replay measurement. */
+struct ReplayResult
+{
+    std::vector<UserReplayResult> users;
+    std::array<ClassReplayResult, 4> classes;
+    double overallMeanHitRate = 0.0; ///< Mean of per-user hit rates.
+};
+
+/**
+ * Replays user streams against per-user caches.
+ *
+ * The device timing path is bypassed here on purpose: hit-rate
+ * experiments are about cache behaviour, and running 400 users through
+ * full device timing adds nothing but runtime. The cache logic is the
+ * identical PocketSearch used by the timing experiments.
+ */
+class ReplayDriver
+{
+  public:
+    /**
+     * @param universe World model.
+     * @param contents Community cache built from the preceding month.
+     * @param pop Population knobs (same as the community generator's so
+     *        eval users are drawn from the same behaviour mix).
+     */
+    ReplayDriver(const core::QueryUniverse &universe,
+                 const CacheContents &contents,
+                 const workload::PopulationConfig &pop);
+
+    /**
+     * Run the experiment: usersPerClass fresh users per class, one
+     * month each.
+     */
+    ReplayResult run(const ReplayConfig &cfg) const;
+
+    /**
+     * Replay a single user's pre-generated events against a fresh
+     * cache; used by the daily-update experiment which interleaves
+     * cache updates with replay.
+     */
+    UserReplayResult replayUser(const UserProfile &profile,
+                                const std::vector<StreamEvent> &events,
+                                core::PocketSearch &ps) const;
+
+  private:
+    const core::QueryUniverse &universe_;
+    const CacheContents &contents_;
+    workload::PopulationConfig pop_;
+};
+
+} // namespace pc::device
+
+#endif // PC_DEVICE_REPLAY_H

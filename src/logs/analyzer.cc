@@ -1,0 +1,160 @@
+#include "logs/analyzer.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace pc::logs {
+
+bool
+RecordFilter::passes(const workload::QueryUniverse &u,
+                     const LogRecord &rec) const
+{
+    if (device && rec.device != *device)
+        return false;
+    if (navigational &&
+        u.isNavigationalPair(rec.pair) != *navigational)
+        return false;
+    return true;
+}
+
+PopularityCurve
+LogAnalyzer::queryPopularity(const RecordFilter &f) const
+{
+    std::unordered_map<u32, u64> volumes;
+    for (const auto &rec : log_.records()) {
+        if (!f.passes(log_.universe(), rec))
+            continue;
+        ++volumes[rec.pair.query];
+    }
+    std::vector<u64> v;
+    v.reserve(volumes.size());
+    for (const auto &[q, vol] : volumes) {
+        (void)q;
+        v.push_back(vol);
+    }
+    PopularityCurve curve;
+    curve.shares = pc::CumulativeShare::fromVolumes(std::move(v));
+    return curve;
+}
+
+PopularityCurve
+LogAnalyzer::resultPopularity(const RecordFilter &f) const
+{
+    std::unordered_map<u32, u64> volumes;
+    for (const auto &rec : log_.records()) {
+        if (!f.passes(log_.universe(), rec))
+            continue;
+        ++volumes[rec.pair.result];
+    }
+    std::vector<u64> v;
+    v.reserve(volumes.size());
+    for (const auto &[r, vol] : volumes) {
+        (void)r;
+        v.push_back(vol);
+    }
+    PopularityCurve curve;
+    curve.shares = pc::CumulativeShare::fromVolumes(std::move(v));
+    return curve;
+}
+
+std::vector<UserRepeatStats>
+LogAnalyzer::userRepeatability(u64 min_events, const RecordFilter &f) const
+{
+    // Group records per user in time order. The log may be time-sorted
+    // globally; collect indices per user first.
+    std::unordered_map<u64, std::vector<const LogRecord *>> per_user;
+    for (const auto &rec : log_.records()) {
+        if (!f.passes(log_.universe(), rec))
+            continue;
+        per_user[rec.user].push_back(&rec);
+    }
+
+    std::vector<UserRepeatStats> out;
+    out.reserve(per_user.size());
+    for (auto &[user, recs] : per_user) {
+        if (recs.size() < min_events)
+            continue;
+        std::sort(recs.begin(), recs.end(),
+                  [](const LogRecord *a, const LogRecord *b) {
+                      return a->time < b->time;
+                  });
+        UserRepeatStats s;
+        s.user = user;
+        std::unordered_set<u64> seen;
+        seen.reserve(recs.size());
+        for (const LogRecord *rec : recs) {
+            const u64 key =
+                (u64(rec->pair.query) << 32) | rec->pair.result;
+            ++s.events;
+            if (seen.insert(key).second)
+                ++s.newPairs;
+        }
+        out.push_back(s);
+    }
+    // Deterministic order for downstream consumers.
+    std::sort(out.begin(), out.end(),
+              [](const UserRepeatStats &a, const UserRepeatStats &b) {
+                  return a.user < b.user;
+              });
+    return out;
+}
+
+double
+LogAnalyzer::meanRepeatRate(u64 min_events) const
+{
+    const auto stats = userRepeatability(min_events);
+    if (stats.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &s : stats)
+        sum += s.repeatRate();
+    return sum / double(stats.size());
+}
+
+double
+LogAnalyzer::fractionUsersNewRateAtMost(double threshold,
+                                        u64 min_events) const
+{
+    const auto stats = userRepeatability(min_events);
+    if (stats.empty())
+        return 0.0;
+    u64 n = 0;
+    for (const auto &s : stats) {
+        if (s.newRate() <= threshold)
+            ++n;
+    }
+    return double(n) / double(stats.size());
+}
+
+std::vector<ClassCensusRow>
+LogAnalyzer::classCensus(u64 min_events) const
+{
+    std::unordered_map<u64, u64> volume;
+    for (const auto &rec : log_.records())
+        ++volume[rec.user];
+
+    u64 counts[4] = {0, 0, 0, 0};
+    u64 total = 0;
+    for (const auto &[user, v] : volume) {
+        (void)user;
+        if (v < min_events)
+            continue;
+        ++counts[int(workload::classForVolume(u32(v)))];
+        ++total;
+    }
+
+    std::vector<ClassCensusRow> rows;
+    for (int c = 0; c < 4; ++c) {
+        ClassCensusRow row;
+        row.cls = UserClass(c);
+        row.users = counts[c];
+        row.share = total ? double(counts[c]) / double(total) : 0.0;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace pc::logs

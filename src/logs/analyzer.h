@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Mobile search log characterization (Section 4 of the paper).
+ *
+ * Computes the community and individual-user statistics the paper
+ * derives from the m.bing.com logs: popularity concentration of queries
+ * and clicked results (Figure 4), per-user repeatability (Figure 5), the
+ * cumulative pair-volume curve (Figure 7), and the Table 6 user-class
+ * census.
+ */
+
+#ifndef PC_LOGS_ANALYZER_H
+#define PC_LOGS_ANALYZER_H
+
+#include <optional>
+#include <vector>
+
+#include "logs/triplets.h"
+#include "util/stats.h"
+#include "workload/population.h"
+#include "workload/searchlog.h"
+
+namespace pc::logs {
+
+using workload::DeviceType;
+using workload::LogRecord;
+using workload::UserClass;
+
+/** Filter describing which records a popularity analysis considers. */
+struct RecordFilter
+{
+    /** Keep only navigational (true) / non-navigational (false) pairs. */
+    std::optional<bool> navigational;
+    /** Keep only records from this device class. */
+    std::optional<DeviceType> device;
+
+    /** Does a record pass the filter? */
+    bool passes(const workload::QueryUniverse &u,
+                const LogRecord &rec) const;
+};
+
+/** A cumulative popularity curve (x = top-k items, y = volume share). */
+struct PopularityCurve
+{
+    /** Item volumes, descending. */
+    pc::CumulativeShare shares;
+
+    /** Share of volume covered by the k most popular items. */
+    double shareOfTop(std::size_t k) const { return shares.shareOfTop(k); }
+    /** Smallest k covering `share` of the volume. */
+    std::size_t topForShare(double s) const
+    {
+        return shares.topForShare(s);
+    }
+    /** Number of distinct items. */
+    std::size_t distinctItems() const
+    {
+        return shares.sortedVolumes.size();
+    }
+};
+
+/** Per-user repeatability measurement (one Figure 5 sample point). */
+struct UserRepeatStats
+{
+    u64 user = 0;
+    u64 events = 0;
+    u64 newPairs = 0; ///< Events whose (query,result) was first-seen.
+
+    /** Fraction of events that were new (x-axis of Figure 5). */
+    double newRate() const
+    {
+        return events ? double(newPairs) / double(events) : 0.0;
+    }
+    /** Fraction of events that repeated an earlier pair. */
+    double repeatRate() const { return 1.0 - newRate(); }
+};
+
+/** Table 6 census row. */
+struct ClassCensusRow
+{
+    UserClass cls;
+    u64 users = 0;
+    double share = 0.0;
+};
+
+/**
+ * Log analysis entry point. All methods are pure functions of the log.
+ */
+class LogAnalyzer
+{
+  public:
+    explicit LogAnalyzer(const SearchLog &log) : log_(log) {}
+
+    /**
+     * Popularity of distinct *query strings* (Figure 4a): volume per
+     * query, under an optional filter.
+     */
+    PopularityCurve queryPopularity(const RecordFilter &f = {}) const;
+
+    /**
+     * Popularity of distinct *clicked results* (Figure 4b).
+     */
+    PopularityCurve resultPopularity(const RecordFilter &f = {}) const;
+
+    /**
+     * Per-user repeatability over the log window (Figure 5). Users with
+     * fewer than `min_events` records are skipped (the paper ignores
+     * users under 20 queries/month).
+     */
+    std::vector<UserRepeatStats>
+    userRepeatability(u64 min_events = 20,
+                      const RecordFilter &f = {}) const;
+
+    /** Mean repeat rate across qualifying users (paper: 56.5%). */
+    double meanRepeatRate(u64 min_events = 20) const;
+
+    /**
+     * Fraction of qualifying users whose new-query rate is at most
+     * `threshold` (paper: ~50% of users at threshold 0.30).
+     */
+    double fractionUsersNewRateAtMost(double threshold,
+                                      u64 min_events = 20) const;
+
+    /** Census of users by monthly volume class (Table 6). */
+    std::vector<ClassCensusRow> classCensus(u64 min_events = 20) const;
+
+  private:
+    const SearchLog &log_;
+};
+
+} // namespace pc::logs
+
+#endif // PC_LOGS_ANALYZER_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Common interface for timed storage/memory device models.
+ *
+ * Devices do not hold payload bytes — file contents live in the simfs
+ * layer — they model *timing, energy and geometry* of accesses, which is
+ * what the paper's storage-architecture experiments (Figure 12, Table 4)
+ * depend on.
+ */
+
+#ifndef PC_NVM_STORAGE_DEVICE_H
+#define PC_NVM_STORAGE_DEVICE_H
+
+#include <string>
+
+#include "util/types.h"
+
+namespace pc::nvm {
+
+/** Cumulative access statistics for a device. */
+struct DeviceStats
+{
+    u64 readOps = 0;
+    u64 writeOps = 0;
+    Bytes bytesRead = 0;
+    Bytes bytesWritten = 0;
+    SimTime busyTime = 0;
+    MicroJoules energy = 0;
+};
+
+/**
+ * Abstract timed storage device. read()/write() return the simulated
+ * latency of the access and account energy internally.
+ */
+class StorageDevice
+{
+  public:
+    virtual ~StorageDevice() = default;
+
+    /** Device display name. */
+    virtual std::string name() const = 0;
+
+    /** Usable capacity. */
+    virtual Bytes capacity() const = 0;
+
+    /**
+     * Model a read of `len` bytes starting at byte offset `addr`.
+     * @return Simulated latency of the access.
+     */
+    virtual SimTime read(Bytes addr, Bytes len) = 0;
+
+    /**
+     * Model a write of `len` bytes starting at byte offset `addr`.
+     * @return Simulated latency of the access.
+     */
+    virtual SimTime write(Bytes addr, Bytes len) = 0;
+
+    /** Cumulative statistics. */
+    const DeviceStats &stats() const { return stats_; }
+
+    /** Reset statistics (capacity/contents untouched). */
+    void resetStats() { stats_ = DeviceStats{}; }
+
+  protected:
+    /** Fold one access into the stats. */
+    void
+    account(bool is_write, Bytes len, SimTime t, MilliWatts power)
+    {
+        if (is_write) {
+            ++stats_.writeOps;
+            stats_.bytesWritten += len;
+        } else {
+            ++stats_.readOps;
+            stats_.bytesRead += len;
+        }
+        stats_.busyTime += t;
+        stats_.energy += energyOver(power, t);
+    }
+
+    DeviceStats stats_;
+};
+
+} // namespace pc::nvm
+
+#endif // PC_NVM_STORAGE_DEVICE_H

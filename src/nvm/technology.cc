@@ -1,0 +1,57 @@
+#include "nvm/technology.h"
+
+#include "util/logging.h"
+
+namespace pc::nvm {
+
+std::string
+TechNode::familyName() const
+{
+    return family == TechFamily::Flash ? "Flash" : "Other NVM";
+}
+
+double
+TechNode::fullMultiplier(const TechNode &base) const
+{
+    // Capacity scales with per-layer density, chips per package, cell
+    // layers per chip, and bits per cell, each relative to the baseline.
+    return (double(scalingFactor) / double(base.scalingFactor)) *
+           (double(chipStack) / double(base.chipStack)) *
+           (double(cellLayers) / double(base.cellLayers)) *
+           (double(bitsPerCell) / double(base.bitsPerCell));
+}
+
+TechRoadmap::TechRoadmap()
+{
+    // Table 1 of the paper, verbatim. Flash dominates through 2016; the
+    // 2018+ columns assume a post-flash NVM (PCM/RRAM/STT-MRAM class).
+    nodes_ = {
+        //   year  nm  scale stack layers bits  family
+        {2010, 32, 1, 4, 1, 2, TechFamily::Flash},
+        {2012, 22, 2, 4, 1, 3, TechFamily::Flash},
+        {2014, 16, 4, 6, 1, 2, TechFamily::Flash},
+        {2016, 11, 8, 6, 2, 2, TechFamily::Flash},
+        {2018, 11, 8, 8, 2, 2, TechFamily::OtherNvm},
+        {2020, 8, 16, 8, 4, 1, TechFamily::OtherNvm},
+        {2022, 5, 32, 12, 4, 1, TechFamily::OtherNvm},
+        {2024, 5, 32, 12, 8, 1, TechFamily::OtherNvm},
+        {2026, 5, 32, 16, 8, 1, TechFamily::OtherNvm},
+    };
+}
+
+const TechNode &
+TechRoadmap::nodeFor(int year) const
+{
+    pc_assert(year >= nodes_.front().year,
+              "year ", year, " precedes the roadmap");
+    const TechNode *best = &nodes_.front();
+    for (const auto &n : nodes_) {
+        if (n.year <= year)
+            best = &n;
+        else
+            break;
+    }
+    return *best;
+}
+
+} // namespace pc::nvm

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * NVM technology scaling model (Table 1 of the paper).
+ *
+ * The paper projects, per two-year step from 2010 to 2026: the process
+ * node, a per-layer density scaling factor, the number of chips in a
+ * stack, the number of cell layers per chip (3D cell stacking), and the
+ * number of bits per cell. Flash is assumed to dominate until 2016/2018,
+ * after which a resistive/magneto-resistive technology takes over.
+ */
+
+#ifndef PC_NVM_TECHNOLOGY_H
+#define PC_NVM_TECHNOLOGY_H
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pc::nvm {
+
+/** NVM family used in a given generation. */
+enum class TechFamily
+{
+    Flash,    ///< Charge-based NAND flash (through ~2016).
+    OtherNvm, ///< Post-flash resistive/magneto-resistive NVM (2018+).
+};
+
+/** One column of Table 1: the projection for a given year. */
+struct TechNode
+{
+    int year;            ///< Calendar year of the generation.
+    int techNm;          ///< Process feature size, nm.
+    int scalingFactor;   ///< Per-layer density scaling vs the 2010 node.
+    int chipStack;       ///< Chips per package (chip stacking).
+    int cellLayers;      ///< 3D cell layers per chip (cell stacking).
+    int bitsPerCell;     ///< Logic levels stored per cell.
+    TechFamily family;   ///< Flash vs post-flash technology.
+
+    /** Human-readable family name. */
+    std::string familyName() const;
+
+    /**
+     * Total capacity multiplier of this node relative to the 2010
+     * baseline when all four techniques are applied.
+     */
+    double fullMultiplier(const TechNode &base) const;
+};
+
+/**
+ * The scaling roadmap: exactly the nine generations of Table 1, plus
+ * interpolation helpers used by the capacity projection.
+ */
+class TechRoadmap
+{
+  public:
+    /** Construct the paper's Table 1 roadmap. */
+    TechRoadmap();
+
+    /** All generations, ascending by year. */
+    const std::vector<TechNode> &nodes() const { return nodes_; }
+
+    /** The 2010 baseline generation. */
+    const TechNode &baseline() const { return nodes_.front(); }
+
+    /**
+     * The generation in effect in a given year (the latest node with
+     * node.year <= year). @pre year >= baseline year.
+     */
+    const TechNode &nodeFor(int year) const;
+
+    /** First year covered. */
+    int firstYear() const { return nodes_.front().year; }
+    /** Last year covered. */
+    int lastYear() const { return nodes_.back().year; }
+
+  private:
+    std::vector<TechNode> nodes_;
+};
+
+} // namespace pc::nvm
+
+#endif // PC_NVM_TECHNOLOGY_H

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Cellular/WiFi radio link models.
+ *
+ * The paper's latency and energy story rests on three radio facts
+ * (Sections 1 and 6.1): (1) a radio needs 1.5-2 s to wake from standby
+ * even when already associated with the tower, (2) mobile exchanges are
+ * small, so round-trip latency — not throughput — dominates, and (3) an
+ * active radio adds hundreds of mW on top of the phone's base power, and
+ * lingers in a high-power "tail" state after the exchange.
+ *
+ * RadioLink models one request/response exchange as a sequence of timed
+ * power segments: optional wake-up ramp, handshake round trips, uplink
+ * transfer, server think time, downlink transfer, then a tail. Segments
+ * feed both the energy integration (Figure 15b) and the power traces of
+ * Figure 16.
+ */
+
+#ifndef PC_RADIO_LINK_H
+#define PC_RADIO_LINK_H
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pc::radio {
+
+/** One constant-power interval of radio activity. */
+struct PowerSegment
+{
+    std::string label;   ///< e.g. "wakeup", "rtt", "downlink", "tail".
+    SimTime duration;    ///< Length of the interval.
+    MilliWatts power;    ///< Radio power over the interval.
+};
+
+/** Outcome of one modelled exchange. */
+struct TransferResult
+{
+    SimTime latency = 0;          ///< Wall time until the response body
+                                  ///< has fully arrived (excludes tail).
+    MicroJoules radioEnergy = 0;  ///< Radio energy including the tail.
+    std::vector<PowerSegment> segments; ///< Full power timeline.
+};
+
+/** Static parameters of one link technology. */
+struct LinkConfig
+{
+    std::string name = "3g";
+    SimTime wakeupLatency = fromMillis(1800); ///< Standby -> active ramp.
+    MilliWatts wakeupPower = 500.0;           ///< Power during the ramp.
+    SimTime rtt = fromMillis(500);            ///< One round trip.
+    unsigned handshakeRounds = 4;             ///< DNS+TCP+HTTP rounds.
+    double uplinkBps = 300e3;                 ///< Payload uplink bit/s.
+    double downlinkBps = 800e3;               ///< Payload downlink bit/s.
+    MilliWatts activePower = 600.0;           ///< Radio power while busy.
+    SimTime tailDuration = fromMillis(2500);  ///< High-power tail after
+                                              ///< the exchange (3G DCH/FACH).
+    MilliWatts tailPower = 400.0;             ///< Power during the tail.
+    MilliWatts idlePower = 10.0;              ///< Paging/standby power.
+};
+
+/** The paper's three measured links (Xperia X1a on AT&T, Section 6.1). */
+LinkConfig threeGConfig();
+LinkConfig edgeConfig();
+LinkConfig wifiConfig();
+
+/**
+ * Stateful radio link. Keeps track of when it was last active so that
+ * back-to-back requests inside the tail window skip the wake-up ramp —
+ * the effect visible in the paper's Figure 16 10-query trace.
+ */
+class RadioLink
+{
+  public:
+    explicit RadioLink(const LinkConfig &cfg);
+
+    /** Technology name. */
+    const std::string &name() const { return cfg_.name; }
+
+    /** Configuration. */
+    const LinkConfig &config() const { return cfg_; }
+
+    /**
+     * Model one request/response exchange.
+     *
+     * @param now Simulated start time of the request.
+     * @param uplinkBytes Request payload size.
+     * @param downlinkBytes Response payload size.
+     * @param serverTime Server-side processing time.
+     * @return Latency/energy/power-timeline of the exchange.
+     */
+    TransferResult request(SimTime now, Bytes uplinkBytes,
+                           Bytes downlinkBytes, SimTime serverTime);
+
+    /** Would a request at `now` need the wake-up ramp? */
+    bool needsWakeup(SimTime now) const;
+
+    /** Forget history; next request pays the wake-up ramp. */
+    void reset();
+
+    /** Total radio energy across all requests so far. */
+    MicroJoules totalEnergy() const { return totalEnergy_; }
+
+    /** Number of requests served. */
+    u64 requests() const { return requests_; }
+
+  private:
+    LinkConfig cfg_;
+    SimTime readyUntil_ = -1; ///< End of the last tail; -1 = cold.
+    MicroJoules totalEnergy_ = 0;
+    u64 requests_ = 0;
+};
+
+/** Transfer time of `bytes` at `bps` (bits per second). */
+SimTime transferTime(Bytes bytes, double bps);
+
+} // namespace pc::radio
+
+#endif // PC_RADIO_LINK_H

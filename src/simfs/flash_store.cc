@@ -1,0 +1,235 @@
+#include "simfs/flash_store.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pc::simfs {
+
+double
+StoreStats::wasteRatio() const
+{
+    if (physicalBytes == 0)
+        return 0.0;
+    return double(internalWaste()) / double(physicalBytes);
+}
+
+FlashStore::FlashStore(pc::nvm::FlashDevice &device, const StoreConfig &cfg)
+    : device_(device), cfg_(cfg)
+{
+    pc_assert(cfg_.allocUnit > 0, "allocation unit must be positive");
+    pc_assert(cfg_.allocUnit % device_.config().pageSize == 0 ||
+              device_.config().pageSize % cfg_.allocUnit == 0,
+              "allocation unit and flash page size must nest");
+}
+
+FileId
+FlashStore::create(const std::string &name)
+{
+    pc_assert(byName_.find(name) == byName_.end(),
+              "file '", name, "' already exists");
+    FileId id = FileId(files_.size());
+    files_.push_back(File{name, {}, {}, true});
+    byName_[name] = id;
+    return id;
+}
+
+FileId
+FlashStore::open(const std::string &name, SimTime &time)
+{
+    time += cfg_.openOverhead;
+    auto it = byName_.find(name);
+    return it == byName_.end() ? kNoFile : it->second;
+}
+
+FileId
+FlashStore::lookup(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    return it == byName_.end() ? kNoFile : it->second;
+}
+
+bool
+FlashStore::valid(FileId id) const
+{
+    return id < files_.size() && files_[id].live;
+}
+
+const FlashStore::File &
+FlashStore::fileAt(FileId id) const
+{
+    pc_assert(valid(id), "invalid file id ", id);
+    return files_[id];
+}
+
+FlashStore::File &
+FlashStore::fileAt(FileId id)
+{
+    pc_assert(valid(id), "invalid file id ", id);
+    return files_[id];
+}
+
+u64
+FlashStore::allocBlock()
+{
+    if (!freeBlocks_.empty()) {
+        std::size_t pick = freeBlocks_.size() - 1;
+        if (cfg_.wearLeveling) {
+            // Least-worn free block first; wear is tracked per *device*
+            // block, so map allocation units onto device blocks.
+            const Bytes dev_block =
+                device_.config().pageSize * device_.config().pagesPerBlock;
+            u64 best = ~u64(0);
+            for (std::size_t i = 0; i < freeBlocks_.size(); ++i) {
+                const u64 dev_idx =
+                    freeBlocks_[i] * cfg_.allocUnit / dev_block;
+                const u64 wear = device_.blockEraseCount(dev_idx);
+                if (wear < best) {
+                    best = wear;
+                    pick = i;
+                }
+            }
+        }
+        const u64 b = freeBlocks_[pick];
+        freeBlocks_.erase(freeBlocks_.begin() +
+                          std::ptrdiff_t(pick));
+        return b;
+    }
+    const u64 total_blocks = device_.capacity() / cfg_.allocUnit;
+    pc_assert(nextBlock_ < total_blocks, "flash store out of space");
+    return nextBlock_++;
+}
+
+void
+FlashStore::reserve(File &f, Bytes size, SimTime &time, bool charge_program)
+{
+    const u64 needed = (size + cfg_.allocUnit - 1) / cfg_.allocUnit;
+    while (f.blocks.size() < needed) {
+        const u64 b = allocBlock();
+        f.blocks.push_back(b);
+        if (charge_program) {
+            // New blocks must be in the erased state before programming;
+            // model the (amortized) erase here.
+            time += device_.eraseBlockAt(b * cfg_.allocUnit);
+        }
+    }
+}
+
+Bytes
+FlashStore::flashAddr(const File &f, Bytes offset) const
+{
+    const u64 block_idx = offset / cfg_.allocUnit;
+    pc_assert(block_idx < f.blocks.size(), "offset beyond allocation");
+    return f.blocks[block_idx] * cfg_.allocUnit + offset % cfg_.allocUnit;
+}
+
+void
+FlashStore::append(FileId id, std::string_view data, SimTime &time)
+{
+    File &f = fileAt(id);
+    const Bytes start = f.data.size();
+    reserve(f, start + data.size(), time, true);
+    // Charge programs block-run by block-run (appends can straddle).
+    Bytes off = start;
+    Bytes remaining = data.size();
+    while (remaining > 0) {
+        const Bytes in_block = cfg_.allocUnit - off % cfg_.allocUnit;
+        const Bytes chunk = std::min<Bytes>(remaining, in_block);
+        time += device_.write(flashAddr(f, off), chunk);
+        off += chunk;
+        remaining -= chunk;
+    }
+    f.data.append(data);
+}
+
+Bytes
+FlashStore::read(FileId id, Bytes offset, Bytes len, std::string &out,
+                 SimTime &time) const
+{
+    const File &f = fileAt(id);
+    out.clear();
+    if (offset >= f.data.size())
+        return 0;
+    const Bytes n = std::min<Bytes>(len, f.data.size() - offset);
+    out.assign(f.data, offset, n);
+    // Charge reads block-run by block-run.
+    Bytes off = offset;
+    Bytes remaining = n;
+    while (remaining > 0) {
+        const Bytes in_block = cfg_.allocUnit - off % cfg_.allocUnit;
+        const Bytes chunk = std::min<Bytes>(remaining, in_block);
+        // const_cast: the device mutates only stats, which are mutable in
+        // spirit; keep the read path usable from const contexts.
+        time += const_cast<pc::nvm::FlashDevice &>(device_)
+                    .read(flashAddr(f, off), chunk);
+        off += chunk;
+        remaining -= chunk;
+    }
+    return n;
+}
+
+void
+FlashStore::truncateAndWrite(FileId id, std::string_view data, SimTime &time)
+{
+    File &f = fileAt(id);
+    // Old blocks must be erased before reuse; charge and free them.
+    for (u64 b : f.blocks) {
+        time += device_.eraseBlockAt(b * cfg_.allocUnit);
+        freeBlocks_.push_back(b);
+    }
+    f.blocks.clear();
+    f.data.clear();
+    append(id, data, time);
+}
+
+void
+FlashStore::remove(FileId id)
+{
+    File &f = fileAt(id);
+    for (u64 b : f.blocks)
+        freeBlocks_.push_back(b);
+    byName_.erase(f.name);
+    f.blocks.clear();
+    f.data.clear();
+    f.live = false;
+}
+
+Bytes
+FlashStore::size(FileId id) const
+{
+    return fileAt(id).data.size();
+}
+
+Bytes
+FlashStore::physicalSize(FileId id) const
+{
+    return Bytes(fileAt(id).blocks.size()) * cfg_.allocUnit;
+}
+
+StoreStats
+FlashStore::stats() const
+{
+    StoreStats s;
+    for (const auto &f : files_) {
+        if (!f.live)
+            continue;
+        ++s.files;
+        s.logicalBytes += f.data.size();
+        s.physicalBytes += Bytes(f.blocks.size()) * cfg_.allocUnit;
+    }
+    return s;
+}
+
+std::vector<std::string>
+FlashStore::listFiles() const
+{
+    std::vector<std::string> names;
+    names.reserve(byName_.size());
+    for (const auto &[name, id] : byName_) {
+        (void)id;
+        names.push_back(name);
+    }
+    return names;
+}
+
+} // namespace pc::simfs

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Minimal flat-file store over the NAND flash timing model.
+ *
+ * PocketSearch keeps its custom database as plain files in flash
+ * (Section 5.2.2 of the paper). This store provides exactly what that
+ * database needs — named append-able byte files — while modelling the
+ * two flash effects the paper's storage experiments hinge on:
+ *
+ *  - internal fragmentation: files are allocated in fixed-size blocks
+ *    (2/4/8 KB in the paper), so a 500-byte record file wastes most of a
+ *    block;
+ *  - timed access: reads/writes pay the flash page latencies through the
+ *    FlashDevice model, plus a per-open metadata overhead.
+ *
+ * File payload bytes are held in host memory; the flash device only
+ * accounts time/energy/wear.
+ */
+
+#ifndef PC_SIMFS_FLASH_STORE_H
+#define PC_SIMFS_FLASH_STORE_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nvm/flash_device.h"
+#include "util/types.h"
+
+namespace pc::simfs {
+
+/** Opaque file identifier. */
+using FileId = u32;
+
+/** Invalid file id. */
+inline constexpr FileId kNoFile = ~FileId(0);
+
+/** Store configuration. */
+struct StoreConfig
+{
+    /** Allocation unit ("block" in the paper's Section 5.2.2 sense). */
+    Bytes allocUnit = 4 * kKiB;
+    /** Fixed metadata cost of an open-by-name (directory lookup). */
+    SimTime openOverhead = 2 * kMillisecond;
+    /**
+     * Wear levelling: when reusing freed blocks, pick the least-worn
+     * candidate instead of the most recently freed one. Slightly more
+     * allocator work, much flatter erase distribution.
+     */
+    bool wearLeveling = false;
+};
+
+/** Aggregate space accounting for the store. */
+struct StoreStats
+{
+    Bytes logicalBytes = 0;   ///< Sum of file contents.
+    Bytes physicalBytes = 0;  ///< Block-rounded space consumed.
+    u64 files = 0;            ///< Live file count.
+
+    /** Wasted bytes due to block rounding. */
+    Bytes internalWaste() const { return physicalBytes - logicalBytes; }
+    /** Waste as a fraction of physical space; 0 when empty. */
+    double wasteRatio() const;
+};
+
+/**
+ * Flat, append-oriented file store on a FlashDevice.
+ */
+class FlashStore
+{
+  public:
+    /**
+     * @param device Flash device the store charges accesses to. Must
+     *        outlive the store.
+     * @param cfg Allocation/overhead configuration.
+     */
+    FlashStore(pc::nvm::FlashDevice &device, const StoreConfig &cfg = {});
+
+    /**
+     * Create an empty file. @pre no live file has this name.
+     * @return The new file's id.
+     */
+    FileId create(const std::string &name);
+
+    /**
+     * Open a file by name, paying the metadata overhead.
+     * @param[out] time Accumulates the open latency.
+     * @return File id, or kNoFile if absent.
+     */
+    FileId open(const std::string &name, SimTime &time);
+
+    /** Lookup without timing (for assertions/tests). */
+    FileId lookup(const std::string &name) const;
+
+    /** True if the id refers to a live file. */
+    bool valid(FileId id) const;
+
+    /**
+     * Append bytes to a file, allocating blocks as needed.
+     * @param[out] time Accumulates the flash program latency.
+     */
+    void append(FileId id, std::string_view data, SimTime &time);
+
+    /**
+     * Read `len` bytes at `offset` into `out`, clamped to file size.
+     * @param[out] time Accumulates the flash read latency.
+     * @return Bytes actually read.
+     */
+    Bytes read(FileId id, Bytes offset, Bytes len, std::string &out,
+               SimTime &time) const;
+
+    /**
+     * Replace a file's entire contents (used when applying update
+     * patches). Frees and reallocates blocks.
+     * @param[out] time Accumulates erase + program latency.
+     */
+    void truncateAndWrite(FileId id, std::string_view data, SimTime &time);
+
+    /** Delete a file, returning its blocks to the free list. */
+    void remove(FileId id);
+
+    /** Logical size of a file. */
+    Bytes size(FileId id) const;
+
+    /** Physical (block-rounded) size of a file. */
+    Bytes physicalSize(FileId id) const;
+
+    /** Store-wide space accounting. */
+    StoreStats stats() const;
+
+    /** Names of all live files (sorted). */
+    std::vector<std::string> listFiles() const;
+
+    /** The underlying flash device. */
+    pc::nvm::FlashDevice &device() { return device_; }
+
+    /** Configuration. */
+    const StoreConfig &config() const { return cfg_; }
+
+  private:
+    struct File
+    {
+        std::string name;
+        std::string data;
+        std::vector<u64> blocks; ///< Allocated block indices, in order.
+        bool live = false;
+    };
+
+    const File &fileAt(FileId id) const;
+    File &fileAt(FileId id);
+
+    /** Allocate one block; grows toward capacity, reuses freed blocks. */
+    u64 allocBlock();
+
+    /** Ensure the file owns enough blocks for `size` bytes. */
+    void reserve(File &f, Bytes size, SimTime &time, bool charge_program);
+
+    /** Flash byte address of a file offset. */
+    Bytes flashAddr(const File &f, Bytes offset) const;
+
+    pc::nvm::FlashDevice &device_;
+    StoreConfig cfg_;
+    std::vector<File> files_;
+    std::map<std::string, FileId> byName_;
+    std::vector<u64> freeBlocks_;
+    u64 nextBlock_ = 0;
+};
+
+} // namespace pc::simfs
+
+#endif // PC_SIMFS_FLASH_STORE_H

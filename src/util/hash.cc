@@ -1,0 +1,11 @@
+#include "util/hash.h"
+
+// All hashing is constexpr and header-only; this translation unit exists so
+// the library archive always has at least one object for the module and to
+// anchor any future non-inline additions.
+
+namespace pc {
+static_assert(fnv1a("") == kFnvOffset, "empty-string FNV must be the basis");
+static_assert(queryHash("youtube", 0) != queryHash("youtube", 1),
+              "slot must perturb the query hash");
+} // namespace pc

@@ -1,0 +1,182 @@
+#include "util/rng.h"
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace pc {
+
+namespace {
+
+constexpr u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(u64 seed)
+{
+    // SplitMix64 expansion of the seed into four state words.
+    u64 x = seed;
+    for (auto &w : s_) {
+        x += 0x9e3779b97f4a7c15ull;
+        w = mix64(x);
+    }
+    // xoshiro cannot run from the all-zero state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = kFnvOffset;
+}
+
+u64
+Rng::next()
+{
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return double(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+u64
+Rng::below(u64 n)
+{
+    pc_assert(n > 0, "Rng::below(0)");
+    // Rejection to remove modulo bias.
+    const u64 threshold = (0 - n) % n;
+    for (;;) {
+        u64 r = next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+i64
+Rng::range(i64 lo, i64 hi)
+{
+    pc_assert(lo <= hi, "Rng::range: lo > hi");
+    return lo + i64(below(u64(hi - lo) + 1));
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double mean)
+{
+    pc_assert(mean > 0.0, "exponential mean must be positive");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * M_PI * u2);
+    return mean + stddev * z;
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+double
+Rng::gamma(double shape, double scale)
+{
+    pc_assert(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+    if (shape < 1.0) {
+        // Boost to shape+1 and correct with a uniform power.
+        const double u = std::max(uniform(), 1e-300);
+        return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+    }
+    // Marsaglia & Tsang.
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+        double x = normal();
+        double v = 1.0 + c * x;
+        if (v <= 0.0)
+            continue;
+        v = v * v * v;
+        const double u = uniform();
+        if (u < 1.0 - 0.0331 * x * x * x * x)
+            return d * v * scale;
+        if (u > 0.0 &&
+            std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+            return d * v * scale;
+        }
+    }
+}
+
+double
+Rng::beta(double a, double b)
+{
+    const double x = gamma(a);
+    const double y = gamma(b);
+    const double sum = x + y;
+    if (sum <= 0.0)
+        return 0.5;
+    return x / sum;
+}
+
+std::size_t
+Rng::weighted(const std::vector<double> &weights)
+{
+    pc_assert(!weights.empty(), "weighted() on empty weight vector");
+    double total = 0.0;
+    for (double w : weights) {
+        pc_assert(w >= 0.0, "weighted() needs non-negative weights");
+        total += w;
+    }
+    pc_assert(total > 0.0, "weighted() needs a positive weight sum");
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        r -= weights[i];
+        if (r <= 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd2b74407b1ce6e93ull);
+}
+
+} // namespace pc

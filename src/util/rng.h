@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * Everything in the repository that draws randomness goes through Rng so
+ * that a single seed reproduces an entire experiment bit-for-bit. The
+ * engine is xoshiro256**, seeded through SplitMix64.
+ */
+
+#ifndef PC_UTIL_RNG_H
+#define PC_UTIL_RNG_H
+
+#include <cmath>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pc {
+
+/**
+ * Small, fast, deterministic PRNG (xoshiro256**).
+ *
+ * Not cryptographic; plenty for workload modelling. Copyable so that
+ * sub-streams can be forked with fork().
+ */
+class Rng
+{
+  public:
+    /** Seed through SplitMix64 so any 64-bit seed gives a good state. */
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    u64 next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    u64 below(u64 n);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    i64 range(i64 lo, i64 hi);
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p);
+
+    /** Exponentially distributed value with the given mean. */
+    double exponential(double mean);
+
+    /** Standard normal via Box-Muller (no cached spare; stateless). */
+    double normal(double mean = 0.0, double stddev = 1.0);
+
+    /** Log-normal with the given underlying normal parameters. */
+    double logNormal(double mu, double sigma);
+
+    /**
+     * Gamma(shape, scale) via Marsaglia-Tsang; used to build Beta draws.
+     * @pre shape > 0, scale > 0.
+     */
+    double gamma(double shape, double scale = 1.0);
+
+    /**
+     * Beta(a, b) distributed value in (0, 1). Used for per-user repeat
+     * probabilities (Figure 5 calibration).
+     */
+    double beta(double a, double b);
+
+    /** Pick an index proportionally to non-negative weights. */
+    std::size_t weighted(const std::vector<double> &weights);
+
+    /** Fork an independent, deterministic sub-stream. */
+    Rng fork();
+
+    /** Fisher-Yates shuffle of an arbitrary sequence. */
+    template <typename Seq>
+    void
+    shuffle(Seq &seq)
+    {
+        if (seq.size() < 2)
+            return;
+        for (std::size_t i = seq.size() - 1; i > 0; --i) {
+            std::size_t j = std::size_t(below(i + 1));
+            using std::swap;
+            swap(seq[i], seq[j]);
+        }
+    }
+
+  private:
+    u64 s_[4];
+};
+
+} // namespace pc
+
+#endif // PC_UTIL_RNG_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fundamental integer aliases and simulated-time / size types shared by
+ * every module in the pocket-cloudlets codebase.
+ */
+
+#ifndef PC_UTIL_TYPES_H
+#define PC_UTIL_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pc {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/**
+ * Simulated time, in nanoseconds. All device/radio/flash models advance a
+ * SimTime; wall-clock time never leaks into simulation results.
+ */
+using SimTime = i64;
+
+/** One microsecond in SimTime units. */
+inline constexpr SimTime kMicrosecond = 1'000;
+/** One millisecond in SimTime units. */
+inline constexpr SimTime kMillisecond = 1'000'000;
+/** One second in SimTime units. */
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+/** Convert SimTime to floating-point seconds (for reporting only). */
+constexpr double toSeconds(SimTime t) { return double(t) / double(kSecond); }
+/** Convert SimTime to floating-point milliseconds (for reporting only). */
+constexpr double toMillis(SimTime t) { return double(t) / double(kMillisecond); }
+/** Convert floating-point seconds to SimTime. */
+constexpr SimTime fromSeconds(double s) { return SimTime(s * double(kSecond)); }
+/** Convert floating-point milliseconds to SimTime. */
+constexpr SimTime fromMillis(double ms) { return SimTime(ms * double(kMillisecond)); }
+
+/** Storage sizes, in bytes. */
+using Bytes = u64;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/** Energy, in microjoules. Power integration uses mW * ms == uJ. */
+using MicroJoules = double;
+
+/** Power, in milliwatts. */
+using MilliWatts = double;
+
+/**
+ * Integrate power over a simulated interval.
+ *
+ * @param mw Constant power over the interval, in milliwatts.
+ * @param dt Interval length.
+ * @return Energy consumed, in microjoules.
+ */
+constexpr MicroJoules
+energyOver(MilliWatts mw, SimTime dt)
+{
+    // mW * ns = pJ; 1 uJ = 1e6 pJ.
+    return mw * double(dt) / 1e6;
+}
+
+} // namespace pc
+
+#endif // PC_UTIL_TYPES_H

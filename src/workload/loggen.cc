@@ -1,0 +1,48 @@
+#include "workload/loggen.h"
+
+namespace pc::workload {
+
+LogGenerator::LogGenerator(const QueryUniverse &universe,
+                           const PopulationConfig &pop,
+                           const LogGenConfig &cfg)
+    : universe_(universe), cfg_(cfg), nextMonthStart_(cfg.monthStart)
+{
+    PopulationSampler sampler(pop);
+    profiles_ = sampler.samplePopulation(cfg_.numUsers);
+    streams_.reserve(profiles_.size());
+    Rng seeder(cfg_.seed);
+    for (const auto &p : profiles_)
+        streams_.emplace_back(universe_, p, seeder.next());
+}
+
+SearchLog
+LogGenerator::generateMonth()
+{
+    // Advance the trend epoch: each generated month sees slightly
+    // rotated non-navigational popularity.
+    for (auto &stream : streams_)
+        stream.setEpoch(monthIndex_);
+    SearchLog log(universe_);
+    std::size_t total = 0;
+    for (const auto &p : profiles_)
+        total += p.monthlyVolume;
+    log.reserve(total);
+
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+        auto events = streams_[i].month(nextMonthStart_);
+        for (const auto &ev : events) {
+            LogRecord rec;
+            rec.user = profiles_[i].id;
+            rec.time = ev.time;
+            rec.pair = ev.pair;
+            rec.device = profiles_[i].device;
+            log.add(rec);
+        }
+    }
+    nextMonthStart_ += kMonth;
+    ++monthIndex_;
+    log.sortByTime();
+    return log;
+}
+
+} // namespace pc::workload

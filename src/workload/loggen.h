@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Community search-log generation.
+ *
+ * Produces month-long logs for a whole population — the synthetic
+ * counterpart of the paper's 200M-query m.bing.com dataset (scaled
+ * down). Community logs feed cache content generation and the log
+ * analysis; disjoint per-user streams of a *following* month feed the
+ * hit-rate replay, mirroring the paper's "cache built from the preceding
+ * month, replayed on the next, non-overlapping" methodology.
+ */
+
+#ifndef PC_WORKLOAD_LOGGEN_H
+#define PC_WORKLOAD_LOGGEN_H
+
+#include <vector>
+
+#include "workload/population.h"
+#include "workload/searchlog.h"
+#include "workload/stream.h"
+
+namespace pc::workload {
+
+/** Community log shape. */
+struct LogGenConfig
+{
+    u64 seed = 1234;
+    std::size_t numUsers = 20'000; ///< Community population size.
+    SimTime monthStart = 0;        ///< Window start time.
+};
+
+/**
+ * Generates community logs from a sampled population.
+ */
+class LogGenerator
+{
+  public:
+    /**
+     * @param universe Popularity model; must outlive the generator.
+     * @param pop Population knobs.
+     * @param cfg Log shape.
+     */
+    LogGenerator(const QueryUniverse &universe,
+                 const PopulationConfig &pop, const LogGenConfig &cfg);
+
+    /**
+     * Generate one month of community traffic. Users persist inside the
+     * generator, so consecutive calls produce consecutive months with
+     * continuous personal histories (repeats carry over).
+     */
+    SearchLog generateMonth();
+
+    /** The sampled community population. */
+    const std::vector<UserProfile> &population() const { return profiles_; }
+
+  private:
+    const QueryUniverse &universe_;
+    LogGenConfig cfg_;
+    std::vector<UserProfile> profiles_;
+    std::vector<UserStream> streams_;
+    SimTime nextMonthStart_;
+    u32 monthIndex_ = 0;
+};
+
+} // namespace pc::workload
+
+#endif // PC_WORKLOAD_LOGGEN_H

@@ -1,0 +1,129 @@
+#include "workload/population.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pc::workload {
+
+std::string
+userClassName(UserClass c)
+{
+    switch (c) {
+      case UserClass::Low:
+        return "Low Volume";
+      case UserClass::Medium:
+        return "Medium Volume";
+      case UserClass::High:
+        return "High Volume";
+      case UserClass::Extreme:
+        return "Extreme Volume";
+    }
+    return "?";
+}
+
+const std::vector<ClassSpec> &
+table6Classes()
+{
+    // Table 6, verbatim; the Extreme class's open upper bound is capped
+    // at 1400 so volumes can be sampled.
+    static const std::vector<ClassSpec> specs = {
+        {UserClass::Low, 20, 40, 0.55},
+        {UserClass::Medium, 40, 140, 0.36},
+        {UserClass::High, 140, 460, 0.08},
+        {UserClass::Extreme, 460, 1400, 0.01},
+    };
+    return specs;
+}
+
+UserClass
+classForVolume(u32 v)
+{
+    if (v >= 460)
+        return UserClass::Extreme;
+    if (v >= 140)
+        return UserClass::High;
+    if (v >= 40)
+        return UserClass::Medium;
+    return UserClass::Low;
+}
+
+PopulationSampler::PopulationSampler(const PopulationConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+}
+
+u32
+PopulationSampler::sampleVolume(Rng &rng, const ClassSpec &spec)
+{
+    // Log-uniform within the class range: within a class, lighter users
+    // are still more common than heavier ones.
+    const double lo = std::log(double(spec.minMonthly));
+    const double hi = std::log(double(spec.maxMonthly));
+    const double v = std::exp(rng.uniform(lo, hi));
+    u32 vol = u32(v);
+    if (vol < spec.minMonthly)
+        vol = spec.minMonthly;
+    if (vol >= spec.maxMonthly)
+        vol = spec.maxMonthly - 1;
+    return vol;
+}
+
+double
+PopulationSampler::sampleNewRate(Rng &rng, UserClass cls)
+{
+    double base;
+    if (rng.chance(cfg_.lowNewShare))
+        base = rng.uniform(cfg_.lowNewMin, cfg_.lowNewMax);
+    else
+        base = rng.uniform(cfg_.highNewMin, cfg_.highNewMax);
+    base -= cfg_.classNewRateShift[int(cls)];
+    if (base < 0.02)
+        base = 0.02;
+    if (base > 0.98)
+        base = 0.98;
+    return base;
+}
+
+UserProfile
+PopulationSampler::sampleUser(Rng &rng)
+{
+    const auto &specs = table6Classes();
+    std::vector<double> weights;
+    weights.reserve(specs.size());
+    for (const auto &s : specs)
+        weights.push_back(s.populationShare);
+    const auto idx = rng.weighted(weights);
+    return sampleUserOfClass(rng, specs[idx].cls);
+}
+
+UserProfile
+PopulationSampler::sampleUserOfClass(Rng &rng, UserClass cls)
+{
+    const ClassSpec &spec = table6Classes().at(std::size_t(cls));
+    UserProfile u;
+    u.id = nextId_++;
+    u.cls = cls;
+    u.device = rng.chance(cfg_.featurephoneShare)
+        ? DeviceType::Featurephone : DeviceType::Smartphone;
+    u.monthlyVolume = sampleVolume(rng, spec);
+    u.newRate = sampleNewRate(rng, cls);
+    u.repeatSkew = 0.7;
+    u.favoritesBias = 0.92;
+    // Heavier users have a few more habits.
+    u.hotSetSize = 4 + std::min<u32>(u.monthlyVolume / 60, 12);
+    return u;
+}
+
+std::vector<UserProfile>
+PopulationSampler::samplePopulation(std::size_t n)
+{
+    std::vector<UserProfile> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(sampleUser(rng_));
+    return out;
+}
+
+} // namespace pc::workload

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * User population model (Table 6 of the paper).
+ *
+ * Mobile searchers fall into four monthly-volume classes — Low [20,40),
+ * Medium [40,140), High [140,460), Extreme [460,∞) — with population
+ * shares 55/36/8/1%. Each user additionally carries a device type and a
+ * personal repeat behaviour: the probability that a submitted query is
+ * brand new rather than a re-issue of an earlier (query, result) pair.
+ * Figure 5 of the paper pins that distribution: ~50% of users submit a
+ * new query at most 30% of the time, and the mean repeat rate is 56.5%.
+ * Heavier users repeat more (Section 6.2.1).
+ */
+
+#ifndef PC_WORKLOAD_POPULATION_H
+#define PC_WORKLOAD_POPULATION_H
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/universe.h"
+
+namespace pc::workload {
+
+/** Monthly-query-volume classes of Table 6. */
+enum class UserClass
+{
+    Low,
+    Medium,
+    High,
+    Extreme,
+};
+
+/** Display name ("Low Volume" etc.). */
+std::string userClassName(UserClass c);
+
+/** Static description of one Table 6 row. */
+struct ClassSpec
+{
+    UserClass cls;
+    u32 minMonthly;      ///< Inclusive lower bound of monthly volume.
+    u32 maxMonthly;      ///< Exclusive upper bound.
+    double populationShare; ///< Fraction of users in this class.
+};
+
+/** The four rows of Table 6 (Extreme capped at 1400 for sampling). */
+const std::vector<ClassSpec> &table6Classes();
+
+/** Behavioural parameters of one synthetic user. */
+struct UserProfile
+{
+    u64 id = 0;
+    UserClass cls = UserClass::Low;
+    DeviceType device = DeviceType::Smartphone;
+    u32 monthlyVolume = 20;  ///< Queries this user submits per month.
+    double newRate = 0.4;    ///< P(event is a fresh community draw).
+    double repeatSkew = 1.3; ///< Rich-get-richer exponent on re-picks.
+    double favoritesBias = 0.55; ///< Share of repeats going to the hot set.
+    u32 hotSetSize = 6;      ///< Habitual pairs ("couple of tens" max).
+};
+
+/** Population-level knobs. */
+struct PopulationConfig
+{
+    u64 seed = 7;
+    /** Fraction of users on featurephones (2009-era mix). */
+    double featurephoneShare = 0.5;
+    /**
+     * Mixture describing the per-user new-query rate: with probability
+     * `lowNewShare` the user is a habitual repeater with newRate in
+     * [lowNewMin, lowNewMax); otherwise newRate is in
+     * [highNewMin, highNewMax). Calibrated to Figure 5.
+     */
+    double lowNewShare = 0.55;
+    double lowNewMin = 0.03, lowNewMax = 0.22;
+    double highNewMin = 0.28, highNewMax = 1.00;
+    /** newRate reduction per class (heavier users repeat more). */
+    double classNewRateShift[4] = {0.0, 0.01, 0.03, 0.05};
+};
+
+/**
+ * Samples user profiles matching Table 6 and Figure 5.
+ */
+class PopulationSampler
+{
+  public:
+    explicit PopulationSampler(const PopulationConfig &cfg);
+
+    /** Draw one user (class sampled from the Table 6 shares). */
+    UserProfile sampleUser(Rng &rng);
+
+    /** Draw one user of a forced class (for per-class experiments). */
+    UserProfile sampleUserOfClass(Rng &rng, UserClass cls);
+
+    /** Draw a whole population. */
+    std::vector<UserProfile> samplePopulation(std::size_t n);
+
+    /** Configuration. */
+    const PopulationConfig &config() const { return cfg_; }
+
+  private:
+    u32 sampleVolume(Rng &rng, const ClassSpec &spec);
+    double sampleNewRate(Rng &rng, UserClass cls);
+
+    PopulationConfig cfg_;
+    Rng rng_;
+    u64 nextId_ = 1;
+};
+
+/** Class a given monthly volume falls into; volumes <20 map to Low. */
+UserClass classForVolume(u32 monthly_volume);
+
+} // namespace pc::workload
+
+#endif // PC_WORKLOAD_POPULATION_H

@@ -1,0 +1,369 @@
+#include "workload/universe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/strings.h"
+#include "workload/vocab.h"
+
+namespace pc::workload {
+
+QueryUniverse::QueryUniverse(const UniverseConfig &cfg)
+    : cfg_(cfg),
+      navSkew_(solveZipfExponent(cfg.navResults, cfg.navHead,
+                                 cfg.navHeadShare)),
+      nonNavSkew_(solveZipfExponent(cfg.nonNavResults, cfg.nonNavHead,
+                                    cfg.nonNavHeadShare)),
+      navZipf_(cfg.navResults, navSkew_),
+      nonNavZipf_(cfg.nonNavResults, nonNavSkew_),
+      navZipfFp_(cfg.navResults, navSkew_ + cfg.featurephoneSkewBoost),
+      nonNavZipfFp_(cfg.nonNavResults,
+                    nonNavSkew_ + cfg.featurephoneSkewBoost)
+{
+    pc_assert(cfg_.navResults > 0 && cfg_.nonNavResults > 0,
+              "universe needs both result pools");
+    pc_assert(cfg_.navVolumeShare > 0.0 && cfg_.navVolumeShare < 1.0,
+              "navVolumeShare must be in (0,1)");
+    Rng rng(cfg_.seed);
+    buildResults();
+    buildQueriesAndAliases(rng);
+}
+
+void
+QueryUniverse::buildResults()
+{
+    results_.reserve(u64(cfg_.navResults) + cfg_.nonNavResults);
+    // Navigational pool first: ids [0, navResults). Popularity rank ==
+    // id within the pool.
+    for (u32 i = 0; i < cfg_.navResults; ++i) {
+        ResultInfo r;
+        const std::string domain = Vocabulary::domainToken(i);
+        r.url = "www." + domain + ".com";
+        r.title = domain;
+        r.description = "Official site of " + domain + ".";
+        r.navigational = true;
+        r.poolRank = i;
+        results_.push_back(std::move(r));
+    }
+    // Non-navigational pool: ids [navResults, navResults+nonNavResults).
+    for (u32 i = 0; i < cfg_.nonNavResults; ++i) {
+        ResultInfo r;
+        const std::string site = Vocabulary::domainToken(
+            u64(i) + 0x100000000ull);
+        const std::string page = Vocabulary::word(u64(i) * 3 + 1);
+        r.url = "www." + site + ".com/" + page;
+        r.title = page + " - " + site;
+        r.description = "Information about " + page + " on " + site + ".";
+        r.navigational = false;
+        r.poolRank = i;
+        results_.push_back(std::move(r));
+    }
+}
+
+void
+QueryUniverse::buildQueriesAndAliases(Rng &rng)
+{
+    queries_.reserve(results_.size() * 3 / 2);
+
+    auto addQuery = [&](std::string text, u32 result_id,
+                        double weight) -> u32 {
+        QueryInfo q;
+        q.text = std::move(text);
+        q.results.emplace_back(result_id, 1.0);
+        queries_.push_back(std::move(q));
+        const u32 qid = u32(queries_.size() - 1);
+        results_[result_id].queries.emplace_back(qid, weight);
+        return qid;
+    };
+
+    // Pass 1: canonical query + aliases for every result.
+    for (u32 rid = 0; rid < results_.size(); ++rid) {
+        ResultInfo &r = results_[rid];
+        std::string canonical;
+        if (r.navigational) {
+            // Query string is a substring of the URL by construction:
+            // exactly the paper's navigational-query definition.
+            canonical = r.title;
+        } else {
+            canonical = Vocabulary::topicPhrase(rid * 7 + 3, 9'000);
+            // Very rarely the phrase could coincide with part of the
+            // URL; force non-navigational by appending a word.
+            if (contains(r.url, canonical))
+                canonical += " facts";
+        }
+
+        // Aliases: Poisson-ish count with the configured mean, heavier
+        // for popular results (they attract more variant spellings).
+        u32 aliases = 0;
+        double expected = cfg_.meanAliases;
+        // First ~5% of each pool gets twice the alias rate.
+        const u32 pool_rank = r.navigational ? rid : rid - cfg_.navResults;
+        const u32 pool_size =
+            r.navigational ? cfg_.navResults : cfg_.nonNavResults;
+        if (pool_rank < pool_size / 20)
+            expected *= 2.7;
+        while (expected > 0.0) {
+            if (rng.chance(std::min(expected, 1.0)))
+                ++aliases;
+            expected -= 1.0;
+        }
+
+        const double alias_total = 1.0 - cfg_.canonicalWeight;
+        const double canonical_w =
+            aliases == 0 ? 1.0 : cfg_.canonicalWeight;
+        addQuery(canonical, rid, canonical_w);
+        std::vector<std::string> used = {canonical};
+        for (u32 a = 0; a < aliases; ++a) {
+            const AliasKind kind = rng.chance(0.6)
+                ? AliasKind::Misspelling : AliasKind::Shortcut;
+            // Salts can collide on short words (few corruption sites);
+            // retry until the alias is distinct from earlier ones.
+            std::string alias;
+            for (u64 salt = a + 1;; salt += 17) {
+                alias = makeAlias(canonical, kind, salt);
+                if (std::find(used.begin(), used.end(), alias) ==
+                    used.end())
+                    break;
+                if (salt > a + 1 + 17 * 8) {
+                    alias += char('a' + char(a % 26));
+                    break;
+                }
+            }
+            used.push_back(alias);
+            addQuery(std::move(alias), rid, alias_total / aliases);
+        }
+    }
+
+    // Pass 2: shared queries — non-nav canonical queries that also map
+    // to a second non-nav result (Table 3's "michael jackson" clicking
+    // through to both imdb and azlyrics). Head queries split clicks far
+    // more often than tail ones, which is what makes two-result hash
+    // entries pay off (Figure 11).
+    for (u32 rid = cfg_.navResults; rid < results_.size(); ++rid) {
+        const u32 pool_rank = rid - cfg_.navResults;
+        const bool head = pool_rank < cfg_.nonNavResults / 20;
+        const double prob =
+            head ? cfg_.sharedHeadProb : cfg_.sharedQueryProb;
+        if (!rng.chance(prob))
+            continue;
+        // The canonical query of result rid also clicks through to
+        // another non-nav result of similar popularity ("michael
+        // jackson" -> both imdb and azlyrics are popular). Head queries
+        // pair with nearby head results so both pairs are cacheable.
+        const auto &[qid, qw] = results_[rid].queries.front();
+        (void)qw;
+        const u32 span = head
+            ? std::max<u32>(cfg_.nonNavResults / 100, 2)
+            : std::max<u32>(cfg_.nonNavResults / 10, 2);
+        u32 other = cfg_.navResults +
+            u32((u64(pool_rank) + 1 + rng.below(span)) %
+                cfg_.nonNavResults);
+        if (other == rid)
+            continue;
+        // Secondary mapping carries a modest share of the other
+        // result's volume and of the query's clicks.
+        queries_[qid].results.emplace_back(other, 0.95);
+        results_[other].queries.emplace_back(qid, 0.25);
+        // Aliases of rid see the same corrected results page, so they
+        // split clicks across the same two results.
+        for (const auto &[aq, aw] : results_[rid].queries) {
+            (void)aw;
+            if (aq != qid && queries_[aq].results.size() == 1 &&
+                queries_[aq].results.front().first == rid) {
+                queries_[aq].results.emplace_back(other, 0.95);
+                results_[other].queries.emplace_back(aq, 0.05);
+            }
+        }
+    }
+
+    // Pass 3: head navigational queries split their clicks between the
+    // main site and a companion destination (the mobile variant):
+    // "facebook" -> www.facebook.com and m.facebook.com. Companions are
+    // appended outside the rank-sampled pools and only receive clicks
+    // through query redistribution.
+    const u32 nav_head = std::min(cfg_.navResults,
+                                  u32(cfg_.navResults / 20));
+    for (u32 rid = 0; rid < nav_head; ++rid) {
+        if (!rng.chance(cfg_.navSharedHeadProb))
+            continue;
+        const auto &[qid, qw] = results_[rid].queries.front();
+        (void)qw;
+        ResultInfo companion;
+        const std::string &domain = results_[rid].title;
+        companion.url = "m." + domain + ".com";
+        companion.title = domain + " mobile";
+        companion.description = "Mobile site of " + domain + ".";
+        companion.navigational = true; // query is a URL substring
+        companion.poolRank = kNoPoolRank;
+        companion.queries.emplace_back(qid, 1.0);
+        results_.push_back(std::move(companion));
+        const u32 cid = u32(results_.size() - 1);
+        queries_[qid].results.emplace_back(cid, 0.95);
+        // Aliases of the main site split across both destinations too.
+        for (const auto &[aq, aw] : results_[rid].queries) {
+            (void)aw;
+            if (aq != qid && queries_[aq].results.size() == 1 &&
+                queries_[aq].results.front().first == rid) {
+                queries_[aq].results.emplace_back(cid, 0.95);
+                results_[cid].queries.emplace_back(aq, 0.10);
+            }
+        }
+    }
+}
+
+bool
+QueryUniverse::isNavigationalPair(const PairRef &p) const
+{
+    return contains(results_.at(p.result).url, queries_.at(p.query).text);
+}
+
+u32
+QueryUniverse::pickQueryOf(const ResultInfo &r, u32 result_id,
+                           Rng &rng) const
+{
+    (void)result_id;
+    pc_assert(!r.queries.empty(), "result with no queries");
+    if (r.queries.size() == 1)
+        return r.queries.front().first;
+    double total = 0.0;
+    for (const auto &[qid, w] : r.queries)
+        total += w;
+    double x = rng.uniform() * total;
+    for (const auto &[qid, w] : r.queries) {
+        x -= w;
+        if (x <= 0.0)
+            return qid;
+    }
+    return r.queries.back().first;
+}
+
+u32
+QueryUniverse::pickResultOf(const QueryInfo &q, Rng &rng) const
+{
+    // A query's clicks split across the results on its page ("michael
+    // jackson" -> imdb or azlyrics), by the query's result weights.
+    if (q.results.size() == 1)
+        return q.results.front().first;
+    double total = 0.0;
+    for (const auto &[rid, w] : q.results)
+        total += w;
+    double x = rng.uniform() * total;
+    for (const auto &[rid, w] : q.results) {
+        x -= w;
+        if (x <= 0.0)
+            return rid;
+    }
+    return q.results.back().first;
+}
+
+PairRef
+QueryUniverse::samplePair(Rng &rng, DeviceType device, u32 epoch) const
+{
+    const bool nav = rng.chance(cfg_.navVolumeShare);
+    u32 rid;
+    if (device == DeviceType::Featurephone) {
+        rid = nav ? navId(navZipfFp_.sample(rng))
+                  : nonNavId(nonNavZipfFp_.sample(rng), epoch);
+    } else {
+        rid = nav ? navId(navZipf_.sample(rng))
+                  : nonNavId(nonNavZipf_.sample(rng), epoch);
+    }
+    const u32 qid = pickQueryOf(results_[rid], rid, rng);
+    return PairRef{qid, pickResultOf(queries_[qid], rng)};
+}
+
+PairRef
+QueryUniverse::samplePairHabitual(Rng &rng, DeviceType device,
+                                  double nav_share, u32 epoch) const
+{
+    // With probability mainstreamShare the habit is a mainstream
+    // destination: the pool's Zipf conditioned on its mainstream head.
+    // Otherwise it is a personal oddity from the full distribution.
+    if (!rng.chance(cfg_.mainstreamShare))
+        return samplePair(rng, device, epoch);
+
+    if (nav_share < 0.0)
+        nav_share = cfg_.habitNavShare;
+    const bool nav = rng.chance(nav_share);
+    const ZipfSampler &z = (device == DeviceType::Featurephone)
+        ? (nav ? navZipfFp_ : nonNavZipfFp_)
+        : (nav ? navZipf_ : nonNavZipf_);
+    const u64 head = std::min<u64>(
+        nav ? cfg_.habitNavHead : cfg_.habitNonNavHead, z.size());
+    // Rejection-sample the conditional head distribution; the head
+    // carries a large share of the mass, so this terminates quickly.
+    u64 rank = z.sample(rng);
+    for (int t = 0; t < 64 && rank >= head; ++t)
+        rank = z.sample(rng);
+    if (rank >= head)
+        rank = rank % head;
+    const u32 rid = nav ? navId(rank) : nonNavId(rank, epoch);
+    // Routine queries are well-practiced: usually the canonical string.
+    u32 qid;
+    if (rng.chance(cfg_.habitCanonicalBias))
+        qid = results_[rid].queries.front().first;
+    else
+        qid = pickQueryOf(results_[rid], rid, rng);
+    return PairRef{qid, pickResultOf(queries_[qid], rng)};
+}
+
+double
+QueryUniverse::pairProbability(const PairRef &p) const
+{
+    // P(pair) = P(pick query) * P(final result | query): the clicked
+    // result is redistributed among the query's results, so the final
+    // factor is independent of which result was popularity-sampled.
+    const QueryInfo &q = queries_.at(p.query);
+
+    auto resultProb = [&](u32 rid) {
+        const ResultInfo &r = results_.at(rid);
+        if (r.poolRank == kNoPoolRank)
+            return 0.0; // companions are never rank-sampled
+        const bool nav = r.navigational;
+        const double pool_share =
+            nav ? cfg_.navVolumeShare : 1.0 - cfg_.navVolumeShare;
+        return pool_share * (nav ? navZipf_.pmf(r.poolRank)
+                                 : nonNavZipf_.pmf(r.poolRank));
+    };
+
+    // P(pick query q) over all results q is attached to.
+    double p_query = 0.0;
+    for (const auto &[rid, w] : q.results) {
+        (void)w;
+        const ResultInfo &r = results_.at(rid);
+        double total = 0.0, mine = 0.0;
+        for (const auto &[qid, qw] : r.queries) {
+            total += qw;
+            if (qid == p.query)
+                mine += qw;
+        }
+        if (total > 0.0)
+            p_query += resultProb(rid) * (mine / total);
+    }
+
+    // P(final result | query).
+    double total_w = 0.0, final_w = 0.0;
+    for (const auto &[rid, w] : q.results) {
+        total_w += w;
+        if (rid == p.result)
+            final_w += w;
+    }
+    if (total_w <= 0.0)
+        return 0.0;
+    return p_query * (final_w / total_w);
+}
+
+Bytes
+QueryUniverse::recordSize(const ResultInfo &r)
+{
+    // Record layout in the on-phone DB: title, description, URL, plus a
+    // little framing — the paper quotes ~500 bytes on average. Synthetic
+    // strings are shorter than real snippets, so pad to a realistic
+    // minimum.
+    const Bytes raw = r.title.size() + r.description.size() +
+                      r.url.size() + 16;
+    return std::max<Bytes>(raw, 480);
+}
+
+} // namespace pc::workload

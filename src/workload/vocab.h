@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic synthetic vocabulary for queries and URLs.
+ *
+ * We cannot ship m.bing.com's real query strings, so the workload
+ * generator synthesizes pronounceable words: domain names for
+ * navigational targets ("youtube"-like), topic words for
+ * non-navigational phrases ("michael jackson"-like), and realistic
+ * misspellings/shortcuts of both (the paper's "yotube"/"boa" effect,
+ * Section 4.1).
+ */
+
+#ifndef PC_WORKLOAD_VOCAB_H
+#define PC_WORKLOAD_VOCAB_H
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace pc::workload {
+
+/**
+ * Deterministic word factory. Word i is always the same string for a
+ * given style, so universes are reproducible without storing dictionaries.
+ */
+class Vocabulary
+{
+  public:
+    /** Pronounceable word, 2-4 syllables, uniquely determined by `index`. */
+    static std::string word(u64 index);
+
+    /** Domain-style token (word + optional short suffix). */
+    static std::string domainToken(u64 index);
+
+    /** 1-3 word topic phrase determined by `index` over a word pool. */
+    static std::string topicPhrase(u64 index, u64 pool_size);
+};
+
+/** Kinds of query corruption observed in mobile logs (Section 4.1). */
+enum class AliasKind
+{
+    Misspelling, ///< e.g. "yotube" for "youtube" (dropped/swapped char).
+    Shortcut,    ///< e.g. "boa" for "bank of america" (initials/prefix).
+};
+
+/**
+ * Produce a deterministic alias of a query string.
+ *
+ * @param canonical The well-spelled query.
+ * @param kind Corruption style.
+ * @param salt Varies the corruption so one query can have several aliases.
+ * @return The alias; falls back to a prefix if the string is too short to
+ *         corrupt in the requested style.
+ */
+std::string makeAlias(const std::string &canonical, AliasKind kind,
+                      u64 salt);
+
+} // namespace pc::workload
+
+#endif // PC_WORKLOAD_VOCAB_H

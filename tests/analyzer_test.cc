@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the log analyzer (Figures 4, 5; Table 6 census).
+ */
+
+#include <gtest/gtest.h>
+
+#include "logs/analyzer.h"
+
+namespace pc::logs {
+namespace {
+
+workload::UniverseConfig
+tinyUniverse()
+{
+    workload::UniverseConfig cfg;
+    cfg.navResults = 100;
+    cfg.nonNavResults = 400;
+    cfg.navHead = 20;
+    cfg.nonNavHead = 20;
+    cfg.habitNavHead = 10;
+    cfg.habitNonNavHead = 10;
+    return cfg;
+}
+
+class AnalyzerTest : public ::testing::Test
+{
+  protected:
+    AnalyzerTest() : uni_(tinyUniverse()), log_(uni_) {}
+
+    void
+    add(u64 user, SimTime t, u32 query, u32 result,
+        workload::DeviceType dev = workload::DeviceType::Smartphone)
+    {
+        log_.add({user, t, {query, result}, dev});
+    }
+
+    /** Canonical query id of a result. */
+    u32 canon(u32 result) { return uni_.result(result).queries.front().first; }
+
+    workload::QueryUniverse uni_;
+    workload::SearchLog log_;
+};
+
+TEST_F(AnalyzerTest, QueryPopularityCountsVolumes)
+{
+    add(1, 0, 5, 10);
+    add(1, 1, 5, 10);
+    add(2, 2, 6, 11);
+    LogAnalyzer an(log_);
+    const auto pop = an.queryPopularity();
+    EXPECT_EQ(pop.distinctItems(), 2u);
+    EXPECT_DOUBLE_EQ(pop.shareOfTop(1), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(pop.shareOfTop(2), 1.0);
+}
+
+TEST_F(AnalyzerTest, ResultPopularityMergesQueries)
+{
+    // Two different queries clicking the same result: result curve sees
+    // one item with volume 2 (the paper's misspelling effect).
+    add(1, 0, 5, 10);
+    add(1, 1, 6, 10);
+    LogAnalyzer an(log_);
+    EXPECT_EQ(an.queryPopularity().distinctItems(), 2u);
+    EXPECT_EQ(an.resultPopularity().distinctItems(), 1u);
+}
+
+TEST_F(AnalyzerTest, NavigationalFilter)
+{
+    const u32 nav_r = 0;          // nav pool
+    const u32 nonnav_r = 150;     // non-nav pool
+    add(1, 0, canon(nav_r), nav_r);
+    add(1, 1, canon(nonnav_r), nonnav_r);
+    LogAnalyzer an(log_);
+    RecordFilter nav_f;
+    nav_f.navigational = true;
+    RecordFilter nonnav_f;
+    nonnav_f.navigational = false;
+    EXPECT_EQ(an.queryPopularity(nav_f).distinctItems(), 1u);
+    EXPECT_EQ(an.queryPopularity(nonnav_f).distinctItems(), 1u);
+}
+
+TEST_F(AnalyzerTest, DeviceFilter)
+{
+    add(1, 0, 5, 10, workload::DeviceType::Featurephone);
+    add(2, 1, 6, 11, workload::DeviceType::Smartphone);
+    LogAnalyzer an(log_);
+    RecordFilter fp;
+    fp.device = workload::DeviceType::Featurephone;
+    EXPECT_EQ(an.queryPopularity(fp).distinctItems(), 1u);
+}
+
+TEST_F(AnalyzerTest, RepeatabilityExactOnCraftedSequence)
+{
+    // User 1: pairs A B A A B -> 2 new of 5 events (newRate 0.4).
+    add(1, 0, 5, 10);
+    add(1, 1, 6, 11);
+    add(1, 2, 5, 10);
+    add(1, 3, 5, 10);
+    add(1, 4, 6, 11);
+    LogAnalyzer an(log_);
+    const auto stats = an.userRepeatability(/*min_events=*/1);
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].events, 5u);
+    EXPECT_EQ(stats[0].newPairs, 2u);
+    EXPECT_DOUBLE_EQ(stats[0].newRate(), 0.4);
+    EXPECT_DOUBLE_EQ(stats[0].repeatRate(), 0.6);
+    EXPECT_DOUBLE_EQ(an.meanRepeatRate(1), 0.6);
+}
+
+TEST_F(AnalyzerTest, SameQueryDifferentClickIsNotARepeat)
+{
+    // The paper: repeated only if same query AND same clicked result.
+    add(1, 0, 5, 10);
+    add(1, 1, 5, 11);
+    LogAnalyzer an(log_);
+    const auto stats = an.userRepeatability(1);
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].newPairs, 2u);
+}
+
+TEST_F(AnalyzerTest, MinEventsFiltersLightUsers)
+{
+    for (int i = 0; i < 25; ++i)
+        add(1, i, 5, 10);
+    for (int i = 0; i < 5; ++i)
+        add(2, i, 6, 11);
+    LogAnalyzer an(log_);
+    const auto stats = an.userRepeatability(20);
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].user, 1u);
+}
+
+TEST_F(AnalyzerTest, FractionUsersNewRateAtMost)
+{
+    // User 1: newRate 1/3; user 2: newRate 1.0.
+    add(1, 0, 5, 10);
+    add(1, 1, 5, 10);
+    add(1, 2, 5, 10);
+    add(2, 0, 6, 11);
+    add(2, 1, 7, 12);
+    add(2, 2, 8, 13);
+    LogAnalyzer an(log_);
+    EXPECT_DOUBLE_EQ(an.fractionUsersNewRateAtMost(0.5, 1), 0.5);
+    EXPECT_DOUBLE_EQ(an.fractionUsersNewRateAtMost(1.0, 1), 1.0);
+}
+
+TEST_F(AnalyzerTest, RepeatabilityUsesTimeOrderNotInsertionOrder)
+{
+    // Insert out of order: the repeat at t=0 precedes the "first"
+    // occurrence at t=5 once sorted.
+    add(1, 5, 5, 10);
+    add(1, 0, 5, 10);
+    add(1, 1, 6, 11);
+    LogAnalyzer an(log_);
+    const auto stats = an.userRepeatability(1);
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].newPairs, 2u) << "one repeat among three events";
+}
+
+TEST_F(AnalyzerTest, ClassCensus)
+{
+    for (int i = 0; i < 25; ++i)
+        add(1, i, 5, 10); // Low (25)
+    for (int i = 0; i < 200; ++i)
+        add(2, i, 6, 11); // High (200)
+    for (int i = 0; i < 10; ++i)
+        add(3, i, 7, 12); // below min_events -> ignored
+    LogAnalyzer an(log_);
+    const auto census = an.classCensus(20);
+    ASSERT_EQ(census.size(), 4u);
+    EXPECT_EQ(census[0].users, 1u); // Low
+    EXPECT_EQ(census[2].users, 1u); // High
+    EXPECT_DOUBLE_EQ(census[0].share, 0.5);
+    EXPECT_DOUBLE_EQ(census[2].share, 0.5);
+}
+
+} // namespace
+} // namespace pc::logs

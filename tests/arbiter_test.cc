@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the OS resource arbiter (Section 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tile_cloudlet.h"
+#include "device/arbiter.h"
+
+namespace pc::device {
+namespace {
+
+pc::nvm::FlashConfig
+deviceConfig()
+{
+    pc::nvm::FlashConfig cfg;
+    cfg.capacity = 1 * kGiB;
+    return cfg;
+}
+
+core::TileCloudletConfig
+tileConfig(const std::string &name, double skew)
+{
+    core::TileCloudletConfig cfg;
+    cfg.name = name;
+    cfg.itemSize = 5 * kKiB;
+    cfg.universeItems = 100'000;
+    cfg.popularitySkew = skew;
+    return cfg;
+}
+
+class ArbiterTest : public ::testing::Test
+{
+  protected:
+    ArbiterTest()
+        : device_(deviceConfig()), store_(device_),
+          hot_(store_, tileConfig("hot", 1.1)),
+          cold_(store_, tileConfig("cold", 1.1))
+    {
+        SimTime t = 0;
+        hot_.fillTop(2000, t);
+        cold_.fillTop(2000, t);
+        arbiter_.attach(hot_);
+        arbiter_.attach(cold_);
+        // The hot cloudlet earns its keep; the cold one sits idle.
+        Rng rng(3);
+        for (int i = 0; i < 500; ++i) {
+            SimTime tt = 0;
+            hot_.access(hot_.sampleAccess(rng), tt);
+        }
+    }
+
+    pc::nvm::FlashDevice device_;
+    pc::simfs::FlashStore store_;
+    core::TileCloudlet hot_;
+    core::TileCloudlet cold_;
+    ResourceArbiter arbiter_;
+};
+
+TEST_F(ArbiterTest, TotalsSumAttachedCloudlets)
+{
+    EXPECT_EQ(arbiter_.totalDataBytes(),
+              hot_.dataBytes() + cold_.dataBytes());
+    EXPECT_EQ(arbiter_.totalIndexBytes(),
+              hot_.indexBytes() + cold_.indexBytes());
+}
+
+TEST_F(ArbiterTest, UnderBudgetIsNoop)
+{
+    const auto r = arbiter_.enforceDataBudget(arbiter_.totalDataBytes());
+    EXPECT_EQ(r.released(), 0u);
+    EXPECT_TRUE(r.actions.empty());
+}
+
+TEST_F(ArbiterTest, ShrinksLowValueCloudletFirst)
+{
+    const Bytes before_hot = hot_.dataBytes();
+    const Bytes total = arbiter_.totalDataBytes();
+    // Reclaim a quarter: the idle 'cold' cloudlet alone can cover it.
+    const auto r = arbiter_.enforceDataBudget(total * 3 / 4);
+    EXPECT_LE(arbiter_.totalDataBytes(), total * 3 / 4);
+    EXPECT_EQ(hot_.dataBytes(), before_hot)
+        << "the productive cloudlet must be untouched";
+    ASSERT_EQ(r.actions.size(), 1u);
+    EXPECT_EQ(r.actions[0].cloudlet, "cold");
+    EXPECT_EQ(r.released(), total / 4);
+}
+
+TEST_F(ArbiterTest, DeepCutReachesTheHotCloudlet)
+{
+    const Bytes total = arbiter_.totalDataBytes();
+    const auto r = arbiter_.enforceDataBudget(total / 10);
+    EXPECT_LE(arbiter_.totalDataBytes(), total / 10 + 5 * kKiB);
+    EXPECT_EQ(r.actions.size(), 2u) << "both cloudlets must shrink";
+    EXPECT_LT(hot_.dataBytes(), total / 2);
+    // Popular heads survive inside each cloudlet.
+    SimTime t = 0;
+    EXPECT_TRUE(hot_.access(0, t));
+}
+
+TEST_F(ArbiterTest, BudgetZeroReleasesEverything)
+{
+    arbiter_.enforceDataBudget(0);
+    EXPECT_EQ(arbiter_.totalDataBytes(), 0u);
+    EXPECT_EQ(hot_.itemsCached(), 0u);
+    EXPECT_EQ(cold_.itemsCached(), 0u);
+}
+
+TEST(ArbiterEdge, EmptyArbiter)
+{
+    ResourceArbiter a;
+    EXPECT_EQ(a.totalDataBytes(), 0u);
+    const auto r = a.enforceDataBudget(0);
+    EXPECT_EQ(r.released(), 0u);
+}
+
+} // namespace
+} // namespace pc::device

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Unit and property tests for the flash file store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "simfs/flash_store.h"
+
+namespace pc::simfs {
+namespace {
+
+pc::nvm::FlashConfig
+deviceConfig()
+{
+    pc::nvm::FlashConfig cfg;
+    cfg.pageSize = 4 * kKiB;
+    cfg.pagesPerBlock = 4;
+    cfg.capacity = 4 * kMiB;
+    return cfg;
+}
+
+class FlashStoreTest : public ::testing::Test
+{
+  protected:
+    FlashStoreTest() : device_(deviceConfig()), store_(device_) {}
+
+    pc::nvm::FlashDevice device_;
+    FlashStore store_;
+};
+
+TEST_F(FlashStoreTest, CreateOpenRoundTrip)
+{
+    const FileId id = store_.create("a.dat");
+    SimTime t = 0;
+    EXPECT_EQ(store_.open("a.dat", t), id);
+    EXPECT_GT(t, 0) << "open must cost metadata time";
+    EXPECT_EQ(store_.open("missing", t), kNoFile);
+    EXPECT_EQ(store_.lookup("a.dat"), id);
+    EXPECT_TRUE(store_.valid(id));
+}
+
+TEST_F(FlashStoreTest, AppendReadRoundTrip)
+{
+    const FileId id = store_.create("f");
+    SimTime t = 0;
+    store_.append(id, "hello ", t);
+    store_.append(id, "world", t);
+    std::string out;
+    const Bytes n = store_.read(id, 0, 100, out, t);
+    EXPECT_EQ(n, 11u);
+    EXPECT_EQ(out, "hello world");
+    EXPECT_EQ(store_.size(id), 11u);
+}
+
+TEST_F(FlashStoreTest, ReadAtOffsetAndClamp)
+{
+    const FileId id = store_.create("f");
+    SimTime t = 0;
+    store_.append(id, "0123456789", t);
+    std::string out;
+    EXPECT_EQ(store_.read(id, 4, 3, out, t), 3u);
+    EXPECT_EQ(out, "456");
+    EXPECT_EQ(store_.read(id, 8, 100, out, t), 2u);
+    EXPECT_EQ(out, "89");
+    EXPECT_EQ(store_.read(id, 20, 5, out, t), 0u);
+    EXPECT_EQ(out, "");
+}
+
+TEST_F(FlashStoreTest, PhysicalSizeIsBlockRounded)
+{
+    const FileId id = store_.create("tiny");
+    SimTime t = 0;
+    store_.append(id, std::string(500, 'x'), t);
+    // The paper's Section 5.2.2 point: a 500-byte file occupies a whole
+    // allocation block.
+    EXPECT_EQ(store_.size(id), 500u);
+    EXPECT_EQ(store_.physicalSize(id), store_.config().allocUnit);
+    const auto stats = store_.stats();
+    EXPECT_EQ(stats.logicalBytes, 500u);
+    EXPECT_EQ(stats.physicalBytes, store_.config().allocUnit);
+    EXPECT_EQ(stats.internalWaste(), store_.config().allocUnit - 500);
+    EXPECT_GT(stats.wasteRatio(), 0.85);
+}
+
+TEST_F(FlashStoreTest, AppendAcrossBlockBoundary)
+{
+    const FileId id = store_.create("big");
+    SimTime t = 0;
+    const std::string chunk(store_.config().allocUnit - 10, 'a');
+    store_.append(id, chunk, t);
+    store_.append(id, std::string(100, 'b'), t);
+    EXPECT_EQ(store_.physicalSize(id), 2 * store_.config().allocUnit);
+    std::string out;
+    store_.read(id, chunk.size(), 100, out, t);
+    EXPECT_EQ(out, std::string(100, 'b'));
+}
+
+TEST_F(FlashStoreTest, TruncateAndWriteReplacesContents)
+{
+    const FileId id = store_.create("f");
+    SimTime t = 0;
+    store_.append(id, "old contents", t);
+    store_.truncateAndWrite(id, "new", t);
+    std::string out;
+    store_.read(id, 0, 100, out, t);
+    EXPECT_EQ(out, "new");
+    EXPECT_EQ(store_.size(id), 3u);
+    EXPECT_GT(device_.blocksErased(), 0u)
+        << "rewrite must charge block erases";
+}
+
+TEST_F(FlashStoreTest, RemoveFreesBlocksForReuse)
+{
+    const FileId id = store_.create("f");
+    SimTime t = 0;
+    store_.append(id, std::string(10000, 'x'), t);
+    const Bytes before = store_.stats().physicalBytes;
+    EXPECT_GT(before, 0u);
+    store_.remove(id);
+    EXPECT_FALSE(store_.valid(id));
+    EXPECT_EQ(store_.stats().physicalBytes, 0u);
+    EXPECT_EQ(store_.lookup("f"), kNoFile);
+    // The name can be recreated and blocks get reused.
+    const FileId id2 = store_.create("f");
+    store_.append(id2, "y", t);
+    EXPECT_TRUE(store_.valid(id2));
+}
+
+TEST_F(FlashStoreTest, ListFilesSorted)
+{
+    store_.create("b");
+    store_.create("a");
+    store_.create("c");
+    const auto names = store_.listFiles();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "a");
+    EXPECT_EQ(names[1], "b");
+    EXPECT_EQ(names[2], "c");
+}
+
+TEST_F(FlashStoreTest, TimingAccumulatesMonotonically)
+{
+    const FileId id = store_.create("f");
+    SimTime t = 0;
+    store_.append(id, "data", t);
+    const SimTime after_append = t;
+    EXPECT_GT(after_append, 0);
+    std::string out;
+    store_.read(id, 0, 4, out, t);
+    EXPECT_GT(t, after_append);
+}
+
+TEST_F(FlashStoreTest, DuplicateCreateDies)
+{
+    store_.create("dup");
+    EXPECT_DEATH(store_.create("dup"), "already exists");
+}
+
+TEST_F(FlashStoreTest, OutOfSpaceDies)
+{
+    const FileId id = store_.create("huge");
+    SimTime t = 0;
+    const std::string chunk(256 * kKiB, 'x');
+    EXPECT_DEATH(
+        {
+            for (int i = 0; i < 64; ++i)
+                store_.append(id, chunk, t);
+        },
+        "out of space");
+}
+
+/** Property sweep over the paper's allocation-unit sizes. */
+class AllocUnitSweep : public ::testing::TestWithParam<Bytes>
+{
+};
+
+TEST_P(AllocUnitSweep, WasteMatchesBlockArithmetic)
+{
+    pc::nvm::FlashDevice device(deviceConfig());
+    StoreConfig cfg;
+    cfg.allocUnit = GetParam();
+    FlashStore store(device, cfg);
+    SimTime t = 0;
+    // 33 files of 500 B each: classic small-record fragmentation.
+    for (int i = 0; i < 33; ++i) {
+        const FileId id = store.create("r" + std::to_string(i));
+        store.append(id, std::string(500, 'x'), t);
+    }
+    const auto stats = store.stats();
+    EXPECT_EQ(stats.logicalBytes, 33u * 500u);
+    EXPECT_EQ(stats.physicalBytes, 33u * cfg.allocUnit);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperBlockSizes, AllocUnitSweep,
+                         ::testing::Values(4 * kKiB, 8 * kKiB, 16 * kKiB));
+
+} // namespace
+} // namespace pc::simfs
+
+namespace pc::simfs {
+namespace {
+
+TEST(WearLeveling, FlattensEraseDistribution)
+{
+    // Hammer one file with rewrites while other files pin most blocks;
+    // the levelled allocator must spread erases over the free pool it
+    // is given, the naive LIFO allocator reuses the same blocks.
+    auto max_wear = [](bool leveling) {
+        pc::nvm::FlashConfig fc;
+        fc.pageSize = 4 * kKiB;
+        fc.pagesPerBlock = 1; // device block == allocation unit
+        fc.capacity = 4 * kMiB;
+        pc::nvm::FlashDevice device(fc);
+        StoreConfig cfg;
+        cfg.wearLeveling = leveling;
+        FlashStore store(device, cfg);
+        SimTime t = 0;
+        // Create a pool of blocks by allocating then freeing 32 files.
+        std::vector<FileId> pool;
+        for (int i = 0; i < 32; ++i) {
+            const FileId id = store.create("pool" + std::to_string(i));
+            store.append(id, std::string(4096, 'x'), t);
+            pool.push_back(id);
+        }
+        for (const FileId id : pool)
+            store.remove(id);
+        // Now rewrite one small file many times.
+        const FileId hot = store.create("hot");
+        store.append(hot, "seed", t);
+        for (int i = 0; i < 320; ++i)
+            store.truncateAndWrite(hot, std::string(100, 'y'), t);
+        return device.maxWear();
+    };
+    const u64 naive = max_wear(false);
+    const u64 levelled = max_wear(true);
+    EXPECT_LT(levelled, naive)
+        << "levelling must flatten the erase distribution";
+    EXPECT_LE(levelled, naive / 4) << "and by a wide margin";
+}
+
+} // namespace
+} // namespace pc::simfs

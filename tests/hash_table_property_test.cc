@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Property tests: the query hash table against a plain-map reference
+ * model under randomized insert/click/score/erase sequences, across
+ * entry layouts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "core/hash_table.h"
+#include "util/rng.h"
+
+namespace pc::core {
+namespace {
+
+struct RefSlot
+{
+    double score = 0.0;
+    bool accessed = false;
+};
+
+/** query -> url -> state. */
+using RefModel = std::map<std::string, std::map<u64, RefSlot>>;
+
+class TableVsReference : public ::testing::TestWithParam<u32>
+{
+};
+
+TEST_P(TableVsReference, RandomOpsMatchReferenceModel)
+{
+    HashEntryLayout layout;
+    layout.resultsPerEntry = GetParam();
+    QueryHashTable table(layout);
+    RefModel ref;
+    Rng rng(GetParam() * 1000 + 17);
+    const double lambda = 0.2;
+
+    auto query_name = [&](u64 i) {
+        return "query-" + std::to_string(i);
+    };
+
+    for (int step = 0; step < 4000; ++step) {
+        const std::string q = query_name(rng.below(30));
+        const u64 url = rng.below(12) + 1;
+        const u64 op = rng.below(100);
+
+        if (op < 35) { // insert
+            const double score = rng.uniform();
+            const bool inserted = table.insert(q, url, score);
+            const bool ref_new = !ref[q].count(url);
+            ASSERT_EQ(inserted, ref_new);
+            if (ref_new)
+                ref[q][url] = RefSlot{score, false};
+        } else if (op < 65) { // click (Equations 1/2)
+            const bool existed = table.applyClick(q, url, lambda);
+            const bool ref_existed = ref.count(q) && ref[q].count(url);
+            ASSERT_EQ(existed, ref_existed);
+            const double decay = std::exp(-lambda);
+            for (auto &[u, slot] : ref[q]) {
+                if (u == url) {
+                    slot.score += 1.0;
+                    slot.accessed = true;
+                } else {
+                    slot.score *= decay;
+                }
+            }
+            if (!ref_existed)
+                ref[q][url] = RefSlot{1.0, true};
+        } else if (op < 75) { // set score
+            const double s = rng.uniform() * 3.0;
+            const bool ok = table.setScore(q, url, s);
+            const bool ref_ok = ref.count(q) && ref[q].count(url);
+            ASSERT_EQ(ok, ref_ok);
+            if (ref_ok)
+                ref[q][url].score = s;
+        } else if (op < 85) { // erase pair
+            const bool ok = table.erasePair(q, url);
+            const bool ref_ok = ref.count(q) && ref[q].count(url);
+            ASSERT_EQ(ok, ref_ok);
+            if (ref_ok) {
+                ref[q].erase(url);
+                if (ref[q].empty())
+                    ref.erase(q);
+            }
+        } else if (op < 90) { // erase whole query
+            const std::size_t removed = table.eraseQuery(q);
+            const std::size_t ref_removed =
+                ref.count(q) ? ref[q].size() : 0;
+            ASSERT_EQ(removed, ref_removed);
+            ref.erase(q);
+        } else { // verify a random query's full state
+            const auto refs = table.lookup(q);
+            const std::size_t ref_n =
+                ref.count(q) ? ref[q].size() : 0;
+            ASSERT_EQ(refs.size(), ref_n) << "query " << q;
+            double prev = 1e300;
+            for (const auto &r : refs) {
+                ASSERT_LE(r.score, prev + 1e-12) << "ranking order";
+                prev = r.score;
+                ASSERT_TRUE(ref[q].count(r.urlHash));
+                const RefSlot &slot = ref[q][r.urlHash];
+                ASSERT_NEAR(r.score, slot.score, 1e-9);
+                ASSERT_EQ(r.userAccessed, slot.accessed);
+            }
+        }
+
+        if (step % 200 == 0) {
+            std::size_t ref_pairs = 0;
+            for (const auto &[qq, slots] : ref)
+                ref_pairs += slots.size();
+            ASSERT_EQ(table.pairs(), ref_pairs);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, TableVsReference,
+                         ::testing::Values(1u, 2u, 3u, 8u));
+
+} // namespace
+} // namespace pc::core

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Integration tests: the full pipeline from synthetic logs through
+ * cache generation, device serving, updates and baselines — the
+ * system-level invariants the paper's evaluation rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/browser_cache.h"
+#include "baseline/lru_cache.h"
+#include "core/cache_manager.h"
+#include "device/mobile_device.h"
+#include "device/replay.h"
+#include "harness/workbench.h"
+#include "logs/analyzer.h"
+
+namespace pc {
+namespace {
+
+class IntegrationTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        wb_ = new harness::Workbench(harness::smallWorkbenchConfig());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete wb_;
+        wb_ = nullptr;
+    }
+
+    static harness::Workbench *wb_;
+};
+
+harness::Workbench *IntegrationTest::wb_ = nullptr;
+
+TEST_F(IntegrationTest, CommunityLogIsHeadHeavy)
+{
+    logs::LogAnalyzer an(wb_->buildLog());
+    const auto pop = an.resultPopularity();
+    // The top 2% of distinct results must carry far more than 2% of
+    // clicks (Figure 4's qualitative claim).
+    const std::size_t top = pop.distinctItems() / 50;
+    EXPECT_GT(pop.shareOfTop(top), 0.25);
+}
+
+TEST_F(IntegrationTest, CacheFootprintIsTiny)
+{
+    const auto &cache = wb_->communityCache();
+    // Less than 1% of a phone's memory (the paper's Section 5.1 point),
+    // scaled to the small test world.
+    EXPECT_LT(cache.dramBytes, 512 * kKiB);
+    EXPECT_LT(cache.flashBytes, 4 * kMiB);
+    EXPECT_GT(cache.pairs.size(), 100u);
+    EXPECT_NEAR(cache.cumulativeShare, 0.55, 0.02);
+}
+
+TEST_F(IntegrationTest, EndToEndServeOnDevice)
+{
+    device::MobileDevice dev(wb_->universe());
+    dev.installCommunityCache(wb_->communityCache());
+
+    // Replay a user's month through the full device; hits must be
+    // served locally ~16x faster than 3G misses.
+    workload::PopulationSampler sampler(wb_->population());
+    Rng rng(21);
+    auto profile =
+        sampler.sampleUserOfClass(rng, workload::UserClass::Medium);
+    workload::UserStream stream(wb_->universe(), profile, 55);
+
+    RunningStat hit_ms, miss_ms;
+    for (const auto &ev : stream.month(0)) {
+        const auto out =
+            dev.serveQuery(ev.pair, device::ServePath::PocketSearch);
+        (out.cacheHit ? hit_ms : miss_ms).add(toMillis(out.latency));
+        dev.advanceTime(30 * kSecond);
+    }
+    ASSERT_GT(hit_ms.count(), 0u);
+    ASSERT_GT(miss_ms.count(), 0u);
+    EXPECT_LT(hit_ms.mean(), 500.0);
+    EXPECT_GT(miss_ms.mean(), 3000.0);
+    EXPECT_GT(miss_ms.mean() / hit_ms.mean(), 8.0);
+}
+
+TEST_F(IntegrationTest, UpdateCycleKeepsCacheEffective)
+{
+    // Serve a month, run the Figure 14 nightly update with the next
+    // community month, and verify the cache stays effective and the
+    // exchange stays small.
+    pc::nvm::FlashConfig fc;
+    fc.capacity = 256 * kMiB;
+    pc::nvm::FlashDevice flash(fc);
+    pc::simfs::FlashStore store(flash);
+    core::PocketSearch ps(wb_->universe(), store);
+    SimTime t = 0;
+    ps.loadCommunity(wb_->communityCache(), t);
+
+    workload::PopulationSampler sampler(wb_->population());
+    Rng rng(31);
+    auto profile =
+        sampler.sampleUserOfClass(rng, workload::UserClass::High);
+    workload::UserStream stream(wb_->universe(), profile, 99);
+    for (const auto &ev : stream.month(0))
+        ps.recordClick(ev.pair, t);
+
+    harness::Workbench local(harness::smallWorkbenchConfig());
+    const auto fresh_log = local.nextCommunityMonth();
+    const auto fresh = logs::TripletTable::fromLog(fresh_log);
+
+    core::CacheManager manager(wb_->universe());
+    core::UpdatePolicy policy;
+    policy.content.kind = core::ThresholdKind::VolumeShare;
+    policy.content.volumeShare = 0.55;
+    const auto stats = manager.update(ps, fresh, policy, t);
+
+    EXPECT_GT(stats.pairsAdded + stats.pairsKept, 100u);
+    EXPECT_LT(stats.bytesToPhone, Bytes(1.5 * double(kMiB)))
+        << "paper: the nightly exchange stays under ~1.5 MB";
+
+    // The user's habitual pairs survive the update.
+    workload::UserStream stream2(wb_->universe(), profile, 99);
+    u64 hits = 0, events = 0;
+    for (const auto &ev : stream2.month(workload::kMonth)) {
+        hits += ps.containsPair(ev.pair);
+        ++events;
+        ps.recordClick(ev.pair, t);
+    }
+    EXPECT_GT(double(hits) / double(events), 0.5);
+}
+
+TEST_F(IntegrationTest, PocketSearchBeatsBaselines)
+{
+    // Replay the same user streams against PocketSearch, the browser
+    // substring cache and a same-capacity LRU; PocketSearch must win.
+    workload::PopulationSampler sampler(wb_->population());
+    Rng rng(41);
+    u64 ps_hits = 0, browser_hits = 0, lru_hits = 0, events = 0;
+    for (int u = 0; u < 20; ++u) {
+        auto profile = sampler.sampleUser(rng);
+        workload::UserStream stream(wb_->universe(), profile,
+                                    1000 + u);
+
+        pc::nvm::FlashConfig fc;
+        fc.capacity = 64 * kMiB;
+        pc::nvm::FlashDevice flash(fc);
+        pc::simfs::FlashStore store(flash);
+        core::PocketSearch ps(wb_->universe(), store);
+        SimTime t = 0;
+        ps.loadCommunity(wb_->communityCache(), t);
+        baseline::BrowserSubstringCache browser(wb_->universe());
+        baseline::LruPairCache lru(wb_->communityCache().pairs.size());
+
+        for (const auto &ev : stream.month(0)) {
+            ++events;
+            ps_hits += ps.containsPair(ev.pair);
+            browser_hits += browser.wouldHit(ev.pair);
+            lru_hits += lru.lookup(ev.pair);
+            ps.recordClick(ev.pair, t);
+            browser.recordVisit(ev.pair);
+            lru.insert(ev.pair);
+        }
+    }
+    EXPECT_GT(ps_hits, lru_hits)
+        << "community warm start must beat pure-recency caching";
+    // The substring cache generalizes across query strings for visited
+    // URLs but has nothing for unvisited or non-navigational targets;
+    // PocketSearch must win overall.
+    EXPECT_GT(ps_hits, browser_hits);
+    EXPECT_GT(double(ps_hits) / double(events), 0.45);
+}
+
+TEST_F(IntegrationTest, DeterministicWorkbench)
+{
+    harness::Workbench a(harness::smallWorkbenchConfig());
+    harness::Workbench b(harness::smallWorkbenchConfig());
+    EXPECT_EQ(a.buildLog().size(), b.buildLog().size());
+    EXPECT_EQ(a.communityCache().pairs.size(),
+              b.communityCache().pairs.size());
+    EXPECT_EQ(a.triplets().totalVolume(), b.triplets().totalVolume());
+}
+
+} // namespace
+} // namespace pc

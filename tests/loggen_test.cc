@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for community log generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "workload/loggen.h"
+
+namespace pc::workload {
+namespace {
+
+UniverseConfig
+tinyUniverse()
+{
+    UniverseConfig cfg;
+    cfg.navResults = 500;
+    cfg.nonNavResults = 2000;
+    cfg.navHead = 60;
+    cfg.nonNavHead = 60;
+    cfg.habitNavHead = 40;
+    cfg.habitNonNavHead = 25;
+    return cfg;
+}
+
+class LogGenTest : public ::testing::Test
+{
+  protected:
+    LogGenTest() : uni_(tinyUniverse())
+    {
+        LogGenConfig lg;
+        lg.seed = 5;
+        lg.numUsers = 300;
+        gen_ = std::make_unique<LogGenerator>(uni_, PopulationConfig{},
+                                              lg);
+    }
+
+    QueryUniverse uni_;
+    std::unique_ptr<LogGenerator> gen_;
+};
+
+TEST_F(LogGenTest, RecordCountEqualsSumOfVolumes)
+{
+    const auto log = gen_->generateMonth();
+    std::size_t expected = 0;
+    for (const auto &p : gen_->population())
+        expected += p.monthlyVolume;
+    EXPECT_EQ(log.size(), expected);
+}
+
+TEST_F(LogGenTest, RecordsSortedByTime)
+{
+    const auto log = gen_->generateMonth();
+    SimTime prev = -1;
+    for (const auto &rec : log.records()) {
+        EXPECT_GE(rec.time, prev);
+        prev = rec.time;
+    }
+}
+
+TEST_F(LogGenTest, RecordsCarryDeviceOfUser)
+{
+    const auto log = gen_->generateMonth();
+    std::unordered_map<u64, DeviceType> devices;
+    for (const auto &p : gen_->population())
+        devices[p.id] = p.device;
+    for (const auto &rec : log.records())
+        EXPECT_EQ(rec.device, devices.at(rec.user));
+}
+
+TEST_F(LogGenTest, ConsecutiveMonthsAdvanceWindow)
+{
+    const auto m1 = gen_->generateMonth();
+    const auto m2 = gen_->generateMonth();
+    EXPECT_LT(m1.records().back().time, kMonth);
+    EXPECT_GE(m2.records().front().time, kMonth);
+    EXPECT_LT(m2.records().back().time, 2 * kMonth);
+}
+
+TEST_F(LogGenTest, AllUsersAppear)
+{
+    const auto log = gen_->generateMonth();
+    std::unordered_map<u64, u64> per_user;
+    for (const auto &rec : log.records())
+        ++per_user[rec.user];
+    EXPECT_EQ(per_user.size(), gen_->population().size());
+    for (const auto &p : gen_->population())
+        EXPECT_EQ(per_user.at(p.id), p.monthlyVolume);
+}
+
+TEST(SearchLog, SortByUserTimeGroupsUsers)
+{
+    UniverseConfig ucfg = tinyUniverse();
+    QueryUniverse uni(ucfg);
+    SearchLog log(uni);
+    log.add({2, 50, {0, 0}, DeviceType::Smartphone});
+    log.add({1, 99, {0, 0}, DeviceType::Smartphone});
+    log.add({2, 10, {0, 0}, DeviceType::Smartphone});
+    log.sortByUserTime();
+    const auto &r = log.records();
+    EXPECT_EQ(r[0].user, 1u);
+    EXPECT_EQ(r[1].user, 2u);
+    EXPECT_EQ(r[1].time, 10);
+    EXPECT_EQ(r[2].time, 50);
+}
+
+} // namespace
+} // namespace pc::workload

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the end-to-end device timing/energy model (Figures
+ * 15/16, Tables 4/5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/mobile_device.h"
+#include "logs/triplets.h"
+
+namespace pc::device {
+namespace {
+
+workload::UniverseConfig
+tinyUniverse()
+{
+    workload::UniverseConfig cfg;
+    cfg.navResults = 200;
+    cfg.nonNavResults = 800;
+    cfg.navHead = 30;
+    cfg.nonNavHead = 30;
+    cfg.habitNavHead = 20;
+    cfg.habitNonNavHead = 15;
+    return cfg;
+}
+
+class MobileDeviceTest : public ::testing::Test
+{
+  protected:
+    MobileDeviceTest() : uni_(tinyUniverse()), device_(uni_)
+    {
+        // Warm the cache with a handful of popular pairs.
+        workload::SearchLog log(uni_);
+        for (u32 r = 0; r < 20; ++r) {
+            const u32 q = uni_.result(r).queries.front().first;
+            for (int i = 0; i < int(40 - r); ++i) {
+                log.add({1, SimTime(i), {q, r},
+                         workload::DeviceType::Smartphone});
+            }
+        }
+        const auto table = logs::TripletTable::fromLog(log);
+        core::CacheContentBuilder builder(uni_);
+        core::ContentPolicy policy;
+        policy.kind = core::ThresholdKind::VolumeShare;
+        policy.volumeShare = 1.0;
+        device_.installCommunityCache(builder.build(table, policy));
+    }
+
+    workload::PairRef
+    cachedPair(u32 r = 0)
+    {
+        return {uni_.result(r).queries.front().first, r};
+    }
+
+    workload::PairRef
+    uncachedPair()
+    {
+        return {uni_.result(500).queries.front().first, 500};
+    }
+
+    workload::QueryUniverse uni_;
+    MobileDevice device_;
+};
+
+TEST_F(MobileDeviceTest, CacheHitNear378Milliseconds)
+{
+    const auto out = device_.serveQuery(cachedPair(), ServePath::PocketSearch,
+                                        /*record_click=*/false);
+    EXPECT_TRUE(out.cacheHit);
+    // Table 4: 378 ms total, render-dominated.
+    EXPECT_NEAR(toMillis(out.latency), 378.0, 40.0);
+    EXPECT_GT(out.renderTime, 9 * out.latency / 10 - fromMillis(50));
+    EXPECT_EQ(out.hashLookupTime, 10 * kMicrosecond);
+    EXPECT_GT(out.fetchTime, 0);
+    EXPECT_EQ(out.radioTime, 0);
+}
+
+TEST_F(MobileDeviceTest, MissFallsBackTo3G)
+{
+    const auto out = device_.serveQuery(uncachedPair(),
+                                        ServePath::PocketSearch, false);
+    EXPECT_FALSE(out.cacheHit);
+    EXPECT_GT(out.radioTime, kSecond);
+    EXPECT_GT(out.latency, 3 * kSecond);
+}
+
+TEST_F(MobileDeviceTest, RadioPathsOrderedLikeFigure15a)
+{
+    // Fresh devices per path so every link starts cold.
+    auto latency_of = [&](ServePath path) {
+        MobileDevice d(uni_);
+        return d.serveQuery(uncachedPair(), path, false).latency;
+    };
+    const SimTime t3g = latency_of(ServePath::ThreeG);
+    const SimTime tedge = latency_of(ServePath::Edge);
+    const SimTime twifi = latency_of(ServePath::Wifi);
+    MobileDevice d(uni_);
+    const SimTime tps =
+        device_.serveQuery(cachedPair(1), ServePath::PocketSearch, false)
+            .latency;
+    EXPECT_GT(tedge, t3g);
+    EXPECT_GT(t3g, twifi);
+    EXPECT_GT(twifi, tps);
+    // Paper speedups: 16x vs 3G, 25x vs EDGE, 7x vs WiFi — require the
+    // right ballpark, not exactness.
+    EXPECT_NEAR(double(t3g) / double(tps), 16.0, 5.0);
+    EXPECT_NEAR(double(tedge) / double(tps), 25.0, 8.0);
+    EXPECT_NEAR(double(twifi) / double(tps), 7.0, 3.0);
+}
+
+TEST_F(MobileDeviceTest, EnergyOrderedLikeFigure15b)
+{
+    auto energy_of = [&](ServePath path) {
+        MobileDevice d(uni_);
+        return d.serveQuery(uncachedPair(), path, false).energy;
+    };
+    const MicroJoules e3g = energy_of(ServePath::ThreeG);
+    const MicroJoules eedge = energy_of(ServePath::Edge);
+    const MicroJoules ewifi = energy_of(ServePath::Wifi);
+    const MicroJoules eps =
+        device_.serveQuery(cachedPair(2), ServePath::PocketSearch, false)
+            .energy;
+    EXPECT_GT(eedge, e3g);
+    EXPECT_GT(e3g, ewifi);
+    EXPECT_GT(ewifi, eps);
+    EXPECT_NEAR(e3g / eps, 23.0, 10.0);
+    EXPECT_NEAR(eedge / eps, 41.0, 16.0);
+    EXPECT_NEAR(ewifi / eps, 11.0, 5.0);
+}
+
+TEST_F(MobileDeviceTest, ConsecutiveQueriesSkipWakeup)
+{
+    // Figure 16: 10 back-to-back 3G queries — only the first pays the
+    // wake-up ramp.
+    MobileDevice d(uni_);
+    const auto first = d.serveQuery(uncachedPair(), ServePath::ThreeG,
+                                    false);
+    const auto second = d.serveQuery(uncachedPair(), ServePath::ThreeG,
+                                     false);
+    EXPECT_LT(second.latency, first.latency);
+    bool first_has_wakeup = false, second_has_wakeup = false;
+    for (const auto &s : first.trace)
+        first_has_wakeup |= (s.label == "wakeup");
+    for (const auto &s : second.trace)
+        second_has_wakeup |= (s.label == "wakeup");
+    EXPECT_TRUE(first_has_wakeup);
+    EXPECT_FALSE(second_has_wakeup);
+}
+
+TEST_F(MobileDeviceTest, TracePowerLevelsMatchFigure16)
+{
+    // Local serving stays near base power (~900 mW in the paper's
+    // figure, base+render here); radio serving peaks several hundred
+    // mW higher.
+    const auto hit = device_.serveQuery(cachedPair(3),
+                                        ServePath::PocketSearch, false);
+    MobileDevice d(uni_);
+    const auto miss = d.serveQuery(uncachedPair(), ServePath::ThreeG,
+                                   false);
+    MilliWatts hit_peak = 0, miss_peak = 0;
+    for (const auto &s : hit.trace)
+        hit_peak = std::max(hit_peak, s.power);
+    for (const auto &s : miss.trace)
+        miss_peak = std::max(miss_peak, s.power);
+    EXPECT_GT(miss_peak, hit_peak + 200.0);
+}
+
+TEST_F(MobileDeviceTest, NavigationLatencyAddsPageLoad)
+{
+    const auto out = device_.serveQuery(cachedPair(4),
+                                        ServePath::PocketSearch, false);
+    const SimTime light =
+        device_.navigationLatency(out, PageWeight::Lightweight);
+    const SimTime heavy =
+        device_.navigationLatency(out, PageWeight::Heavyweight);
+    EXPECT_EQ(light, out.latency + 15 * kSecond);
+    EXPECT_EQ(heavy, out.latency + 30 * kSecond);
+}
+
+TEST_F(MobileDeviceTest, ClockAdvancesWithQueries)
+{
+    const SimTime t0 = device_.now();
+    const auto out = device_.serveQuery(cachedPair(5),
+                                        ServePath::PocketSearch, false);
+    EXPECT_EQ(device_.now(), t0 + out.latency);
+    device_.advanceTime(kSecond);
+    EXPECT_EQ(device_.now(), t0 + out.latency + kSecond);
+}
+
+TEST_F(MobileDeviceTest, RecordClickLearnsThroughDevice)
+{
+    const auto p = uncachedPair();
+    device_.serveQuery(p, ServePath::PocketSearch, /*record_click=*/true);
+    EXPECT_TRUE(device_.pocketSearch().containsPair(p))
+        << "clicked miss must be cached for next time";
+    const auto again = device_.serveQuery(p, ServePath::PocketSearch,
+                                          false);
+    EXPECT_TRUE(again.cacheHit);
+}
+
+} // namespace
+} // namespace pc::device

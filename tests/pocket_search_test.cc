@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the PocketSearch facade: community load, lookup paths,
+ * operating modes, and click-driven learning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pocket_search.h"
+#include "logs/triplets.h"
+
+namespace pc::core {
+namespace {
+
+workload::UniverseConfig
+tinyUniverse()
+{
+    workload::UniverseConfig cfg;
+    cfg.navResults = 200;
+    cfg.nonNavResults = 800;
+    cfg.navHead = 30;
+    cfg.nonNavHead = 30;
+    cfg.habitNavHead = 20;
+    cfg.habitNonNavHead = 15;
+    return cfg;
+}
+
+class PocketSearchTest : public ::testing::Test
+{
+  protected:
+    PocketSearchTest()
+        : uni_(tinyUniverse()), log_(uni_)
+    {
+        pc::nvm::FlashConfig fc;
+        fc.capacity = 64 * kMiB;
+        device_ = std::make_unique<pc::nvm::FlashDevice>(fc);
+        store_ = std::make_unique<pc::simfs::FlashStore>(*device_);
+    }
+
+    /** Build community contents from a few hand-crafted popular pairs. */
+    CacheContents
+    makeContents(const std::vector<std::pair<workload::PairRef, int>>
+                     &pair_volumes)
+    {
+        for (const auto &[pair, vol] : pair_volumes) {
+            for (int i = 0; i < vol; ++i) {
+                log_.add({1, SimTime(i), pair,
+                          workload::DeviceType::Smartphone});
+            }
+        }
+        const auto table = logs::TripletTable::fromLog(log_);
+        CacheContentBuilder builder(uni_);
+        ContentPolicy policy;
+        policy.kind = ThresholdKind::VolumeShare;
+        policy.volumeShare = 1.0;
+        return builder.build(table, policy);
+    }
+
+    /** Canonical pair of a result. */
+    workload::PairRef
+    canonicalPair(u32 result)
+    {
+        return {uni_.result(result).queries.front().first, result};
+    }
+
+    workload::QueryUniverse uni_;
+    workload::SearchLog log_;
+    std::unique_ptr<pc::nvm::FlashDevice> device_;
+    std::unique_ptr<pc::simfs::FlashStore> store_;
+};
+
+TEST_F(PocketSearchTest, CommunityHitServesRankedResults)
+{
+    PocketSearch ps(uni_, *store_);
+    const auto p = canonicalPair(0);
+    SimTime t = 0;
+    ps.loadCommunity(makeContents({{p, 10}}), t);
+    EXPECT_GT(t, 0) << "community push costs flash writes";
+
+    auto out = ps.lookupPair(p);
+    EXPECT_TRUE(out.hit);
+    ASSERT_EQ(out.results.size(), 1u);
+    EXPECT_EQ(out.results[0].url, uni_.result(0).url);
+    EXPECT_EQ(out.hashLookupTime, QueryHashTable::kLookupLatency);
+    EXPECT_GT(out.fetchTime, 0);
+    EXPECT_EQ(ps.stats().queryHits, 1u);
+    EXPECT_EQ(ps.stats().pairHits, 1u);
+}
+
+TEST_F(PocketSearchTest, MissOnUncachedQuery)
+{
+    PocketSearch ps(uni_, *store_);
+    SimTime t = 0;
+    ps.loadCommunity(makeContents({{canonicalPair(0), 10}}), t);
+    auto out = ps.lookupPair(canonicalPair(57));
+    EXPECT_FALSE(out.hit);
+    EXPECT_TRUE(out.results.empty());
+    EXPECT_EQ(ps.stats().lookups, 1u);
+    EXPECT_EQ(ps.stats().queryHits, 0u);
+}
+
+TEST_F(PocketSearchTest, MaxResultsLimitsFetch)
+{
+    PocketSearch ps(uni_, *store_);
+    // One query with three results.
+    const u32 q = canonicalPair(300).query;
+    SimTime t = 0;
+    ps.loadCommunity(makeContents({{{q, 300}, 9},
+                                   {{q, 301}, 6},
+                                   {{q, 302}, 3}}),
+                     t);
+    auto out = ps.lookup(uni_.query(q).text, 2);
+    EXPECT_TRUE(out.hit);
+    EXPECT_EQ(out.results.size(), 2u)
+        << "auto-suggest box shows the top two";
+    EXPECT_EQ(out.results[0].url, uni_.result(300).url)
+        << "highest-volume result ranks first";
+}
+
+TEST_F(PocketSearchTest, PersonalizationLearnsNewPair)
+{
+    PocketSearch ps(uni_, *store_);
+    SimTime t = 0;
+    ps.loadCommunity(makeContents({{canonicalPair(0), 10}}), t);
+    const auto newp = canonicalPair(42);
+    EXPECT_FALSE(ps.containsPair(newp));
+    ps.recordClick(newp, t);
+    EXPECT_TRUE(ps.containsPair(newp));
+    EXPECT_EQ(ps.stats().pairsLearned, 1u);
+    EXPECT_EQ(ps.stats().recordsLearned, 1u);
+    auto out = ps.lookupPair(newp);
+    EXPECT_TRUE(out.hit);
+    ASSERT_EQ(out.results.size(), 1u);
+    EXPECT_EQ(out.results[0].url, uni_.result(42).url);
+}
+
+TEST_F(PocketSearchTest, CommunityOnlyModeDoesNotLearn)
+{
+    PocketSearchConfig cfg;
+    cfg.mode = CacheMode::CommunityOnly;
+    PocketSearch ps(uni_, *store_, cfg);
+    SimTime t = 0;
+    ps.loadCommunity(makeContents({{canonicalPair(0), 10}}), t);
+    const auto newp = canonicalPair(42);
+    ps.recordClick(newp, t);
+    EXPECT_FALSE(ps.containsPair(newp));
+    EXPECT_EQ(ps.stats().pairsLearned, 0u);
+}
+
+TEST_F(PocketSearchTest, PersonalizationOnlyModeStartsCold)
+{
+    PocketSearchConfig cfg;
+    cfg.mode = CacheMode::PersonalizationOnly;
+    PocketSearch ps(uni_, *store_, cfg);
+    SimTime t = 0;
+    ps.loadCommunity(makeContents({{canonicalPair(0), 10}}), t);
+    EXPECT_EQ(ps.pairs(), 0u) << "community push ignored when cold";
+    const auto p = canonicalPair(0);
+    EXPECT_FALSE(ps.lookupPair(p).hit);
+    ps.recordClick(p, t);
+    EXPECT_TRUE(ps.lookupPair(p).hit);
+}
+
+TEST_F(PocketSearchTest, ClickReRanksResults)
+{
+    PocketSearch ps(uni_, *store_);
+    const u32 q = canonicalPair(300).query;
+    SimTime t = 0;
+    ps.loadCommunity(makeContents({{{q, 300}, 9}, {{q, 301}, 6}}), t);
+    // The community ranks 300 first; the user keeps clicking 301.
+    for (int i = 0; i < 3; ++i)
+        ps.recordClick({q, 301}, t);
+    auto out = ps.lookup(uni_.query(q).text, 2);
+    ASSERT_GE(out.results.size(), 2u);
+    EXPECT_EQ(out.results[0].url, uni_.result(301).url)
+        << "personal clicks must override community ranking";
+}
+
+TEST_F(PocketSearchTest, SharedResultStoredOnceInFlash)
+{
+    PocketSearch ps(uni_, *store_);
+    const u32 q1 = canonicalPair(5).query;
+    SimTime t = 0;
+    // Two queries -> same result: one record in flash.
+    CacheContents contents = makeContents({{{q1, 5}, 9}});
+    ScoredPair extra;
+    extra.pair = {canonicalPair(6).query, 5};
+    extra.score = 0.5;
+    contents.pairs.push_back(extra);
+    ps.loadCommunity(contents, t);
+    EXPECT_EQ(ps.pairs(), 2u);
+    EXPECT_EQ(ps.db().records(), 1u);
+}
+
+TEST_F(PocketSearchTest, FootprintAccessors)
+{
+    PocketSearch ps(uni_, *store_);
+    SimTime t = 0;
+    ps.loadCommunity(makeContents({{canonicalPair(0), 10},
+                                   {canonicalPair(1), 5}}),
+                     t);
+    EXPECT_GT(ps.dramBytes(), 0u);
+    EXPECT_GT(ps.flashLogicalBytes(), 0u);
+    EXPECT_GE(ps.flashPhysicalBytes(), ps.flashLogicalBytes());
+}
+
+TEST_F(PocketSearchTest, CacheModeNames)
+{
+    EXPECT_EQ(cacheModeName(CacheMode::Combined), "combined");
+    EXPECT_EQ(cacheModeName(CacheMode::CommunityOnly), "community-only");
+    EXPECT_EQ(cacheModeName(CacheMode::PersonalizationOnly),
+              "personalization-only");
+}
+
+} // namespace
+} // namespace pc::core

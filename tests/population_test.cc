@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the user population model (Table 6 / Figure 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/population.h"
+
+namespace pc::workload {
+namespace {
+
+TEST(Table6, SpecsMatchPaper)
+{
+    const auto &specs = table6Classes();
+    ASSERT_EQ(specs.size(), 4u);
+    EXPECT_EQ(specs[0].minMonthly, 20u);
+    EXPECT_EQ(specs[0].maxMonthly, 40u);
+    EXPECT_DOUBLE_EQ(specs[0].populationShare, 0.55);
+    EXPECT_EQ(specs[1].minMonthly, 40u);
+    EXPECT_EQ(specs[1].maxMonthly, 140u);
+    EXPECT_DOUBLE_EQ(specs[1].populationShare, 0.36);
+    EXPECT_EQ(specs[2].minMonthly, 140u);
+    EXPECT_EQ(specs[2].maxMonthly, 460u);
+    EXPECT_DOUBLE_EQ(specs[2].populationShare, 0.08);
+    EXPECT_EQ(specs[3].minMonthly, 460u);
+    EXPECT_DOUBLE_EQ(specs[3].populationShare, 0.01);
+    double total = 0.0;
+    for (const auto &s : specs)
+        total += s.populationShare;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ClassForVolume, BoundariesMatchTable6)
+{
+    EXPECT_EQ(classForVolume(20), UserClass::Low);
+    EXPECT_EQ(classForVolume(39), UserClass::Low);
+    EXPECT_EQ(classForVolume(40), UserClass::Medium);
+    EXPECT_EQ(classForVolume(139), UserClass::Medium);
+    EXPECT_EQ(classForVolume(140), UserClass::High);
+    EXPECT_EQ(classForVolume(459), UserClass::High);
+    EXPECT_EQ(classForVolume(460), UserClass::Extreme);
+    EXPECT_EQ(classForVolume(5000), UserClass::Extreme);
+}
+
+TEST(UserClassName, AllNamed)
+{
+    EXPECT_EQ(userClassName(UserClass::Low), "Low Volume");
+    EXPECT_EQ(userClassName(UserClass::Extreme), "Extreme Volume");
+}
+
+TEST(PopulationSampler, VolumesRespectClassRanges)
+{
+    PopulationSampler sampler(PopulationConfig{});
+    Rng rng(1);
+    for (int c = 0; c < 4; ++c) {
+        const auto spec = table6Classes()[c];
+        for (int i = 0; i < 500; ++i) {
+            const auto u = sampler.sampleUserOfClass(rng, spec.cls);
+            EXPECT_GE(u.monthlyVolume, spec.minMonthly);
+            EXPECT_LT(u.monthlyVolume, spec.maxMonthly);
+            EXPECT_EQ(u.cls, spec.cls);
+        }
+    }
+}
+
+TEST(PopulationSampler, ClassMixMatchesShares)
+{
+    PopulationSampler sampler(PopulationConfig{});
+    const auto pop = sampler.samplePopulation(20000);
+    int counts[4] = {0, 0, 0, 0};
+    for (const auto &u : pop)
+        ++counts[int(u.cls)];
+    EXPECT_NEAR(counts[0] / 20000.0, 0.55, 0.02);
+    EXPECT_NEAR(counts[1] / 20000.0, 0.36, 0.02);
+    EXPECT_NEAR(counts[2] / 20000.0, 0.08, 0.01);
+    EXPECT_NEAR(counts[3] / 20000.0, 0.01, 0.005);
+}
+
+TEST(PopulationSampler, FeaturephoneShareRespected)
+{
+    PopulationConfig cfg;
+    cfg.featurephoneShare = 0.3;
+    PopulationSampler sampler(cfg);
+    const auto pop = sampler.samplePopulation(10000);
+    int fp = 0;
+    for (const auto &u : pop)
+        fp += (u.device == DeviceType::Featurephone);
+    EXPECT_NEAR(fp / 10000.0, 0.3, 0.02);
+}
+
+TEST(PopulationSampler, NewRatesInMixtureBands)
+{
+    PopulationConfig cfg;
+    PopulationSampler sampler(cfg);
+    const auto pop = sampler.samplePopulation(10000);
+    int low_band = 0;
+    for (const auto &u : pop) {
+        EXPECT_GE(u.newRate, 0.02);
+        EXPECT_LE(u.newRate, 0.98);
+        low_band += (u.newRate <= cfg.lowNewMax);
+    }
+    // At least the lowNewShare of users sit in the habitual band
+    // (class shifts only push more users down).
+    EXPECT_GT(low_band / 10000.0, cfg.lowNewShare - 0.05);
+}
+
+TEST(PopulationSampler, HeavierClassesRepeatMore)
+{
+    PopulationSampler sampler(PopulationConfig{});
+    Rng rng(9);
+    double mean_new[4] = {0, 0, 0, 0};
+    const int n = 4000;
+    for (int c = 0; c < 4; ++c) {
+        for (int i = 0; i < n; ++i)
+            mean_new[c] +=
+                sampler.sampleUserOfClass(rng, UserClass(c)).newRate;
+        mean_new[c] /= n;
+    }
+    EXPECT_GT(mean_new[0], mean_new[1]);
+    EXPECT_GT(mean_new[1], mean_new[2]);
+    EXPECT_GT(mean_new[2], mean_new[3]);
+}
+
+TEST(PopulationSampler, UniqueUserIds)
+{
+    PopulationSampler sampler(PopulationConfig{});
+    const auto pop = sampler.samplePopulation(1000);
+    std::set<u64> ids;
+    for (const auto &u : pop)
+        EXPECT_TRUE(ids.insert(u.id).second);
+}
+
+TEST(PopulationSampler, HotSetGrowsWithVolume)
+{
+    PopulationSampler sampler(PopulationConfig{});
+    Rng rng(13);
+    const auto low = sampler.sampleUserOfClass(rng, UserClass::Low);
+    const auto extreme =
+        sampler.sampleUserOfClass(rng, UserClass::Extreme);
+    EXPECT_GE(extreme.hotSetSize, low.hotSetSize);
+    EXPECT_GE(low.hotSetSize, 1u);
+}
+
+} // namespace
+} // namespace pc::workload

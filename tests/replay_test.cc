@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the hit-rate replay driver on a small world.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/replay.h"
+#include "harness/workbench.h"
+
+namespace pc::device {
+namespace {
+
+class ReplayTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        wb_ = new pc::harness::Workbench(
+            pc::harness::smallWorkbenchConfig());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete wb_;
+        wb_ = nullptr;
+    }
+
+    static pc::harness::Workbench *wb_;
+};
+
+pc::harness::Workbench *ReplayTest::wb_ = nullptr;
+
+TEST_F(ReplayTest, RunProducesPerClassResults)
+{
+    ReplayDriver driver(wb_->universe(), wb_->communityCache(),
+                        wb_->population());
+    ReplayConfig cfg;
+    cfg.usersPerClass = 10;
+    const auto res = driver.run(cfg);
+    EXPECT_EQ(res.users.size(), 40u);
+    for (int c = 0; c < 4; ++c) {
+        EXPECT_EQ(res.classes[c].users, 10u);
+        EXPECT_GT(res.classes[c].meanHitRate, 0.0);
+        EXPECT_LE(res.classes[c].meanHitRate, 1.0);
+        EXPECT_NEAR(res.classes[c].navHitShare +
+                        res.classes[c].nonNavHitShare,
+                    1.0, 1e-9);
+    }
+    EXPECT_GT(res.overallMeanHitRate, 0.3);
+    EXPECT_LT(res.overallMeanHitRate, 0.95);
+}
+
+TEST_F(ReplayTest, CombinedBeatsBothComponents)
+{
+    ReplayDriver driver(wb_->universe(), wb_->communityCache(),
+                        wb_->population());
+    ReplayConfig cfg;
+    cfg.usersPerClass = 15;
+    cfg.mode = core::CacheMode::Combined;
+    const double combined = driver.run(cfg).overallMeanHitRate;
+    cfg.mode = core::CacheMode::CommunityOnly;
+    const double community = driver.run(cfg).overallMeanHitRate;
+    cfg.mode = core::CacheMode::PersonalizationOnly;
+    const double pers = driver.run(cfg).overallMeanHitRate;
+    EXPECT_GT(combined, community);
+    EXPECT_GT(combined, pers);
+    // Figure 17's magnitudes, with generous bands for the small world.
+    EXPECT_NEAR(combined, 0.65, 0.15);
+    EXPECT_NEAR(community, 0.55, 0.15);
+    EXPECT_NEAR(pers, 0.565, 0.12);
+}
+
+TEST_F(ReplayTest, CommunityGivesWarmStartInWeekOne)
+{
+    // Figure 18: in week 1 the community component must already be at
+    // its steady hit rate while personalization is still warming up.
+    ReplayDriver driver(wb_->universe(), wb_->communityCache(),
+                        wb_->population());
+    ReplayConfig cfg;
+    cfg.usersPerClass = 15;
+    cfg.mode = core::CacheMode::CommunityOnly;
+    const auto community = driver.run(cfg);
+    cfg.mode = core::CacheMode::PersonalizationOnly;
+    const auto pers = driver.run(cfg);
+    double comm_w1 = 0, pers_w1 = 0, pers_month = 0;
+    for (int c = 0; c < 4; ++c) {
+        comm_w1 += community.classes[c].meanWeek1HitRate / 4;
+        pers_w1 += pers.classes[c].meanWeek1HitRate / 4;
+        pers_month += pers.classes[c].meanHitRate / 4;
+    }
+    // Topic drift deliberately costs the community cache a little; in
+    // the small world the margin over warming personalization is thin,
+    // so allow near-equality (the standard-world bench asserts the
+    // strict ordering).
+    EXPECT_GT(comm_w1, pers_w1 - 0.03)
+        << "community warm start beats cold personalization in week 1";
+    EXPECT_GT(pers_month, pers_w1)
+        << "personalization improves as the month progresses";
+}
+
+TEST_F(ReplayTest, ReplayUserCountsWindows)
+{
+    ReplayDriver driver(wb_->universe(), wb_->communityCache(),
+                        wb_->population());
+    workload::PopulationSampler sampler(wb_->population());
+    Rng rng(3);
+    auto profile = sampler.sampleUserOfClass(rng, UserClass::Medium);
+    workload::UserStream stream(wb_->universe(), profile, 77);
+    const auto events = stream.month(0);
+
+    pc::nvm::FlashConfig fc;
+    fc.capacity = 64 * kMiB;
+    pc::nvm::FlashDevice flash(fc);
+    pc::simfs::FlashStore store(flash);
+    core::PocketSearch ps(wb_->universe(), store);
+    SimTime sink = 0;
+    ps.loadCommunity(wb_->communityCache(), sink);
+
+    const auto res = driver.replayUser(profile, events, ps);
+    EXPECT_EQ(res.events, events.size());
+    EXPECT_EQ(res.windowEvents[2], res.events);
+    EXPECT_LE(res.windowEvents[0], res.windowEvents[1]);
+    EXPECT_LE(res.windowEvents[1], res.windowEvents[2]);
+    EXPECT_EQ(res.hits, res.navHits + res.nonNavHits);
+    EXPECT_LE(res.hits, res.events);
+}
+
+TEST_F(ReplayTest, DeterministicForSeed)
+{
+    ReplayDriver driver(wb_->universe(), wb_->communityCache(),
+                        wb_->population());
+    ReplayConfig cfg;
+    cfg.usersPerClass = 5;
+    cfg.seed = 123;
+    const auto a = driver.run(cfg);
+    const auto b = driver.run(cfg);
+    EXPECT_DOUBLE_EQ(a.overallMeanHitRate, b.overallMeanHitRate);
+}
+
+} // namespace
+} // namespace pc::device

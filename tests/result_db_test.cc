@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit and property tests for the 32-file flash result database
+ * (Figure 13 / Figure 12 behaviour).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/result_db.h"
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace pc::core {
+namespace {
+
+pc::nvm::FlashConfig
+deviceConfig()
+{
+    pc::nvm::FlashConfig cfg;
+    cfg.capacity = 64 * kMiB;
+    return cfg;
+}
+
+workload::ResultInfo
+makeResult(int i, bool nav = true)
+{
+    workload::ResultInfo r;
+    r.url = "www.site" + std::to_string(i) + ".com";
+    r.title = "site" + std::to_string(i);
+    r.description = "Description of site " + std::to_string(i) + ".";
+    r.navigational = nav;
+    return r;
+}
+
+class ResultDbTest : public ::testing::Test
+{
+  protected:
+    ResultDbTest() : device_(deviceConfig()), store_(device_) {}
+
+    pc::nvm::FlashDevice device_;
+    pc::simfs::FlashStore store_;
+};
+
+TEST_F(ResultDbTest, AddFetchRoundTrip)
+{
+    ResultDatabase db(store_);
+    SimTime t = 0;
+    const auto r = makeResult(1);
+    EXPECT_TRUE(db.addRecord(r, t));
+    EXPECT_TRUE(db.contains(urlHash(r.url)));
+    ResultRecord rec;
+    SimTime fetch = 0;
+    ASSERT_TRUE(db.fetch(urlHash(r.url), rec, fetch));
+    EXPECT_EQ(rec.title, r.title);
+    EXPECT_EQ(rec.description, r.description);
+    EXPECT_EQ(rec.url, r.url);
+    EXPECT_GT(fetch, 0);
+}
+
+TEST_F(ResultDbTest, DuplicateAddIsNoop)
+{
+    ResultDatabase db(store_);
+    SimTime t = 0;
+    const auto r = makeResult(1);
+    EXPECT_TRUE(db.addRecord(r, t));
+    EXPECT_FALSE(db.addRecord(r, t));
+    EXPECT_EQ(db.records(), 1u);
+}
+
+TEST_F(ResultDbTest, FetchMissingReturnsFalse)
+{
+    ResultDatabase db(store_);
+    ResultRecord rec;
+    SimTime t = 0;
+    EXPECT_FALSE(db.fetch(12345, rec, t));
+    EXPECT_EQ(t, 0) << "a miss is resolved in memory, no flash cost";
+}
+
+TEST_F(ResultDbTest, RecordsSpreadAcrossFiles)
+{
+    DbConfig cfg;
+    cfg.numFiles = 8;
+    ResultDatabase db(store_, cfg);
+    SimTime t = 0;
+    for (int i = 0; i < 200; ++i)
+        db.addRecord(makeResult(i), t);
+    // Every file should hold some records (hash spreading).
+    int used_files = 0;
+    for (u32 f = 0; f < cfg.numFiles; ++f) {
+        const auto id = store_.lookup(
+            pc::strformat("psearch_%02u.dat", f));
+        if (store_.size(id) > 0)
+            ++used_files;
+    }
+    EXPECT_EQ(used_files, 8);
+    EXPECT_EQ(db.records(), 200u);
+}
+
+TEST_F(ResultDbTest, FileOfMatchesHashModulo)
+{
+    DbConfig cfg;
+    cfg.numFiles = 32;
+    ResultDatabase db(store_, cfg);
+    const auto r = makeResult(9);
+    EXPECT_EQ(db.fileOf(urlHash(r.url)), urlHash(r.url) % 32);
+}
+
+TEST_F(ResultDbTest, LogicalAndPhysicalBytes)
+{
+    ResultDatabase db(store_);
+    SimTime t = 0;
+    for (int i = 0; i < 50; ++i)
+        db.addRecord(makeResult(i), t);
+    EXPECT_GE(db.logicalBytes(), 50u * 480u);
+    EXPECT_GE(db.physicalBytes(), db.logicalBytes());
+    // Physical is block-rounded per file.
+    EXPECT_EQ(db.physicalBytes() % store_.config().allocUnit, 0u);
+}
+
+TEST_F(ResultDbTest, PaddedRecordSizeMatchesModel)
+{
+    ResultDatabase db(store_);
+    SimTime t = 0;
+    const auto r = makeResult(3);
+    db.addRecord(r, t);
+    EXPECT_EQ(db.logicalBytes(),
+              workload::QueryUniverse::recordSize(r));
+}
+
+TEST_F(ResultDbTest, TwoCloudletsShareAStore)
+{
+    ResultDatabase search(store_, {}, "search");
+    ResultDatabase ads(store_, {}, "ads");
+    SimTime t = 0;
+    search.addRecord(makeResult(1), t);
+    ads.addRecord(makeResult(2), t);
+    EXPECT_EQ(search.records(), 1u);
+    EXPECT_EQ(ads.records(), 1u);
+    ResultRecord rec;
+    EXPECT_TRUE(search.fetch(urlHash(makeResult(1).url), rec, t));
+    EXPECT_FALSE(search.fetch(urlHash(makeResult(2).url), rec, t));
+}
+
+/** Figure 12 property: fetch time falls then flattens with file count,
+ *  while fragmentation (physical bytes) grows. */
+class FileCountSweep : public ::testing::TestWithParam<u32>
+{
+};
+
+TEST_P(FileCountSweep, FetchWorksAtAnyFileCount)
+{
+    pc::nvm::FlashDevice device(deviceConfig());
+    pc::simfs::FlashStore store(device);
+    DbConfig cfg;
+    cfg.numFiles = GetParam();
+    ResultDatabase db(store, cfg);
+    SimTime t = 0;
+    for (int i = 0; i < 300; ++i)
+        db.addRecord(makeResult(i), t);
+    ResultRecord rec;
+    SimTime fetch = 0;
+    for (int i = 0; i < 300; i += 17) {
+        ASSERT_TRUE(db.fetch(urlHash(makeResult(i).url), rec, fetch));
+        EXPECT_EQ(rec.url, makeResult(i).url);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(FileCounts, FileCountSweep,
+                         ::testing::Values(1u, 2u, 8u, 32u, 128u));
+
+TEST(ResultDbFigure12, SingleFileSlowerThan32Files)
+{
+    // One big header per lookup (1 file) must cost more than the
+    // 32-file layout; 32 files must waste more flash than 1 file.
+    auto measure = [](u32 files, SimTime &fetch_time, Bytes &physical) {
+        pc::nvm::FlashDevice device(deviceConfig());
+        pc::simfs::FlashStore store(device);
+        DbConfig cfg;
+        cfg.numFiles = files;
+        ResultDatabase db(store, cfg);
+        SimTime t = 0;
+        for (int i = 0; i < 2500; ++i)
+            db.addRecord(makeResult(i), t);
+        fetch_time = 0;
+        ResultRecord rec;
+        for (int i = 0; i < 2500; i += 100)
+            db.fetch(urlHash(makeResult(i).url), rec, fetch_time);
+        physical = db.physicalBytes();
+    };
+    SimTime t1 = 0, t32 = 0;
+    Bytes p1 = 0, p32 = 0;
+    measure(1, t1, p1);
+    measure(32, t32, p32);
+    EXPECT_GT(t1, t32) << "single-file header parse dominates";
+    EXPECT_GE(p32, p1) << "more files, more block-rounding waste";
+}
+
+} // namespace
+} // namespace pc::core

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for per-user stream generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "workload/stream.h"
+
+namespace pc::workload {
+namespace {
+
+UniverseConfig
+tinyUniverse()
+{
+    UniverseConfig cfg;
+    cfg.navResults = 500;
+    cfg.nonNavResults = 2000;
+    cfg.navHead = 60;
+    cfg.nonNavHead = 60;
+    cfg.habitNavHead = 40;
+    cfg.habitNonNavHead = 25;
+    return cfg;
+}
+
+UserProfile
+profile(u32 volume, double new_rate)
+{
+    UserProfile p;
+    p.id = 1;
+    p.monthlyVolume = volume;
+    p.newRate = new_rate;
+    p.hotSetSize = 5;
+    return p;
+}
+
+class StreamTest : public ::testing::Test
+{
+  protected:
+    StreamTest() : uni_(tinyUniverse()) {}
+    QueryUniverse uni_;
+};
+
+TEST_F(StreamTest, MonthProducesExactlyVolumeEvents)
+{
+    UserStream s(uni_, profile(57, 0.4), 7);
+    const auto events = s.month(0);
+    EXPECT_EQ(events.size(), 57u);
+    EXPECT_EQ(s.eventsGenerated(), 57u);
+}
+
+TEST_F(StreamTest, EventTimesAscendWithinMonthWindow)
+{
+    UserStream s(uni_, profile(100, 0.4), 11);
+    const auto events = s.month(0);
+    SimTime prev = -1;
+    for (const auto &ev : events) {
+        EXPECT_GE(ev.time, 0);
+        EXPECT_LT(ev.time, kMonth);
+        EXPECT_GE(ev.time, prev);
+        prev = ev.time;
+    }
+}
+
+TEST_F(StreamTest, SecondMonthShiftsWindow)
+{
+    UserStream s(uni_, profile(30, 0.4), 13);
+    s.month(0);
+    const auto events = s.month(kMonth);
+    for (const auto &ev : events) {
+        EXPECT_GE(ev.time, kMonth);
+        EXPECT_LT(ev.time, 2 * kMonth);
+    }
+}
+
+TEST_F(StreamTest, RepeatDrawFlagConsistent)
+{
+    UserStream s(uni_, profile(200, 0.3), 17);
+    s.beginMonth(0);
+    std::unordered_set<u64> seen;
+    const auto key = [](const PairRef &p) {
+        return (u64(p.query) << 32) | p.result;
+    };
+    // First event can never be an episodic repeat; repeatDraw events
+    // must target the hot set or previously issued pairs.
+    UserStream probe(uni_, profile(200, 0.3), 17);
+    probe.beginMonth(0);
+    std::unordered_set<u64> hot;
+    for (const auto &p : probe.hotSet())
+        hot.insert(key(p));
+    for (int i = 0; i < 200; ++i) {
+        const auto ev = probe.next();
+        if (ev.repeatDraw) {
+            EXPECT_TRUE(hot.count(key(ev.pair)) ||
+                        seen.count(key(ev.pair)))
+                << "repeat draw must come from hot set or history";
+        }
+        seen.insert(key(ev.pair));
+    }
+}
+
+TEST_F(StreamTest, ZeroNewRateUserMostlyRepeats)
+{
+    UserStream s(uni_, profile(300, 0.02), 19);
+    const auto events = s.month(0);
+    std::unordered_set<u64> distinct;
+    for (const auto &ev : events)
+        distinct.insert((u64(ev.pair.query) << 32) | ev.pair.result);
+    // A near-pure repeater touches few distinct pairs.
+    EXPECT_LT(distinct.size(), 40u);
+}
+
+TEST_F(StreamTest, HighNewRateUserExplores)
+{
+    UserStream s(uni_, profile(300, 0.95), 23);
+    const auto events = s.month(0);
+    std::unordered_set<u64> distinct;
+    for (const auto &ev : events)
+        distinct.insert((u64(ev.pair.query) << 32) | ev.pair.result);
+    EXPECT_GT(distinct.size(), 150u);
+}
+
+TEST_F(StreamTest, HistoryGrowsMonotonically)
+{
+    UserStream s(uni_, profile(50, 0.5), 29);
+    s.beginMonth(0);
+    std::size_t prev = 0;
+    for (int i = 0; i < 50; ++i) {
+        s.next();
+        EXPECT_GE(s.historySize(), prev);
+        prev = s.historySize();
+    }
+    EXPECT_LE(prev, 50u);
+}
+
+TEST_F(StreamTest, DeterministicForSeed)
+{
+    UserStream a(uni_, profile(80, 0.4), 31);
+    UserStream b(uni_, profile(80, 0.4), 31);
+    const auto ea = a.month(0);
+    const auto eb = b.month(0);
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+        EXPECT_TRUE(ea[i].pair == eb[i].pair);
+        EXPECT_EQ(ea[i].time, eb[i].time);
+    }
+}
+
+TEST_F(StreamTest, HotSetSizeMatchesProfile)
+{
+    UserStream s(uni_, profile(30, 0.4), 37);
+    EXPECT_EQ(s.hotSet().size(), 5u);
+}
+
+} // namespace
+} // namespace pc::workload

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the auto-suggest prefix index and PocketSearch's
+ * instant-results-while-typing path (Figure 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pocket_search.h"
+#include "core/suggest.h"
+
+namespace pc::core {
+namespace {
+
+TEST(SuggestIndex, InsertAndPrefixLookup)
+{
+    SuggestIndex idx;
+    EXPECT_TRUE(idx.insert("youtube", 0.9));
+    EXPECT_TRUE(idx.insert("yotube", 0.2));
+    EXPECT_TRUE(idx.insert("yellow pages", 0.5));
+    EXPECT_TRUE(idx.insert("facebook", 1.0));
+    EXPECT_EQ(idx.size(), 4u);
+
+    SimTime t = 0;
+    const auto y = idx.suggest("y", 10, &t);
+    ASSERT_EQ(y.size(), 3u);
+    EXPECT_EQ(y[0].query, "youtube") << "ordered by score";
+    EXPECT_EQ(y[1].query, "yellow pages");
+    EXPECT_EQ(y[2].query, "yotube");
+    EXPECT_EQ(t, SuggestIndex::kKeystrokeLatency);
+
+    const auto you = idx.suggest("you", 10);
+    ASSERT_EQ(you.size(), 1u);
+    EXPECT_EQ(you[0].query, "youtube");
+}
+
+TEST(SuggestIndex, EmptyPrefixMatchesEverything)
+{
+    SuggestIndex idx;
+    idx.insert("a", 0.1);
+    idx.insert("b", 0.9);
+    const auto all = idx.suggest("", 10);
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0].query, "b");
+}
+
+TEST(SuggestIndex, TopKLimits)
+{
+    SuggestIndex idx;
+    for (int i = 0; i < 20; ++i)
+        idx.insert("query" + std::to_string(i), double(i));
+    const auto top3 = idx.suggest("query", 3);
+    ASSERT_EQ(top3.size(), 3u);
+    EXPECT_EQ(top3[0].query, "query19");
+    EXPECT_TRUE(idx.suggest("query", 0).empty());
+}
+
+TEST(SuggestIndex, ScoresOnlyRatchetUp)
+{
+    SuggestIndex idx;
+    idx.insert("cnn", 0.8);
+    EXPECT_FALSE(idx.insert("cnn", 0.3)) << "existing entry";
+    const auto s = idx.suggest("cnn", 1);
+    EXPECT_DOUBLE_EQ(s[0].score, 0.8);
+    idx.insert("cnn", 1.5);
+    EXPECT_DOUBLE_EQ(idx.suggest("cnn", 1)[0].score, 1.5);
+}
+
+TEST(SuggestIndex, EraseAndClear)
+{
+    SuggestIndex idx;
+    idx.insert("abc", 1.0);
+    idx.insert("abd", 1.0);
+    EXPECT_TRUE(idx.erase("abc"));
+    EXPECT_FALSE(idx.erase("abc"));
+    EXPECT_EQ(idx.suggest("ab", 10).size(), 1u);
+    idx.clear();
+    EXPECT_EQ(idx.size(), 0u);
+}
+
+TEST(SuggestIndex, NoFalsePrefixMatches)
+{
+    SuggestIndex idx;
+    idx.insert("car", 1.0);
+    idx.insert("cart", 1.0);
+    idx.insert("cat", 1.0);
+    EXPECT_EQ(idx.suggest("car", 10).size(), 2u);
+    EXPECT_EQ(idx.suggest("cart", 10).size(), 1u);
+    EXPECT_TRUE(idx.suggest("carts", 10).empty());
+    EXPECT_TRUE(idx.suggest("d", 10).empty());
+}
+
+TEST(SuggestIndex, MemoryBytesGrowWithContent)
+{
+    SuggestIndex idx;
+    const Bytes empty = idx.memoryBytes();
+    idx.insert("some query string", 1.0);
+    EXPECT_GT(idx.memoryBytes(), empty);
+}
+
+class PocketSuggestTest : public ::testing::Test
+{
+  protected:
+    PocketSuggestTest()
+    {
+        workload::UniverseConfig ucfg;
+        ucfg.navResults = 200;
+        ucfg.nonNavResults = 800;
+        ucfg.navHead = 30;
+        ucfg.nonNavHead = 30;
+        ucfg.habitNavHead = 20;
+        ucfg.habitNonNavHead = 15;
+        uni_ = std::make_unique<workload::QueryUniverse>(ucfg);
+        pc::nvm::FlashConfig fc;
+        fc.capacity = 64 * kMiB;
+        flash_ = std::make_unique<pc::nvm::FlashDevice>(fc);
+        store_ = std::make_unique<pc::simfs::FlashStore>(*flash_);
+        ps_ = std::make_unique<PocketSearch>(*uni_, *store_);
+    }
+
+    std::unique_ptr<workload::QueryUniverse> uni_;
+    std::unique_ptr<pc::nvm::FlashDevice> flash_;
+    std::unique_ptr<pc::simfs::FlashStore> store_;
+    std::unique_ptr<PocketSearch> ps_;
+};
+
+TEST_F(PocketSuggestTest, TypingSurfacesCachedQueryWithResults)
+{
+    const workload::PairRef p{uni_->result(0).queries.front().first, 0};
+    const std::string &q = uni_->query(p.query).text;
+    SimTime t = 0;
+    ps_->installPair(p, 0.9, false, t);
+
+    // Type the query one character at a time; once the prefix is
+    // unambiguous the full query with its result must appear.
+    const auto out = ps_->suggestWithResults(q.substr(0, 2), 5, 1);
+    bool found = false;
+    for (const auto &row : out.rows) {
+        if (row.suggestion.query == q) {
+            found = true;
+            ASSERT_EQ(row.results.size(), 1u);
+            EXPECT_EQ(row.results[0].url, uni_->result(0).url);
+        }
+    }
+    EXPECT_TRUE(found);
+    EXPECT_GT(out.latency, 0);
+}
+
+TEST_F(PocketSuggestTest, ClicksFeedTheBox)
+{
+    const workload::PairRef p{
+        uni_->result(42).queries.front().first, 42};
+    const std::string &q = uni_->query(p.query).text;
+    EXPECT_TRUE(ps_->suggestWithResults(q.substr(0, 3), 5).rows.empty());
+    SimTime t = 0;
+    ps_->recordClick(p, t);
+    const auto out = ps_->suggestWithResults(q.substr(0, 3), 5);
+    ASSERT_FALSE(out.rows.empty());
+    EXPECT_EQ(out.rows[0].suggestion.query, q);
+}
+
+TEST_F(PocketSuggestTest, DisabledIndexStaysEmpty)
+{
+    PocketSearchConfig cfg;
+    cfg.enableSuggest = false;
+    pc::nvm::FlashConfig fc;
+    fc.capacity = 64 * kMiB;
+    pc::nvm::FlashDevice flash(fc);
+    pc::simfs::FlashStore store(flash);
+    PocketSearch ps(*uni_, store, cfg);
+    SimTime t = 0;
+    ps.installPair({uni_->result(0).queries.front().first, 0}, 0.9,
+                   false, t);
+    EXPECT_EQ(ps.suggestIndex().size(), 0u);
+}
+
+TEST_F(PocketSuggestTest, ClearTableClearsSuggestions)
+{
+    SimTime t = 0;
+    ps_->installPair({uni_->result(0).queries.front().first, 0}, 0.9,
+                     false, t);
+    EXPECT_GT(ps_->suggestIndex().size(), 0u);
+    ps_->clearTable();
+    EXPECT_EQ(ps_->suggestIndex().size(), 0u);
+}
+
+} // namespace
+} // namespace pc::core

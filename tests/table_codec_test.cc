@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the hash-table wire codec (the Figure 14 upload).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/table_codec.h"
+#include "util/hash.h"
+
+namespace pc::core {
+namespace {
+
+TEST(TableCodec, EmptyTableRoundTrip)
+{
+    QueryHashTable t;
+    const std::string blob = encodeTable(t);
+    EXPECT_EQ(blob.size(), wireSize(0));
+    const auto decoded = decodeTable(blob);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(decoded->empty());
+}
+
+TEST(TableCodec, RoundTripPreservesEveryField)
+{
+    QueryHashTable t;
+    t.insert("youtube", 111, 0.9, true);
+    t.insert("youtube", 222, 0.1, false);
+    t.insert("facebook", 333, 1.5, true);
+
+    const std::string blob = encodeTable(t);
+    EXPECT_EQ(blob.size(), wireSize(3));
+    const auto decoded = decodeTable(blob);
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(decoded->size(), 3u);
+
+    auto find = [&](u64 url) -> const WirePair * {
+        for (const auto &w : *decoded) {
+            if (w.urlHash == url)
+                return &w;
+        }
+        return nullptr;
+    };
+    const WirePair *a = find(111);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->queryFnv, fnv1a("youtube"));
+    EXPECT_DOUBLE_EQ(a->score, 0.9);
+    EXPECT_TRUE(a->accessed);
+
+    const WirePair *b = find(222);
+    ASSERT_NE(b, nullptr);
+    EXPECT_FALSE(b->accessed);
+    EXPECT_DOUBLE_EQ(b->score, 0.1);
+
+    const WirePair *c = find(333);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->queryFnv, fnv1a("facebook"));
+}
+
+TEST(TableCodec, WireSizeMatchesPaperBudget)
+{
+    // The paper's ~200 KB hash-table upload at ~4-6k pairs: our
+    // 25-byte records land in the same regime.
+    EXPECT_LT(wireSize(6000), 200 * kKiB);
+    EXPECT_GT(wireSize(6000), 100u * kKiB / 2);
+}
+
+TEST(TableCodec, RejectsBadMagic)
+{
+    QueryHashTable t;
+    t.insert("q", 1, 0.5);
+    std::string blob = encodeTable(t);
+    blob[0] = 'X';
+    EXPECT_FALSE(decodeTable(blob).has_value());
+}
+
+TEST(TableCodec, RejectsTruncatedBlob)
+{
+    QueryHashTable t;
+    t.insert("q", 1, 0.5);
+    t.insert("r", 2, 0.6);
+    std::string blob = encodeTable(t);
+    blob.resize(blob.size() - 5);
+    EXPECT_FALSE(decodeTable(blob).has_value());
+    EXPECT_FALSE(decodeTable("").has_value());
+    EXPECT_FALSE(decodeTable("PCH").has_value());
+}
+
+TEST(TableCodec, RejectsCountMismatch)
+{
+    QueryHashTable t;
+    t.insert("q", 1, 0.5);
+    std::string blob = encodeTable(t);
+    // Extra trailing byte breaks the length invariant.
+    blob.push_back('\0');
+    EXPECT_FALSE(decodeTable(blob).has_value());
+}
+
+TEST(TableCodec, LargeTableRoundTrip)
+{
+    QueryHashTable t;
+    for (u64 i = 1; i <= 5000; ++i) {
+        t.insert("query" + std::to_string(i % 997), i,
+                 double(i) / 5000.0, i % 3 == 0);
+    }
+    const std::string blob = encodeTable(t);
+    EXPECT_EQ(blob.size(), wireSize(t.pairs()));
+    const auto decoded = decodeTable(blob);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->size(), t.pairs());
+    u64 accessed = 0;
+    for (const auto &w : *decoded)
+        accessed += w.accessed;
+    EXPECT_GT(accessed, 0u);
+    EXPECT_LT(accessed, decoded->size());
+}
+
+} // namespace
+} // namespace pc::core

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the NVM technology roadmap (Table 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvm/technology.h"
+
+namespace pc::nvm {
+namespace {
+
+TEST(TechRoadmap, HasNineGenerations)
+{
+    TechRoadmap rm;
+    EXPECT_EQ(rm.nodes().size(), 9u);
+    EXPECT_EQ(rm.firstYear(), 2010);
+    EXPECT_EQ(rm.lastYear(), 2026);
+}
+
+TEST(TechRoadmap, MatchesTable1Verbatim)
+{
+    TechRoadmap rm;
+    // Spot-check the exact published cells.
+    const auto &n2010 = rm.nodeFor(2010);
+    EXPECT_EQ(n2010.techNm, 32);
+    EXPECT_EQ(n2010.scalingFactor, 1);
+    EXPECT_EQ(n2010.chipStack, 4);
+    EXPECT_EQ(n2010.cellLayers, 1);
+    EXPECT_EQ(n2010.bitsPerCell, 2);
+    EXPECT_EQ(n2010.family, TechFamily::Flash);
+
+    const auto &n2012 = rm.nodeFor(2012);
+    EXPECT_EQ(n2012.bitsPerCell, 3) << "2012 is the 3-bit MLC point";
+
+    const auto &n2018 = rm.nodeFor(2018);
+    EXPECT_EQ(n2018.techNm, 11);
+    EXPECT_EQ(n2018.scalingFactor, 8);
+    EXPECT_EQ(n2018.chipStack, 8);
+    EXPECT_EQ(n2018.cellLayers, 2);
+    EXPECT_EQ(n2018.family, TechFamily::OtherNvm)
+        << "post-flash NVM takes over in 2018";
+
+    const auto &n2026 = rm.nodeFor(2026);
+    EXPECT_EQ(n2026.techNm, 5);
+    EXPECT_EQ(n2026.scalingFactor, 32);
+    EXPECT_EQ(n2026.chipStack, 16);
+    EXPECT_EQ(n2026.cellLayers, 8);
+    EXPECT_EQ(n2026.bitsPerCell, 1);
+}
+
+TEST(TechRoadmap, ScalingStallsAtTransitionAndAt5nm)
+{
+    TechRoadmap rm;
+    // The flash -> other-NVM hand-off (2016 -> 2018) stalls density
+    // scaling for one generation.
+    EXPECT_EQ(rm.nodeFor(2016).scalingFactor,
+              rm.nodeFor(2018).scalingFactor);
+    // Scaling stops when industry hits 5 nm (2022 onward).
+    EXPECT_EQ(rm.nodeFor(2022).scalingFactor,
+              rm.nodeFor(2026).scalingFactor);
+}
+
+TEST(TechRoadmap, NodeForPicksLatestNotAfterYear)
+{
+    TechRoadmap rm;
+    EXPECT_EQ(rm.nodeFor(2011).year, 2010);
+    EXPECT_EQ(rm.nodeFor(2012).year, 2012);
+    EXPECT_EQ(rm.nodeFor(2013).year, 2012);
+    EXPECT_EQ(rm.nodeFor(2040).year, 2026);
+}
+
+TEST(TechRoadmap, YearsAscendStrictly)
+{
+    TechRoadmap rm;
+    for (std::size_t i = 1; i < rm.nodes().size(); ++i)
+        EXPECT_LT(rm.nodes()[i - 1].year, rm.nodes()[i].year);
+}
+
+TEST(TechNode, FullMultiplier2018Is32x)
+{
+    // The multiplier consistent with the paper's "1 TB by 2018 from a
+    // 32 GB 2010 part": 8 (density) * 2 (chip stack) * 2 (layers) *
+    // 1 (bits halve 2->2... stay) = 32.
+    TechRoadmap rm;
+    const double m = rm.nodeFor(2018).fullMultiplier(rm.baseline());
+    EXPECT_DOUBLE_EQ(m, 32.0);
+}
+
+TEST(TechNode, FamilyNames)
+{
+    TechRoadmap rm;
+    EXPECT_EQ(rm.nodeFor(2010).familyName(), "Flash");
+    EXPECT_EQ(rm.nodeFor(2020).familyName(), "Other NVM");
+}
+
+TEST(TechRoadmapDeath, PreRoadmapYearPanics)
+{
+    TechRoadmap rm;
+    EXPECT_DEATH((void)rm.nodeFor(2009), "precedes");
+}
+
+} // namespace
+} // namespace pc::nvm

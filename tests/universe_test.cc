@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit and statistical tests for the query/result universe.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/strings.h"
+#include "workload/universe.h"
+
+namespace pc::workload {
+namespace {
+
+UniverseConfig
+smallConfig()
+{
+    UniverseConfig cfg;
+    cfg.navResults = 2000;
+    cfg.nonNavResults = 8000;
+    cfg.navHead = 250;
+    cfg.nonNavHead = 250;
+    cfg.habitNavHead = 120;
+    cfg.habitNonNavHead = 80;
+    return cfg;
+}
+
+class UniverseTest : public ::testing::Test
+{
+  protected:
+    UniverseTest() : uni_(smallConfig()) {}
+    QueryUniverse uni_;
+};
+
+TEST_F(UniverseTest, PoolSizes)
+{
+    // Base pools plus companion results for head nav queries.
+    EXPECT_GE(uni_.numResults(), 10000u);
+    EXPECT_LE(uni_.numResults(), 10000u + smallConfig().navResults / 20);
+    EXPECT_GE(uni_.numQueries(), 10000u) << "every result has >= 1 query";
+}
+
+TEST_F(UniverseTest, CompanionResultsAreNavigational)
+{
+    for (u32 r = 10000; r < uni_.numResults(); ++r) {
+        const auto &res = uni_.result(r);
+        EXPECT_TRUE(res.navigational);
+        EXPECT_EQ(res.poolRank, kNoPoolRank);
+        ASSERT_FALSE(res.queries.empty());
+        const PairRef p{res.queries.front().first, r};
+        EXPECT_TRUE(uni_.isNavigationalPair(p))
+            << res.url << " vs " << uni_.query(p.query).text;
+    }
+}
+
+TEST_F(UniverseTest, NavResultsComeFirst)
+{
+    EXPECT_TRUE(uni_.result(0).navigational);
+    EXPECT_TRUE(uni_.result(1999).navigational);
+    EXPECT_FALSE(uni_.result(2000).navigational);
+    EXPECT_FALSE(uni_.result(9999).navigational);
+    EXPECT_EQ(uni_.result(0).poolRank, 0u);
+    EXPECT_EQ(uni_.result(2000).poolRank, 0u);
+}
+
+TEST_F(UniverseTest, EveryResultHasAQueryAndEveryQueryAResult)
+{
+    for (u32 r = 0; r < uni_.numResults(); ++r)
+        EXPECT_FALSE(uni_.result(r).queries.empty()) << "result " << r;
+    for (u32 q = 0; q < uni_.numQueries(); ++q)
+        EXPECT_FALSE(uni_.query(q).results.empty()) << "query " << q;
+}
+
+TEST_F(UniverseTest, NavigationalDefinitionHolds)
+{
+    // The paper's footnote-1 definition: a query is navigational when
+    // the query string is a substring of the clicked URL. Canonical
+    // nav pairs must satisfy it; canonical non-nav pairs must not.
+    int checked = 0;
+    for (u32 r = 0; r < uni_.numResults(); ++r) {
+        const auto &res = uni_.result(r);
+        const u32 canonical = res.queries.front().first;
+        const PairRef p{canonical, r};
+        if (res.navigational)
+            EXPECT_TRUE(uni_.isNavigationalPair(p)) << res.url;
+        else
+            EXPECT_FALSE(uni_.isNavigationalPair(p)) << res.url;
+        ++checked;
+    }
+    EXPECT_EQ(checked, int(uni_.numResults()));
+}
+
+TEST_F(UniverseTest, QueryResultLinksAreBidirectional)
+{
+    for (u32 r = 0; r < uni_.numResults(); ++r) {
+        for (const auto &[qid, w] : uni_.result(r).queries) {
+            (void)w;
+            bool found = false;
+            for (const auto &[rid, rw] : uni_.query(qid).results) {
+                (void)rw;
+                found |= (rid == r);
+            }
+            EXPECT_TRUE(found)
+                << "query " << qid << " missing backlink to " << r;
+        }
+    }
+}
+
+TEST_F(UniverseTest, SamplePairIsValidAndConsistent)
+{
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i) {
+        const PairRef p = uni_.samplePair(rng, DeviceType::Smartphone);
+        ASSERT_LT(p.result, uni_.numResults());
+        ASSERT_LT(p.query, uni_.numQueries());
+        // The sampled query must actually map to the sampled result.
+        bool linked = false;
+        for (const auto &[rid, w] : uni_.query(p.query).results) {
+            (void)w;
+            linked |= (rid == p.result);
+        }
+        ASSERT_TRUE(linked);
+    }
+}
+
+TEST_F(UniverseTest, FeaturephoneMoreConcentrated)
+{
+    Rng rng(5);
+    const int n = 40000;
+    const u32 head = 100;
+    int fp_head = 0, sp_head = 0;
+    for (int i = 0; i < n; ++i) {
+        auto fp = uni_.samplePair(rng, DeviceType::Featurephone);
+        auto sp = uni_.samplePair(rng, DeviceType::Smartphone);
+        const auto pool_rank = [&](const PairRef &p) {
+            return uni_.result(p.result).navigational
+                ? p.result : p.result - smallConfig().navResults;
+        };
+        fp_head += pool_rank(fp) < head;
+        sp_head += pool_rank(sp) < head;
+    }
+    EXPECT_GT(fp_head, sp_head)
+        << "featurephone traffic must be more head-concentrated";
+}
+
+TEST_F(UniverseTest, HabitualDrawsMoreConcentratedThanFresh)
+{
+    Rng rng(7);
+    const int n = 30000;
+    int habit_in_head = 0, fresh_in_head = 0;
+    const auto &cfg = uni_.config();
+    for (int i = 0; i < n; ++i) {
+        const auto h = uni_.samplePairHabitual(rng,
+                                               DeviceType::Smartphone);
+        const auto f = uni_.samplePair(rng, DeviceType::Smartphone);
+        const auto in_head = [&](const PairRef &p) {
+            const auto &res = uni_.result(p.result);
+            const u32 rank = res.navigational
+                ? p.result : p.result - cfg.navResults;
+            return res.navigational ? rank < cfg.habitNavHead
+                                    : rank < cfg.habitNonNavHead;
+        };
+        habit_in_head += in_head(h);
+        fresh_in_head += in_head(f);
+    }
+    EXPECT_GT(habit_in_head, fresh_in_head * 2);
+    // Click redistribution sends some habitual clicks to shared/
+    // companion results outside the nominal head, so allow slack below
+    // the raw mainstream share.
+    EXPECT_GT(double(habit_in_head) / n, 0.60);
+}
+
+TEST_F(UniverseTest, PairProbabilityMatchesSampling)
+{
+    // Empirical frequency of the most popular nav pair should match
+    // pairProbability within sampling error.
+    Rng rng(11);
+    const u32 top_query = uni_.result(0).queries.front().first;
+    const PairRef top{top_query, 0};
+    const double p = uni_.pairProbability(top);
+    ASSERT_GT(p, 0.0);
+    const int n = 200000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i) {
+        const auto s = uni_.samplePair(rng, DeviceType::Smartphone);
+        hits += (s == top);
+    }
+    EXPECT_NEAR(double(hits) / n, p, 4.0 * std::sqrt(p / n) + 0.001);
+}
+
+TEST_F(UniverseTest, DeterministicRebuild)
+{
+    QueryUniverse other(smallConfig());
+    ASSERT_EQ(other.numQueries(), uni_.numQueries());
+    for (u32 q = 0; q < uni_.numQueries(); q += 997)
+        EXPECT_EQ(other.query(q).text, uni_.query(q).text);
+}
+
+TEST_F(UniverseTest, RecordSizeNear500Bytes)
+{
+    // The paper: ~500 bytes per stored search result.
+    for (u32 r = 0; r < 100; ++r) {
+        const Bytes sz = QueryUniverse::recordSize(uni_.result(r));
+        EXPECT_GE(sz, 400u);
+        EXPECT_LE(sz, 700u);
+    }
+}
+
+TEST_F(UniverseTest, SharedQueriesExist)
+{
+    // Some non-nav queries map to two results (Table 3's "michael
+    // jackson" effect).
+    int multi = 0;
+    for (u32 q = 0; q < uni_.numQueries(); ++q)
+        multi += uni_.query(q).results.size() > 1;
+    EXPECT_GT(multi, 0);
+}
+
+TEST_F(UniverseTest, UrlsAreWellFormed)
+{
+    for (u32 r = 0; r < uni_.numResults(); r += 53) {
+        const auto &url = uni_.result(r).url;
+        EXPECT_TRUE(pc::startsWith(url, "www.") ||
+                    pc::startsWith(url, "m."))
+            << url;
+        EXPECT_NE(url.find(".com"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace pc::workload

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the synthetic vocabulary and alias generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+
+#include "workload/vocab.h"
+
+namespace pc::workload {
+namespace {
+
+TEST(Vocabulary, WordsAreDeterministic)
+{
+    EXPECT_EQ(Vocabulary::word(7), Vocabulary::word(7));
+    EXPECT_EQ(Vocabulary::domainToken(42), Vocabulary::domainToken(42));
+    EXPECT_EQ(Vocabulary::topicPhrase(9, 100),
+              Vocabulary::topicPhrase(9, 100));
+}
+
+TEST(Vocabulary, WordsAreMostlyDistinct)
+{
+    std::set<std::string> seen;
+    int dups = 0;
+    for (u64 i = 0; i < 20000; ++i) {
+        if (!seen.insert(Vocabulary::word(i)).second)
+            ++dups;
+    }
+    // Pronounceable syllable words collide occasionally; just require
+    // the space to be large.
+    EXPECT_LT(dups, 600);
+}
+
+TEST(Vocabulary, WordsAreLowercaseAlpha)
+{
+    for (u64 i = 0; i < 1000; ++i) {
+        for (char c : Vocabulary::word(i))
+            EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)));
+    }
+}
+
+TEST(Vocabulary, TopicPhraseHasOneToThreeWords)
+{
+    for (u64 i = 0; i < 2000; ++i) {
+        const std::string p = Vocabulary::topicPhrase(i, 5000);
+        int words = 1;
+        for (char c : p)
+            words += (c == ' ');
+        EXPECT_GE(words, 1);
+        EXPECT_LE(words, 3);
+    }
+}
+
+TEST(MakeAlias, AliasDiffersFromCanonical)
+{
+    for (u64 salt = 1; salt < 50; ++salt) {
+        EXPECT_NE(makeAlias("youtube", AliasKind::Misspelling, salt),
+                  "youtube");
+        EXPECT_NE(makeAlias("bank of america", AliasKind::Shortcut, salt),
+                  "bank of america");
+    }
+}
+
+TEST(MakeAlias, ShortcutUsesInitialsForPhrases)
+{
+    // "bank of america" -> "boa" (the paper's example).
+    EXPECT_EQ(makeAlias("bank of america", AliasKind::Shortcut, 1), "boa");
+}
+
+TEST(MakeAlias, ShortcutUsesPrefixForSingleWords)
+{
+    const std::string alias =
+        makeAlias("plentyoffish", AliasKind::Shortcut, 1);
+    EXPECT_LE(alias.size(), 4u);
+    EXPECT_EQ(alias, std::string("plentyoffish").substr(0, alias.size()));
+}
+
+TEST(MakeAlias, MisspellingKeepsLengthClose)
+{
+    for (u64 salt = 1; salt < 100; ++salt) {
+        const std::string a =
+            makeAlias("facebook", AliasKind::Misspelling, salt);
+        EXPECT_GE(a.size(), 7u);
+        EXPECT_LE(a.size(), 9u);
+    }
+}
+
+TEST(MakeAlias, DeterministicPerSalt)
+{
+    EXPECT_EQ(makeAlias("youtube", AliasKind::Misspelling, 3),
+              makeAlias("youtube", AliasKind::Misspelling, 3));
+}
+
+TEST(MakeAlias, SaltsSpreadOverManyAliases)
+{
+    // Individual salts may collide (few corruption sites in a short
+    // word), but a span of salts must produce real variety.
+    std::set<std::string> aliases;
+    for (u64 salt = 1; salt <= 30; ++salt)
+        aliases.insert(makeAlias("youtube", AliasKind::Misspelling, salt));
+    EXPECT_GE(aliases.size(), 8u);
+}
+
+TEST(MakeAlias, TinyStringsHandled)
+{
+    EXPECT_NE(makeAlias("ab", AliasKind::Misspelling, 1), "ab");
+    EXPECT_NE(makeAlias("ab", AliasKind::Shortcut, 1), "ab");
+}
+
+} // namespace
+} // namespace pc::workload

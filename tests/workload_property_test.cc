@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Property tests on the workload generator: statistical invariants
+ * that must hold across user classes and process parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "logs/analyzer.h"
+#include "logs/triplets.h"
+#include "workload/loggen.h"
+#include "workload/stream.h"
+
+namespace pc::workload {
+namespace {
+
+UniverseConfig
+tinyUniverse()
+{
+    UniverseConfig cfg;
+    cfg.navResults = 1000;
+    cfg.nonNavResults = 4000;
+    cfg.navHead = 120;
+    cfg.nonNavHead = 120;
+    cfg.habitNavHead = 60;
+    cfg.habitNonNavHead = 40;
+    cfg.trendStride = 10;
+    return cfg;
+}
+
+/** Measured per-user repeat rate over one generated month. */
+double
+measuredRepeatRate(const QueryUniverse &uni, double new_rate, u64 seed)
+{
+    UserProfile p;
+    p.monthlyVolume = 400;
+    p.newRate = new_rate;
+    p.hotSetSize = 6;
+    UserStream stream(uni, p, seed);
+    std::unordered_set<u64> seen;
+    u64 repeats = 0, events = 0;
+    for (const auto &ev : stream.month(0)) {
+        const u64 key = (u64(ev.pair.query) << 32) | ev.pair.result;
+        ++events;
+        repeats += !seen.insert(key).second;
+    }
+    return double(repeats) / double(events);
+}
+
+TEST(WorkloadProperties, RepeatRateMonotoneInNewRate)
+{
+    QueryUniverse uni(tinyUniverse());
+    // Averaged over several seeds to control sampling noise.
+    auto avg = [&](double nr) {
+        double sum = 0.0;
+        for (u64 s = 1; s <= 5; ++s)
+            sum += measuredRepeatRate(uni, nr, s * 101);
+        return sum / 5.0;
+    };
+    const double lo = avg(0.05);
+    const double mid = avg(0.40);
+    const double hi = avg(0.90);
+    EXPECT_GT(lo, mid);
+    EXPECT_GT(mid, hi);
+    EXPECT_GT(lo, 0.75) << "a near-pure repeater repeats mostly";
+}
+
+class ClassSweep : public ::testing::TestWithParam<UserClass>
+{
+};
+
+TEST_P(ClassSweep, StreamsRespectVolumeAndDeterminism)
+{
+    QueryUniverse uni(tinyUniverse());
+    PopulationSampler sampler(PopulationConfig{});
+    Rng rng(u64(GetParam()) * 7 + 3);
+    for (int i = 0; i < 10; ++i) {
+        const auto profile = sampler.sampleUserOfClass(rng, GetParam());
+        UserStream a(uni, profile, 42 + u64(i));
+        UserStream b(uni, profile, 42 + u64(i));
+        const auto ea = a.month(0);
+        const auto eb = b.month(0);
+        ASSERT_EQ(ea.size(), profile.monthlyVolume);
+        for (std::size_t k = 0; k < ea.size(); ++k)
+            ASSERT_TRUE(ea[k].pair == eb[k].pair);
+    }
+}
+
+TEST_P(ClassSweep, HistoryBoundedByEvents)
+{
+    QueryUniverse uni(tinyUniverse());
+    PopulationSampler sampler(PopulationConfig{});
+    Rng rng(u64(GetParam()) * 13 + 5);
+    const auto profile = sampler.sampleUserOfClass(rng, GetParam());
+    UserStream s(uni, profile, 9);
+    s.month(0);
+    EXPECT_LE(s.historySize(), profile.monthlyVolume);
+    EXPECT_GE(s.historySize(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, ClassSweep,
+                         ::testing::Values(UserClass::Low,
+                                           UserClass::Medium,
+                                           UserClass::High,
+                                           UserClass::Extreme));
+
+TEST(WorkloadProperties, TripletVolumeConservation)
+{
+    // Aggregation must conserve event counts exactly, whatever the
+    // population shape.
+    QueryUniverse uni(tinyUniverse());
+    for (u64 seed : {1ull, 2ull, 3ull}) {
+        LogGenConfig lg;
+        lg.seed = seed;
+        lg.numUsers = 150;
+        LogGenerator gen(uni, PopulationConfig{}, lg);
+        const auto log = gen.generateMonth();
+        const auto tt = logs::TripletTable::fromLog(log);
+        ASSERT_EQ(tt.totalVolume(), log.size());
+        u64 sum = 0;
+        for (const auto &row : tt.rows())
+            sum += row.volume;
+        ASSERT_EQ(sum, log.size());
+        ASSERT_DOUBLE_EQ(tt.cumulativeShare(tt.rows().size()), 1.0);
+    }
+}
+
+TEST(WorkloadProperties, EpochChangesFreshDrawsOnly)
+{
+    // Two streams with the same seed, different epochs: their hot sets
+    // at construction differ only via epoch-dependent trending ids;
+    // within one epoch, generation stays deterministic.
+    QueryUniverse uni(tinyUniverse());
+    UserProfile p;
+    p.monthlyVolume = 100;
+    p.newRate = 0.5;
+    p.hotSetSize = 6;
+    UserStream e0(uni, p, 5, 0);
+    UserStream e0b(uni, p, 5, 0);
+    const auto a = e0.month(0);
+    const auto b = e0b.month(0);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_TRUE(a[i].pair == b[i].pair);
+}
+
+TEST(WorkloadProperties, TrendingSliceChurnsTopNonNav)
+{
+    // At epoch > 0, the top non-nav ranks map to deep-tail trending
+    // ids; epoch 0 is undisturbed; distinct epochs trend differently.
+    UniverseConfig cfg = tinyUniverse();
+    QueryUniverse uni(cfg);
+    std::unordered_set<u32> e1_ids, e2_ids;
+    Rng rng(3);
+    for (int i = 0; i < 4000; ++i) {
+        const auto p1 = uni.samplePairHabitual(
+            rng, DeviceType::Smartphone, 0.0, 1); // non-nav only
+        const auto p2 = uni.samplePairHabitual(
+            rng, DeviceType::Smartphone, 0.0, 2);
+        e1_ids.insert(p1.result);
+        e2_ids.insert(p2.result);
+    }
+    // Some results must be epoch-exclusive trending topics.
+    u64 only_e1 = 0;
+    for (u32 id : e1_ids)
+        only_e1 += !e2_ids.count(id);
+    EXPECT_GT(only_e1, 0u) << "epochs must churn the trending slice";
+}
+
+TEST(WorkloadProperties, AnalyzerCensusMatchesGeneratorShares)
+{
+    QueryUniverse uni(tinyUniverse());
+    LogGenConfig lg;
+    lg.seed = 77;
+    lg.numUsers = 4000;
+    LogGenerator gen(uni, PopulationConfig{}, lg);
+    const auto log = gen.generateMonth();
+    logs::LogAnalyzer an(log);
+    const auto census = an.classCensus(20);
+    EXPECT_NEAR(census[0].share, 0.55, 0.03);
+    EXPECT_NEAR(census[1].share, 0.36, 0.03);
+    EXPECT_NEAR(census[2].share, 0.08, 0.02);
+    EXPECT_NEAR(census[3].share, 0.01, 0.01);
+}
+
+} // namespace
+} // namespace pc::workload

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Calibration smoke tool: prints the synthetic workload's measured
+ * statistics next to the paper's published targets. Not installed as a
+ * bench; used during development to tune generator constants.
+ */
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "device/replay.h"
+#include "harness/workbench.h"
+#include "logs/analyzer.h"
+
+using namespace pc;
+
+int
+main()
+{
+    harness::Workbench wb;
+    const auto &uni = wb.universe();
+    const auto &log = wb.buildLog();
+    const auto &tt = wb.triplets();
+
+    std::printf("events=%zu distinct pairs=%zu totalVol=%llu\n",
+                log.size(), tt.rows().size(),
+                (unsigned long long)tt.totalVolume());
+
+    logs::LogAnalyzer an(log);
+    auto qpop = an.queryPopularity();
+    auto rpop = an.resultPopularity();
+    std::printf("top6000 query share = %.3f (paper 0.60)\n",
+                qpop.shareOfTop(6000));
+    std::printf("top4000 result share = %.3f (paper 0.60)\n",
+                rpop.shareOfTop(4000));
+    std::printf("queries for 60%% = %zu ; results for 60%% = %zu "
+                "(paper 6000 vs 4000)\n",
+                qpop.topForShare(0.60), rpop.topForShare(0.60));
+
+    logs::RecordFilter nav_f;
+    nav_f.navigational = true;
+    logs::RecordFilter nonnav_f;
+    nonnav_f.navigational = false;
+    auto nav = an.queryPopularity(nav_f);
+    auto nonnav = an.queryPopularity(nonnav_f);
+    std::printf("nav top5000 share = %.3f (paper 0.90); "
+                "nonnav top5000 share = %.3f (paper <0.30)\n",
+                nav.shareOfTop(5000), nonnav.shareOfTop(5000));
+
+    std::printf("mean repeat rate = %.3f (paper 0.565)\n",
+                an.meanRepeatRate());
+    std::printf("users with newRate<=0.30 = %.3f (paper ~0.50)\n",
+                an.fractionUsersNewRateAtMost(0.30));
+
+    const auto &cache = wb.communityCache();
+    std::printf("cache: pairs=%zu uniqueResults=%zu share=%.3f "
+                "dram=%.1fKB flash=%.2fMB\n",
+                cache.pairs.size(), cache.uniqueResults,
+                cache.cumulativeShare,
+                double(cache.dramBytes) / 1024.0,
+                double(cache.flashBytes) / (1024.0 * 1024.0));
+    std::printf("unique result fraction = %.3f (paper 0.60)\n",
+                cache.pairs.empty() ? 0.0
+                    : double(cache.uniqueResults) /
+                      double(cache.pairs.size()));
+    {
+        std::unordered_map<pc::u32, int> rpq;
+        for (const auto &sp : cache.pairs)
+            ++rpq[sp.pair.query];
+        int hist[5] = {0,0,0,0,0};
+        for (auto &[q,n] : rpq) { (void)q; ++hist[std::min(n,4)]; }
+        std::printf("cached queries by #results: 1:%d 2:%d 3:%d 4+:%d "
+                    "(distinct queries %zu)\n",
+                    hist[1], hist[2], hist[3], hist[4], rpq.size());
+    }
+
+    // Hit-rate replay, 30 users per class for speed.
+    for (auto mode : {core::CacheMode::Combined,
+                      core::CacheMode::CommunityOnly,
+                      core::CacheMode::PersonalizationOnly}) {
+        device::ReplayDriver driver(uni, cache, wb.population());
+        device::ReplayConfig rc;
+        rc.mode = mode;
+        rc.usersPerClass = 30;
+        auto res = driver.run(rc);
+        std::printf("[%s] overall=%.3f classes:",
+                    core::cacheModeName(mode).c_str(),
+                    res.overallMeanHitRate);
+        for (const auto &c : res.classes)
+            std::printf(" %.3f", c.meanHitRate);
+        std::printf("  navHitShare(avg):");
+        for (const auto &c : res.classes)
+            std::printf(" %.2f", c.navHitShare);
+        std::printf("\n");
+    }
+    return 0;
+}

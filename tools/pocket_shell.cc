@@ -1,0 +1,171 @@
+/**
+ * @file
+ * pocket_shell — an interactive PocketSearch phone in your terminal.
+ *
+ * Builds the small experiment world and drops into a REPL over the
+ * simulated device. Commands:
+ *
+ *   type <prefix>     auto-suggest box for a partial query (Figure 1)
+ *   search <query>    serve a full query (cache first, 3G on a miss)
+ *   click <n>         click result #n of the last search (teaches the
+ *                     personalization component / re-ranks)
+ *   stats             cache + device counters
+ *   update            run the nightly Figure 14 sync against fresh logs
+ *   seed <n>          jump to the n-th most popular community query
+ *   help / quit
+ *
+ * Also usable non-interactively:  echo "search foo" | pocket_shell
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/cache_manager.h"
+#include "device/mobile_device.h"
+#include "harness/workbench.h"
+#include "util/strings.h"
+
+using namespace pc;
+
+namespace {
+
+void
+help()
+{
+    std::printf(
+        "commands:\n"
+        "  type <prefix>   auto-suggest with instant results\n"
+        "  search <query>  serve a query end to end\n"
+        "  click <n>       click result #n of the last search\n"
+        "  seed <n>        print the n-th most popular cached query\n"
+        "  stats           cache/device counters\n"
+        "  update          nightly community sync (Figure 14)\n"
+        "  help, quit\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("building the world (a few seconds)...\n");
+    harness::Workbench wb(harness::smallWorkbenchConfig());
+    device::MobileDevice dev(wb.universe());
+    dev.installCommunityCache(wb.communityCache());
+    core::CacheManager manager(wb.universe());
+    auto &ps = dev.pocketSearch();
+
+    std::printf("ready: %zu cached pairs, %s DRAM, %s flash. Type "
+                "'help'.\n",
+                ps.pairs(), humanBytes(ps.dramBytes()).c_str(),
+                humanBytes(ps.flashLogicalBytes()).c_str());
+
+    core::LookupOutcome last;
+    std::string last_query;
+    std::string line;
+    while (std::printf("pocket> "), std::fflush(stdout),
+           std::getline(std::cin, line)) {
+        std::istringstream iss(line);
+        std::string cmd;
+        iss >> cmd;
+        if (cmd.empty())
+            continue;
+
+        if (cmd == "quit" || cmd == "exit")
+            break;
+        if (cmd == "help") {
+            help();
+        } else if (cmd == "seed") {
+            std::size_t n = 0;
+            iss >> n;
+            const auto &pairs = wb.communityCache().pairs;
+            if (n >= pairs.size()) {
+                std::printf("only %zu cached pairs\n", pairs.size());
+                continue;
+            }
+            std::printf("#%zu: \"%s\" -> %s\n", n,
+                        wb.universe().query(pairs[n].pair.query)
+                            .text.c_str(),
+                        wb.universe().result(pairs[n].pair.result)
+                            .url.c_str());
+        } else if (cmd == "type") {
+            std::string prefix;
+            std::getline(iss, prefix);
+            while (!prefix.empty() && prefix.front() == ' ')
+                prefix.erase(prefix.begin());
+            auto out = ps.suggestWithResults(prefix, 3, 1);
+            std::printf("[%s_] (%s)\n", prefix.c_str(),
+                        humanTime(out.latency).c_str());
+            for (const auto &row : out.rows) {
+                std::printf("  %-24s", row.suggestion.query.c_str());
+                if (!row.results.empty())
+                    std::printf(" -> %s", row.results[0].url.c_str());
+                std::printf("\n");
+            }
+            if (out.rows.empty())
+                std::printf("  (no cached completions)\n");
+        } else if (cmd == "search") {
+            std::string q;
+            std::getline(iss, q);
+            while (!q.empty() && q.front() == ' ')
+                q.erase(q.begin());
+            last = ps.lookup(q, 2);
+            last_query = q;
+            if (last.hit) {
+                std::printf("HIT in %s:\n",
+                            humanTime(last.hashLookupTime +
+                                      last.fetchTime).c_str());
+                for (std::size_t i = 0; i < last.results.size(); ++i) {
+                    std::printf("  [%zu] %s — %s\n", i,
+                                last.results[i].title.c_str(),
+                                last.results[i].url.c_str());
+                }
+                std::printf("(+361 ms render)\n");
+            } else {
+                std::printf("MISS -> would go over 3G (~6 s, ~7.5 J)\n");
+            }
+        } else if (cmd == "click") {
+            std::size_t n = 0;
+            iss >> n;
+            if (last_query.empty() || n >= last.urlHashes.size()) {
+                std::printf("no such result from the last search\n");
+                continue;
+            }
+            ps.table().applyClick(last_query, last.urlHashes[n], 0.1);
+            std::printf("clicked; '%s' re-ranked for next time\n",
+                        last_query.c_str());
+        } else if (cmd == "stats") {
+            const auto &s = ps.stats();
+            std::printf("pairs=%zu dram=%s flash=%s | lookups=%llu "
+                        "query-hits=%llu learned=%llu | suggest "
+                        "entries=%zu\n",
+                        ps.pairs(), humanBytes(ps.dramBytes()).c_str(),
+                        humanBytes(ps.flashLogicalBytes()).c_str(),
+                        (unsigned long long)s.lookups,
+                        (unsigned long long)s.queryHits,
+                        (unsigned long long)s.pairsLearned,
+                        ps.suggestIndex().size());
+        } else if (cmd == "update") {
+            const auto fresh_log = wb.nextCommunityMonth();
+            const auto fresh =
+                logs::TripletTable::fromLog(fresh_log);
+            core::UpdatePolicy policy;
+            policy.content.kind = core::ThresholdKind::VolumeShare;
+            policy.content.volumeShare = 0.55;
+            SimTime t = 0;
+            const auto st = manager.update(ps, fresh, policy, t);
+            std::printf("synced: -%zu pruned, +%zu fresh, %zu kept; "
+                        "exchange %s\n",
+                        st.pairsPruned, st.pairsAdded, st.pairsKept,
+                        humanBytes(st.bytesToServer +
+                                   st.bytesToPhone).c_str());
+        } else {
+            std::printf("unknown command '%s' (try 'help')\n",
+                        cmd.c_str());
+        }
+    }
+    std::printf("bye\n");
+    return 0;
+}
