@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multicloudlet.dir/bench_ablation_multicloudlet.cc.o"
+  "CMakeFiles/bench_ablation_multicloudlet.dir/bench_ablation_multicloudlet.cc.o.d"
+  "bench_ablation_multicloudlet"
+  "bench_ablation_multicloudlet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multicloudlet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_hashtable.dir/bench_fig11_hashtable.cc.o"
+  "CMakeFiles/bench_fig11_hashtable.dir/bench_fig11_hashtable.cc.o.d"
+  "bench_fig11_hashtable"
+  "bench_fig11_hashtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_hashtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

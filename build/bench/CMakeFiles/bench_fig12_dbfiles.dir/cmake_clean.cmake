@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_dbfiles.dir/bench_fig12_dbfiles.cc.o"
+  "CMakeFiles/bench_fig12_dbfiles.dir/bench_fig12_dbfiles.cc.o.d"
+  "bench_fig12_dbfiles"
+  "bench_fig12_dbfiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_dbfiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig17_hitrate.cc" "bench/CMakeFiles/bench_fig17_hitrate.dir/bench_fig17_hitrate.cc.o" "gcc" "bench/CMakeFiles/bench_fig17_hitrate.dir/bench_fig17_hitrate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/pc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/pc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/pc_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/pc_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/simfs/CMakeFiles/pc_simfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/pc_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_navsplit.dir/bench_fig19_navsplit.cc.o"
+  "CMakeFiles/bench_fig19_navsplit.dir/bench_fig19_navsplit.cc.o.d"
+  "bench_fig19_navsplit"
+  "bench_fig19_navsplit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_navsplit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_autosuggest.dir/bench_fig1_autosuggest.cc.o"
+  "CMakeFiles/bench_fig1_autosuggest.dir/bench_fig1_autosuggest.cc.o.d"
+  "bench_fig1_autosuggest"
+  "bench_fig1_autosuggest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_autosuggest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

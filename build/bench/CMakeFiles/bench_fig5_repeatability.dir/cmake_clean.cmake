@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_repeatability.dir/bench_fig5_repeatability.cc.o"
+  "CMakeFiles/bench_fig5_repeatability.dir/bench_fig5_repeatability.cc.o.d"
+  "bench_fig5_repeatability"
+  "bench_fig5_repeatability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_repeatability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_footprint.dir/bench_fig8_footprint.cc.o"
+  "CMakeFiles/bench_fig8_footprint.dir/bench_fig8_footprint.cc.o.d"
+  "bench_fig8_footprint"
+  "bench_fig8_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

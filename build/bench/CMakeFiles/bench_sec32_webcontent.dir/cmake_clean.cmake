@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec32_webcontent.dir/bench_sec32_webcontent.cc.o"
+  "CMakeFiles/bench_sec32_webcontent.dir/bench_sec32_webcontent.cc.o.d"
+  "bench_sec32_webcontent"
+  "bench_sec32_webcontent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec32_webcontent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

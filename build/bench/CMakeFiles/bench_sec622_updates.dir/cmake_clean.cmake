@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec622_updates.dir/bench_sec622_updates.cc.o"
+  "CMakeFiles/bench_sec622_updates.dir/bench_sec622_updates.cc.o.d"
+  "bench_sec622_updates"
+  "bench_sec622_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec622_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_items.dir/bench_table2_items.cc.o"
+  "CMakeFiles/bench_table2_items.dir/bench_table2_items.cc.o.d"
+  "bench_table2_items"
+  "bench_table2_items.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_items.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

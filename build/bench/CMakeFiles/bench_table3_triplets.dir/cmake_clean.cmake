@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_triplets.dir/bench_table3_triplets.cc.o"
+  "CMakeFiles/bench_table3_triplets.dir/bench_table3_triplets.cc.o.d"
+  "bench_table3_triplets"
+  "bench_table3_triplets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_triplets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

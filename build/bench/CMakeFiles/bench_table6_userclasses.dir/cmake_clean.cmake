@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_userclasses.dir/bench_table6_userclasses.cc.o"
+  "CMakeFiles/bench_table6_userclasses.dir/bench_table6_userclasses.cc.o.d"
+  "bench_table6_userclasses"
+  "bench_table6_userclasses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_userclasses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

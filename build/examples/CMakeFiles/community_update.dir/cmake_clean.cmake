@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_update.dir/community_update.cpp.o"
+  "CMakeFiles/community_update.dir/community_update.cpp.o.d"
+  "community_update"
+  "community_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_cloudlet.dir/multi_cloudlet.cpp.o"
+  "CMakeFiles/multi_cloudlet.dir/multi_cloudlet.cpp.o.d"
+  "multi_cloudlet"
+  "multi_cloudlet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_cloudlet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_with_ads.dir/search_with_ads.cpp.o"
+  "CMakeFiles/search_with_ads.dir/search_with_ads.cpp.o.d"
+  "search_with_ads"
+  "search_with_ads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_with_ads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

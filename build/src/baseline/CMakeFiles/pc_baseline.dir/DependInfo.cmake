@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/browser_cache.cc" "src/baseline/CMakeFiles/pc_baseline.dir/browser_cache.cc.o" "gcc" "src/baseline/CMakeFiles/pc_baseline.dir/browser_cache.cc.o.d"
+  "/root/repo/src/baseline/lru_cache.cc" "src/baseline/CMakeFiles/pc_baseline.dir/lru_cache.cc.o" "gcc" "src/baseline/CMakeFiles/pc_baseline.dir/lru_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/pc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

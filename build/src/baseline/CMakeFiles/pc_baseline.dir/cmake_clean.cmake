@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_baseline.dir/browser_cache.cc.o"
+  "CMakeFiles/pc_baseline.dir/browser_cache.cc.o.d"
+  "CMakeFiles/pc_baseline.dir/lru_cache.cc.o"
+  "CMakeFiles/pc_baseline.dir/lru_cache.cc.o.d"
+  "libpc_baseline.a"
+  "libpc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

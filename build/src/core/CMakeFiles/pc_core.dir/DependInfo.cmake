@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ad_cloudlet.cc" "src/core/CMakeFiles/pc_core.dir/ad_cloudlet.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/ad_cloudlet.cc.o.d"
+  "/root/repo/src/core/cache_content.cc" "src/core/CMakeFiles/pc_core.dir/cache_content.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/cache_content.cc.o.d"
+  "/root/repo/src/core/cache_manager.cc" "src/core/CMakeFiles/pc_core.dir/cache_manager.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/cache_manager.cc.o.d"
+  "/root/repo/src/core/coordinator.cc" "src/core/CMakeFiles/pc_core.dir/coordinator.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/coordinator.cc.o.d"
+  "/root/repo/src/core/hash_table.cc" "src/core/CMakeFiles/pc_core.dir/hash_table.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/hash_table.cc.o.d"
+  "/root/repo/src/core/persistence.cc" "src/core/CMakeFiles/pc_core.dir/persistence.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/persistence.cc.o.d"
+  "/root/repo/src/core/pocket_search.cc" "src/core/CMakeFiles/pc_core.dir/pocket_search.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/pocket_search.cc.o.d"
+  "/root/repo/src/core/result_db.cc" "src/core/CMakeFiles/pc_core.dir/result_db.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/result_db.cc.o.d"
+  "/root/repo/src/core/suggest.cc" "src/core/CMakeFiles/pc_core.dir/suggest.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/suggest.cc.o.d"
+  "/root/repo/src/core/table_codec.cc" "src/core/CMakeFiles/pc_core.dir/table_codec.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/table_codec.cc.o.d"
+  "/root/repo/src/core/tile_cloudlet.cc" "src/core/CMakeFiles/pc_core.dir/tile_cloudlet.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/tile_cloudlet.cc.o.d"
+  "/root/repo/src/core/web_cloudlet.cc" "src/core/CMakeFiles/pc_core.dir/web_cloudlet.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/web_cloudlet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logs/CMakeFiles/pc_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/simfs/CMakeFiles/pc_simfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/pc_nvm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

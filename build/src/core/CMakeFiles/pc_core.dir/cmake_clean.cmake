@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_core.dir/ad_cloudlet.cc.o"
+  "CMakeFiles/pc_core.dir/ad_cloudlet.cc.o.d"
+  "CMakeFiles/pc_core.dir/cache_content.cc.o"
+  "CMakeFiles/pc_core.dir/cache_content.cc.o.d"
+  "CMakeFiles/pc_core.dir/cache_manager.cc.o"
+  "CMakeFiles/pc_core.dir/cache_manager.cc.o.d"
+  "CMakeFiles/pc_core.dir/coordinator.cc.o"
+  "CMakeFiles/pc_core.dir/coordinator.cc.o.d"
+  "CMakeFiles/pc_core.dir/hash_table.cc.o"
+  "CMakeFiles/pc_core.dir/hash_table.cc.o.d"
+  "CMakeFiles/pc_core.dir/persistence.cc.o"
+  "CMakeFiles/pc_core.dir/persistence.cc.o.d"
+  "CMakeFiles/pc_core.dir/pocket_search.cc.o"
+  "CMakeFiles/pc_core.dir/pocket_search.cc.o.d"
+  "CMakeFiles/pc_core.dir/result_db.cc.o"
+  "CMakeFiles/pc_core.dir/result_db.cc.o.d"
+  "CMakeFiles/pc_core.dir/suggest.cc.o"
+  "CMakeFiles/pc_core.dir/suggest.cc.o.d"
+  "CMakeFiles/pc_core.dir/table_codec.cc.o"
+  "CMakeFiles/pc_core.dir/table_codec.cc.o.d"
+  "CMakeFiles/pc_core.dir/tile_cloudlet.cc.o"
+  "CMakeFiles/pc_core.dir/tile_cloudlet.cc.o.d"
+  "CMakeFiles/pc_core.dir/web_cloudlet.cc.o"
+  "CMakeFiles/pc_core.dir/web_cloudlet.cc.o.d"
+  "libpc_core.a"
+  "libpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_device.dir/arbiter.cc.o"
+  "CMakeFiles/pc_device.dir/arbiter.cc.o.d"
+  "CMakeFiles/pc_device.dir/mobile_device.cc.o"
+  "CMakeFiles/pc_device.dir/mobile_device.cc.o.d"
+  "CMakeFiles/pc_device.dir/replay.cc.o"
+  "CMakeFiles/pc_device.dir/replay.cc.o.d"
+  "libpc_device.a"
+  "libpc_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_harness.dir/workbench.cc.o"
+  "CMakeFiles/pc_harness.dir/workbench.cc.o.d"
+  "libpc_harness.a"
+  "libpc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

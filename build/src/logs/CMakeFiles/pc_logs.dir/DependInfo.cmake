@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logs/analyzer.cc" "src/logs/CMakeFiles/pc_logs.dir/analyzer.cc.o" "gcc" "src/logs/CMakeFiles/pc_logs.dir/analyzer.cc.o.d"
+  "/root/repo/src/logs/triplets.cc" "src/logs/CMakeFiles/pc_logs.dir/triplets.cc.o" "gcc" "src/logs/CMakeFiles/pc_logs.dir/triplets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/pc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_logs.dir/analyzer.cc.o"
+  "CMakeFiles/pc_logs.dir/analyzer.cc.o.d"
+  "CMakeFiles/pc_logs.dir/triplets.cc.o"
+  "CMakeFiles/pc_logs.dir/triplets.cc.o.d"
+  "libpc_logs.a"
+  "libpc_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvm/byte_device.cc" "src/nvm/CMakeFiles/pc_nvm.dir/byte_device.cc.o" "gcc" "src/nvm/CMakeFiles/pc_nvm.dir/byte_device.cc.o.d"
+  "/root/repo/src/nvm/capacity.cc" "src/nvm/CMakeFiles/pc_nvm.dir/capacity.cc.o" "gcc" "src/nvm/CMakeFiles/pc_nvm.dir/capacity.cc.o.d"
+  "/root/repo/src/nvm/flash_device.cc" "src/nvm/CMakeFiles/pc_nvm.dir/flash_device.cc.o" "gcc" "src/nvm/CMakeFiles/pc_nvm.dir/flash_device.cc.o.d"
+  "/root/repo/src/nvm/technology.cc" "src/nvm/CMakeFiles/pc_nvm.dir/technology.cc.o" "gcc" "src/nvm/CMakeFiles/pc_nvm.dir/technology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

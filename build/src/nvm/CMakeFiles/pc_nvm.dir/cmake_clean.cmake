@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_nvm.dir/byte_device.cc.o"
+  "CMakeFiles/pc_nvm.dir/byte_device.cc.o.d"
+  "CMakeFiles/pc_nvm.dir/capacity.cc.o"
+  "CMakeFiles/pc_nvm.dir/capacity.cc.o.d"
+  "CMakeFiles/pc_nvm.dir/flash_device.cc.o"
+  "CMakeFiles/pc_nvm.dir/flash_device.cc.o.d"
+  "CMakeFiles/pc_nvm.dir/technology.cc.o"
+  "CMakeFiles/pc_nvm.dir/technology.cc.o.d"
+  "libpc_nvm.a"
+  "libpc_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

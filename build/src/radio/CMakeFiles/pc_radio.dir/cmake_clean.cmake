@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_radio.dir/link.cc.o"
+  "CMakeFiles/pc_radio.dir/link.cc.o.d"
+  "libpc_radio.a"
+  "libpc_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simfs/flash_store.cc" "src/simfs/CMakeFiles/pc_simfs.dir/flash_store.cc.o" "gcc" "src/simfs/CMakeFiles/pc_simfs.dir/flash_store.cc.o.d"
+  "/root/repo/src/simfs/protected_store.cc" "src/simfs/CMakeFiles/pc_simfs.dir/protected_store.cc.o" "gcc" "src/simfs/CMakeFiles/pc_simfs.dir/protected_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nvm/CMakeFiles/pc_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

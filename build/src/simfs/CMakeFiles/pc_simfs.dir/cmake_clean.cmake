@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_simfs.dir/flash_store.cc.o"
+  "CMakeFiles/pc_simfs.dir/flash_store.cc.o.d"
+  "CMakeFiles/pc_simfs.dir/protected_store.cc.o"
+  "CMakeFiles/pc_simfs.dir/protected_store.cc.o.d"
+  "libpc_simfs.a"
+  "libpc_simfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_simfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

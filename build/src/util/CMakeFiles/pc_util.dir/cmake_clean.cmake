@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_util.dir/hash.cc.o"
+  "CMakeFiles/pc_util.dir/hash.cc.o.d"
+  "CMakeFiles/pc_util.dir/logging.cc.o"
+  "CMakeFiles/pc_util.dir/logging.cc.o.d"
+  "CMakeFiles/pc_util.dir/rng.cc.o"
+  "CMakeFiles/pc_util.dir/rng.cc.o.d"
+  "CMakeFiles/pc_util.dir/stats.cc.o"
+  "CMakeFiles/pc_util.dir/stats.cc.o.d"
+  "CMakeFiles/pc_util.dir/strings.cc.o"
+  "CMakeFiles/pc_util.dir/strings.cc.o.d"
+  "CMakeFiles/pc_util.dir/table.cc.o"
+  "CMakeFiles/pc_util.dir/table.cc.o.d"
+  "CMakeFiles/pc_util.dir/zipf.cc.o"
+  "CMakeFiles/pc_util.dir/zipf.cc.o.d"
+  "libpc_util.a"
+  "libpc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

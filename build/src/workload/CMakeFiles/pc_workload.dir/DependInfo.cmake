@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/loggen.cc" "src/workload/CMakeFiles/pc_workload.dir/loggen.cc.o" "gcc" "src/workload/CMakeFiles/pc_workload.dir/loggen.cc.o.d"
+  "/root/repo/src/workload/population.cc" "src/workload/CMakeFiles/pc_workload.dir/population.cc.o" "gcc" "src/workload/CMakeFiles/pc_workload.dir/population.cc.o.d"
+  "/root/repo/src/workload/searchlog.cc" "src/workload/CMakeFiles/pc_workload.dir/searchlog.cc.o" "gcc" "src/workload/CMakeFiles/pc_workload.dir/searchlog.cc.o.d"
+  "/root/repo/src/workload/stream.cc" "src/workload/CMakeFiles/pc_workload.dir/stream.cc.o" "gcc" "src/workload/CMakeFiles/pc_workload.dir/stream.cc.o.d"
+  "/root/repo/src/workload/universe.cc" "src/workload/CMakeFiles/pc_workload.dir/universe.cc.o" "gcc" "src/workload/CMakeFiles/pc_workload.dir/universe.cc.o.d"
+  "/root/repo/src/workload/vocab.cc" "src/workload/CMakeFiles/pc_workload.dir/vocab.cc.o" "gcc" "src/workload/CMakeFiles/pc_workload.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

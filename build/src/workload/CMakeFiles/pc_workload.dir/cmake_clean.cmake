@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_workload.dir/loggen.cc.o"
+  "CMakeFiles/pc_workload.dir/loggen.cc.o.d"
+  "CMakeFiles/pc_workload.dir/population.cc.o"
+  "CMakeFiles/pc_workload.dir/population.cc.o.d"
+  "CMakeFiles/pc_workload.dir/searchlog.cc.o"
+  "CMakeFiles/pc_workload.dir/searchlog.cc.o.d"
+  "CMakeFiles/pc_workload.dir/stream.cc.o"
+  "CMakeFiles/pc_workload.dir/stream.cc.o.d"
+  "CMakeFiles/pc_workload.dir/universe.cc.o"
+  "CMakeFiles/pc_workload.dir/universe.cc.o.d"
+  "CMakeFiles/pc_workload.dir/vocab.cc.o"
+  "CMakeFiles/pc_workload.dir/vocab.cc.o.d"
+  "libpc_workload.a"
+  "libpc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_cloudlet_test.dir/ad_cloudlet_test.cc.o"
+  "CMakeFiles/ad_cloudlet_test.dir/ad_cloudlet_test.cc.o.d"
+  "ad_cloudlet_test"
+  "ad_cloudlet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_cloudlet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

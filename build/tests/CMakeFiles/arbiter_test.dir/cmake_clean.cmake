@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbiter_test.dir/arbiter_test.cc.o"
+  "CMakeFiles/arbiter_test.dir/arbiter_test.cc.o.d"
+  "arbiter_test"
+  "arbiter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbiter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

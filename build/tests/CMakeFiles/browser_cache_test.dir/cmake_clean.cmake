@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_cache_test.dir/browser_cache_test.cc.o"
+  "CMakeFiles/browser_cache_test.dir/browser_cache_test.cc.o.d"
+  "browser_cache_test"
+  "browser_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byte_device_test.dir/byte_device_test.cc.o"
+  "CMakeFiles/byte_device_test.dir/byte_device_test.cc.o.d"
+  "byte_device_test"
+  "byte_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byte_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

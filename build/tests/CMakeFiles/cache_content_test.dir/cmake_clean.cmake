@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_content_test.dir/cache_content_test.cc.o"
+  "CMakeFiles/cache_content_test.dir/cache_content_test.cc.o.d"
+  "cache_content_test"
+  "cache_content_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_content_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

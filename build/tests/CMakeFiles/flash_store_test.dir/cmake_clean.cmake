@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_store_test.dir/flash_store_test.cc.o"
+  "CMakeFiles/flash_store_test.dir/flash_store_test.cc.o.d"
+  "flash_store_test"
+  "flash_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_device_test.dir/mobile_device_test.cc.o"
+  "CMakeFiles/mobile_device_test.dir/mobile_device_test.cc.o.d"
+  "mobile_device_test"
+  "mobile_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pocket_search_test.dir/pocket_search_test.cc.o"
+  "CMakeFiles/pocket_search_test.dir/pocket_search_test.cc.o.d"
+  "pocket_search_test"
+  "pocket_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pocket_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protected_store_test.dir/protected_store_test.cc.o"
+  "CMakeFiles/protected_store_test.dir/protected_store_test.cc.o.d"
+  "protected_store_test"
+  "protected_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protected_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_link_test.dir/radio_link_test.cc.o"
+  "CMakeFiles/radio_link_test.dir/radio_link_test.cc.o.d"
+  "radio_link_test"
+  "radio_link_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

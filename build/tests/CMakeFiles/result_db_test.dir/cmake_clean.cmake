@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/result_db_test.dir/result_db_test.cc.o"
+  "CMakeFiles/result_db_test.dir/result_db_test.cc.o.d"
+  "result_db_test"
+  "result_db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/result_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

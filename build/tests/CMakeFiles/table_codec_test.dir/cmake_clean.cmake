@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_codec_test.dir/table_codec_test.cc.o"
+  "CMakeFiles/table_codec_test.dir/table_codec_test.cc.o.d"
+  "table_codec_test"
+  "table_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

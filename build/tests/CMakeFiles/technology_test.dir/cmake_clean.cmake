@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/technology_test.dir/technology_test.cc.o"
+  "CMakeFiles/technology_test.dir/technology_test.cc.o.d"
+  "technology_test"
+  "technology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/technology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tile_cloudlet_test.dir/tile_cloudlet_test.cc.o"
+  "CMakeFiles/tile_cloudlet_test.dir/tile_cloudlet_test.cc.o.d"
+  "tile_cloudlet_test"
+  "tile_cloudlet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tile_cloudlet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triplets_test.dir/triplets_test.cc.o"
+  "CMakeFiles/triplets_test.dir/triplets_test.cc.o.d"
+  "triplets_test"
+  "triplets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triplets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universe_test.dir/universe_test.cc.o"
+  "CMakeFiles/universe_test.dir/universe_test.cc.o.d"
+  "universe_test"
+  "universe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_cloudlet_test.dir/web_cloudlet_test.cc.o"
+  "CMakeFiles/web_cloudlet_test.dir/web_cloudlet_test.cc.o.d"
+  "web_cloudlet_test"
+  "web_cloudlet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_cloudlet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pocket_shell.dir/pocket_shell.cc.o"
+  "CMakeFiles/pocket_shell.dir/pocket_shell.cc.o.d"
+  "pocket_shell"
+  "pocket_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pocket_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
