@@ -1,14 +1,20 @@
 #include "core/persistence.h"
 
 #include <cstring>
+#include <vector>
 
+#include "util/crc32.h"
 #include "util/logging.h"
 
 namespace pc::core {
 
 namespace {
 
-constexpr char kMagic[4] = {'P', 'C', 'I', 'X'};
+constexpr char kLegacyMagic[4] = {'P', 'C', 'I', 'X'};
+constexpr char kMagic[4] = {'P', 'C', 'S', '2'};
+constexpr u32 kFormatVersion = 2;
+/** magic + version + sequence + pair count. */
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4;
 
 template <typename T>
 void
@@ -30,11 +36,100 @@ get(std::string_view blob, std::size_t &pos, T &v)
     return true;
 }
 
-} // namespace
+/** One deserialized index entry, staged before any state is applied. */
+struct ParsedPair
+{
+    std::string query;
+    u64 urlHash = 0;
+    double score = 0.0;
+    bool accessed = false;
+};
 
-Bytes
-persistIndex(PocketSearch &ps, pc::simfs::FlashStore &store,
-             const std::string &file_name, SimTime &time)
+/** Fully parsed, checksum-valid snapshot slot. */
+struct ParsedSlot
+{
+    bool valid = false;
+    u64 sequence = 0;
+    std::vector<ParsedPair> pairs;
+};
+
+std::string
+slotName(const std::string &file_name, int slot)
+{
+    return file_name + (slot == 0 ? ".s0" : ".s1");
+}
+
+/** Parse the shared pair-list section; true iff exactly `count` pairs
+ *  fit in blob[pos, end). */
+bool
+parsePairs(std::string_view blob, std::size_t pos, std::size_t end,
+           u32 count, std::vector<ParsedPair> &out)
+{
+    out.clear();
+    out.reserve(count);
+    for (u32 i = 0; i < count; ++i) {
+        u16 qlen = 0;
+        if (!get(blob, pos, qlen))
+            return false;
+        if (pos + qlen > end)
+            return false;
+        ParsedPair p;
+        p.query.assign(blob.substr(pos, qlen));
+        pos += qlen;
+        u8 accessed = 0;
+        if (!get(blob, pos, p.urlHash) || !get(blob, pos, p.score) ||
+            !get(blob, pos, accessed))
+            return false;
+        if (pos > end)
+            return false;
+        p.accessed = accessed != 0;
+        out.push_back(std::move(p));
+    }
+    return pos == end;
+}
+
+/** Validate + parse one slot blob. Never throws, never partial. */
+ParsedSlot
+parseSlot(std::string_view blob)
+{
+    ParsedSlot slot;
+    if (blob.size() < kHeaderBytes + sizeof(u32))
+        return slot;
+    if (std::memcmp(blob.data(), kMagic, 4) != 0)
+        return slot;
+    const std::size_t body = blob.size() - sizeof(u32);
+    u32 stored_crc = 0;
+    std::memcpy(&stored_crc, blob.data() + body, sizeof(u32));
+    if (crc32(blob.substr(0, body)) != stored_crc)
+        return slot; // torn write or bit rot
+    std::size_t pos = 4;
+    u32 version = 0;
+    u32 count = 0;
+    if (!get(blob, pos, version) || version != kFormatVersion)
+        return slot;
+    if (!get(blob, pos, slot.sequence) || !get(blob, pos, count))
+        return slot;
+    slot.valid = parsePairs(blob, pos, body, count, slot.pairs);
+    return slot;
+}
+
+/** Read + parse one slot file; absent files parse as invalid. */
+ParsedSlot
+loadSlot(pc::simfs::FlashStore &store, const std::string &name,
+         SimTime &time)
+{
+    ParsedSlot slot;
+    const pc::simfs::FileId f = store.lookup(name);
+    if (f == pc::simfs::kNoFile)
+        return slot;
+    std::string blob;
+    store.read(f, 0, store.size(f), blob, time);
+    return parseSlot(blob);
+}
+
+/** Serialize the index of `ps` with the given sequence number. */
+std::string
+buildSlotBlob(PocketSearch &ps, u64 sequence)
 {
     // The hash table stores only hashes; the suggest index holds the
     // query strings, so it enumerates the cached queries for us. (With
@@ -44,7 +139,9 @@ persistIndex(PocketSearch &ps, pc::simfs::FlashStore &store,
 
     std::string blob;
     blob.append(kMagic, 4);
-    put<u32>(blob, 0); // patched below
+    put<u32>(blob, kFormatVersion);
+    put<u64>(blob, sequence);
+    put<u32>(blob, 0); // pair count, patched below
 
     u32 pairs = 0;
     for (const auto &sug : suggestions) {
@@ -59,21 +156,68 @@ persistIndex(PocketSearch &ps, pc::simfs::FlashStore &store,
             ++pairs;
         }
     }
-    std::memcpy(blob.data() + 4, &pairs, sizeof(u32));
+    std::memcpy(blob.data() + kHeaderBytes - sizeof(u32), &pairs,
+                sizeof(u32));
+    put<u32>(blob, crc32(blob));
+    return blob;
+}
 
-    pc::simfs::FileId f = store.lookup(file_name);
+} // namespace
+
+PersistResult
+persistIndex(PocketSearch &ps, pc::simfs::FlashStore &store,
+             const std::string &file_name, SimTime &time)
+{
+    PersistResult res;
+
+    // Which slot holds the newest valid snapshot? Write the other one,
+    // so the good snapshot survives a crash at any byte of this commit.
+    const ParsedSlot s0 = loadSlot(store, slotName(file_name, 0), time);
+    const ParsedSlot s1 = loadSlot(store, slotName(file_name, 1), time);
+    int target = 0;
+    u64 last_seq = 0;
+    if (s0.valid && (!s1.valid || s0.sequence >= s1.sequence)) {
+        target = 1;
+        last_seq = s0.sequence;
+    } else if (s1.valid) {
+        target = 0;
+        last_seq = s1.sequence;
+    }
+    res.sequence = last_seq + 1;
+    res.slot = slotName(file_name, target);
+
+    const std::string blob = buildSlotBlob(ps, res.sequence);
+
+    pc::simfs::FileId f = store.lookup(res.slot);
     if (f == pc::simfs::kNoFile) {
-        f = store.create(file_name);
+        f = store.create(res.slot);
         store.append(f, blob, time);
     } else {
         store.truncateAndWrite(f, blob, time);
     }
-    return blob.size();
+
+    // Verify: read the slot back and re-validate before declaring the
+    // commit durable. A crash or bit flip shows up right here.
+    std::string check;
+    store.read(f, 0, store.size(f), check, time);
+    if (check.size() != blob.size()) {
+        return res; // torn: the other slot still holds the good state
+    }
+    const ParsedSlot written = parseSlot(check);
+    if (!written.valid || written.sequence != res.sequence)
+        return res;
+
+    res.ok = true;
+    res.bytes = blob.size();
+    return res;
 }
 
+namespace {
+
+/** Legacy single-file PCIX reader (no checksum; best effort). */
 RestoreResult
-restoreIndex(PocketSearch &ps, pc::simfs::FlashStore &store,
-             const std::string &file_name)
+restoreLegacy(PocketSearch &ps, pc::simfs::FlashStore &store,
+              const std::string &file_name)
 {
     RestoreResult res;
     const pc::simfs::FileId f = store.lookup(file_name);
@@ -85,31 +229,76 @@ restoreIndex(PocketSearch &ps, pc::simfs::FlashStore &store,
     res.loadTime +=
         SimTime(blob.size()) * PocketSearch::kIndexParsePerByte;
 
-    if (blob.size() < 8 || std::memcmp(blob.data(), kMagic, 4) != 0)
+    if (blob.size() < 8 || std::memcmp(blob.data(), kLegacyMagic, 4) != 0)
         return res;
     std::size_t pos = 4;
     u32 count = 0;
     if (!get(blob, pos, count))
         return res;
 
-    for (u32 i = 0; i < count; ++i) {
-        u16 qlen = 0;
-        if (!get(blob, pos, qlen))
-            return res;
-        if (pos + qlen > blob.size())
-            return res;
-        const std::string query(blob.substr(pos, qlen));
-        pos += qlen;
-        u64 url = 0;
-        double score = 0;
-        u8 accessed = 0;
-        if (!get(blob, pos, url) || !get(blob, pos, score) ||
-            !get(blob, pos, accessed))
-            return res;
-        ps.restorePair(query, url, score, accessed != 0);
-        ++res.pairs;
-    }
+    // Stage everything first: a truncated legacy snapshot must not
+    // leak partial state into the cache.
+    std::vector<ParsedPair> pairs;
+    if (!parsePairs(blob, pos, blob.size(), count, pairs))
+        return res;
+
+    for (const auto &p : pairs)
+        ps.restorePair(p.query, p.urlHash, p.score, p.accessed);
+    res.pairs = pairs.size();
     res.ok = true;
+    res.legacyFormat = true;
+    return res;
+}
+
+} // namespace
+
+RestoreResult
+restoreIndex(PocketSearch &ps, pc::simfs::FlashStore &store,
+             const std::string &file_name)
+{
+    RestoreResult res;
+
+    ParsedSlot slots[2];
+    bool present[2] = {false, false};
+    for (int i = 0; i < 2; ++i) {
+        const std::string name = slotName(file_name, i);
+        const pc::simfs::FileId f = store.lookup(name);
+        if (f == pc::simfs::kNoFile)
+            continue;
+        present[i] = true;
+        std::string blob;
+        store.read(f, 0, store.size(f), blob, res.loadTime);
+        res.loadTime +=
+            SimTime(blob.size()) * PocketSearch::kIndexParsePerByte;
+        slots[i] = parseSlot(blob);
+        if (!slots[i].valid)
+            ++res.corruptSlots;
+    }
+
+    int best = -1;
+    for (int i = 0; i < 2; ++i) {
+        if (slots[i].valid &&
+            (best < 0 || slots[i].sequence > slots[best].sequence))
+            best = i;
+    }
+
+    if (best < 0) {
+        // No valid slot. If no slot file even exists, the snapshot may
+        // predate the checksummed format — try the legacy reader.
+        if (!present[0] && !present[1]) {
+            RestoreResult legacy = restoreLegacy(ps, store, file_name);
+            legacy.loadTime += res.loadTime;
+            return legacy;
+        }
+        return res;
+    }
+
+    for (const auto &p : slots[best].pairs)
+        ps.restorePair(p.query, p.urlHash, p.score, p.accessed);
+    res.ok = true;
+    res.pairs = slots[best].pairs.size();
+    res.sequence = slots[best].sequence;
+    res.usedFallback = res.corruptSlots > 0;
     return res;
 }
 

@@ -1,5 +1,7 @@
 #include "device/mobile_device.h"
 
+#include <cmath>
+
 #include "util/logging.h"
 
 namespace pc::device {
@@ -18,6 +20,23 @@ servePathName(ServePath p)
         return "802.11g";
     }
     return "?";
+}
+
+CounterBag
+ResilienceStats::toCounters() const
+{
+    CounterBag bag;
+    bag.set("device.radio_attempts", radioAttempts);
+    bag.set("device.retries", retries);
+    bag.set("device.no_coverage_attempts", noCoverageAttempts);
+    bag.set("device.failed_attempts", failedAttempts);
+    bag.set("device.latency_spikes", latencySpikes);
+    bag.set("device.degraded_serves", degradedServes);
+    bag.set("device.stale_serves", staleServes);
+    bag.set("device.offline_pages", offlinePages);
+    bag.set("device.queued_misses", queuedMisses);
+    bag.set("device.synced_misses", syncedMisses);
+    return bag;
 }
 
 MobileDevice::MobileDevice(const core::QueryUniverse &universe,
@@ -61,6 +80,13 @@ MobileDevice::link(ServePath p)
 }
 
 void
+MobileDevice::attachFaults(fault::FaultPlan *plan)
+{
+    faults_ = plan;
+    store_->attachFaults(plan);
+}
+
+void
 MobileDevice::addSegment(QueryOutcome &out, const char *label, SimTime dur,
                          MilliWatts power) const
 {
@@ -70,14 +96,75 @@ MobileDevice::addSegment(QueryOutcome &out, const char *label, SimTime dur,
     out.energy += energyOver(power, dur);
 }
 
+bool
+MobileDevice::radioExchangeWithRetry(QueryOutcome &out,
+                                     radio::RadioLink &radio, SimTime start)
+{
+    fault::FaultyLink flink(radio, faults_);
+    const RetryPolicy &rp = cfg_.retry;
+    SimTime elapsed = 0;
+    for (u32 attempt = 1;; ++attempt) {
+        ++out.attempts;
+        ++resilience_.radioAttempts;
+        if (attempt > 1)
+            ++resilience_.retries;
+
+        const auto oc = flink.attempt(start + elapsed, cfg_.requestBytes,
+                                      cfg_.responseBytes, cfg_.serverTime);
+        // Device trace: base power under every radio segment, plus the
+        // radio's own power; the radio tail runs after the exchange but
+        // only its radio power counts (the user may have left the app).
+        for (const auto &seg : oc.xfer.segments) {
+            if (seg.label == "tail") {
+                addSegment(out, "radio-tail", seg.duration, seg.power);
+            } else {
+                addSegment(out, seg.label.c_str(), seg.duration,
+                           cfg_.basePower + seg.power);
+            }
+        }
+        out.radioTime += oc.xfer.latency;
+        elapsed += oc.xfer.latency;
+
+        if (oc.ok) {
+            if (oc.latencySpike)
+                ++resilience_.latencySpikes;
+            return true;
+        }
+        if (oc.noCoverage)
+            ++resilience_.noCoverageAttempts;
+        if (oc.failed)
+            ++resilience_.failedAttempts;
+
+        if (attempt >= rp.maxAttempts || elapsed >= rp.queryBudget)
+            return false;
+
+        // Exponential backoff with jitter before the next attempt. The
+        // jitter draw comes from the fault plan so a fixed seed replays
+        // the exact same retry timeline.
+        SimTime backoff = SimTime(std::llround(
+            double(rp.baseBackoff) *
+            std::pow(rp.backoffFactor, double(attempt - 1))));
+        backoff = std::min(backoff, rp.maxBackoff);
+        if (faults_)
+            backoff = SimTime(std::llround(double(backoff) *
+                                           faults_->jitter(rp.jitter)));
+        if (backoff > 0) {
+            addSegment(out, "backoff", backoff, cfg_.basePower);
+            out.backoffTime += backoff;
+            elapsed += backoff;
+        }
+    }
+}
+
 QueryOutcome
 MobileDevice::serveQuery(const workload::PairRef &pair, ServePath path,
                          bool record_click)
 {
     QueryOutcome out;
+    core::LookupOutcome lookup;
 
     if (path == ServePath::PocketSearch) {
-        auto lookup = ps_->lookupPair(pair, 2);
+        lookup = ps_->lookupPair(pair, 2);
         out.hashLookupTime = lookup.hashLookupTime;
         // Operationally the user is served locally only when the result
         // they are after is among the cached results for the query.
@@ -109,28 +196,50 @@ MobileDevice::serveQuery(const workload::PairRef &pair, ServePath path,
 
     radio::RadioLink &radio =
         link(path == ServePath::PocketSearch ? ServePath::ThreeG : path);
-    const auto xfer = radio.request(now_ + out.hashLookupTime,
-                                    cfg_.requestBytes, cfg_.responseBytes,
-                                    cfg_.serverTime);
-    out.radioTime = xfer.latency;
+    addSegment(out, "probe", out.hashLookupTime, cfg_.basePower);
+    const bool reachable =
+        radioExchangeWithRetry(out, radio, now_ + out.hashLookupTime);
+
+    if (!reachable) {
+        // Graceful degradation (the paper's offline-search story): the
+        // caller never sees an error. Serve the cached — possibly stale
+        // — results when the query string is cached; otherwise render
+        // the offline page. Either way, queue the miss so it can be
+        // fetched when coverage returns.
+        out.degraded = true;
+        ++resilience_.degradedServes;
+        if (path == ServePath::PocketSearch) {
+            missQueue_.push_back(pair);
+            ++resilience_.queuedMisses;
+            if (lookup.hit) {
+                out.staleServe = true;
+                ++resilience_.staleServes;
+                out.fetchTime = lookup.fetchTime;
+                addSegment(out, "stale-fetch", out.fetchTime,
+                           cfg_.basePower);
+            } else {
+                ++resilience_.offlinePages;
+            }
+        } else {
+            ++resilience_.offlinePages;
+        }
+        out.renderTime = browser_.renderSearchPage();
+        out.miscTime = browser_.miscOverhead();
+        out.latency = out.hashLookupTime + out.radioTime +
+                      out.backoffTime + out.fetchTime + out.renderTime +
+                      out.miscTime;
+        addSegment(out, "render", out.renderTime,
+                   cfg_.basePower + browser_.config().renderPower);
+        addSegment(out, "misc", out.miscTime, cfg_.basePower);
+        now_ += out.latency;
+        return out;
+    }
+
     out.renderTime = browser_.renderSearchPage();
     out.miscTime = browser_.miscOverhead();
-    out.latency = out.hashLookupTime + out.radioTime + out.renderTime +
-                  out.miscTime;
+    out.latency = out.hashLookupTime + out.radioTime + out.backoffTime +
+                  out.renderTime + out.miscTime;
 
-    // Device trace: base power under every radio segment, plus the
-    // radio's own power; then the render burst; the radio tail runs
-    // concurrently with/after render but only its radio power counts
-    // (the user may have left the app).
-    addSegment(out, "probe", out.hashLookupTime, cfg_.basePower);
-    for (const auto &seg : xfer.segments) {
-        if (seg.label == "tail") {
-            addSegment(out, "radio-tail", seg.duration, seg.power);
-        } else {
-            addSegment(out, seg.label.c_str(), seg.duration,
-                       cfg_.basePower + seg.power);
-        }
-    }
     addSegment(out, "render", out.renderTime,
                cfg_.basePower + browser_.config().renderPower);
     addSegment(out, "misc", out.miscTime, cfg_.basePower);
@@ -142,6 +251,46 @@ MobileDevice::serveQuery(const workload::PairRef &pair, ServePath path,
     }
     now_ += out.latency;
     return out;
+}
+
+MobileDevice::SyncResult
+MobileDevice::syncMissQueue(ServePath path)
+{
+    pc_assert(path != ServePath::PocketSearch,
+              "sync needs a radio path");
+    SyncResult res;
+    radio::RadioLink &radio = link(path);
+    fault::FaultyLink flink(radio, faults_);
+    std::size_t done = 0;
+    while (done < missQueue_.size()) {
+        ++resilience_.radioAttempts;
+        const auto oc = flink.attempt(now_, cfg_.requestBytes,
+                                      cfg_.responseBytes, cfg_.serverTime);
+        res.time += oc.xfer.latency;
+        res.energy += oc.xfer.radioEnergy;
+        now_ += oc.xfer.latency;
+        if (!oc.ok) {
+            // Connectivity died again; keep the rest queued.
+            if (oc.noCoverage)
+                ++resilience_.noCoverageAttempts;
+            if (oc.failed)
+                ++resilience_.failedAttempts;
+            break;
+        }
+        if (oc.latencySpike)
+            ++resilience_.latencySpikes;
+        // The queued miss is now fetched: feed it to personalization
+        // exactly as a served click would have been.
+        SimTime learn = 0;
+        ps_->recordClick(missQueue_[done], learn);
+        ++res.synced;
+        ++resilience_.syncedMisses;
+        ++done;
+    }
+    missQueue_.erase(missQueue_.begin(),
+                     missQueue_.begin() + std::ptrdiff_t(done));
+    res.remaining = missQueue_.size();
+    return res;
 }
 
 SimTime

@@ -20,7 +20,9 @@
 
 #include "core/pocket_search.h"
 #include "device/browser.h"
+#include "fault/faulty_link.h"
 #include "radio/link.h"
+#include "util/stats.h"
 
 namespace pc::device {
 
@@ -41,6 +43,28 @@ enum class ServePath
 /** Display name of a serve path. */
 std::string servePathName(ServePath p);
 
+/**
+ * How the device retries failed radio exchanges (bounded retries,
+ * exponential backoff with jitter, per-query time budget). With no
+ * fault plan attached the first attempt always succeeds and none of
+ * this machinery engages.
+ */
+struct RetryPolicy
+{
+    /** Total exchange attempts per query (1 = no retry). */
+    u32 maxAttempts = 4;
+    /** Backoff before the first retry. */
+    SimTime baseBackoff = fromMillis(400);
+    /** Backoff growth per retry (exponential). */
+    double backoffFactor = 2.0;
+    /** Backoff ceiling. */
+    SimTime maxBackoff = 5 * kSecond;
+    /** Multiplicative jitter (+-fraction) on each backoff. */
+    double jitter = 0.25;
+    /** Give up once a query has burned this much wall time. */
+    SimTime queryBudget = 45 * kSecond;
+};
+
 /** Device-level constants. */
 struct DeviceConfig
 {
@@ -57,6 +81,26 @@ struct DeviceConfig
     BrowserConfig browser{};
     pc::simfs::StoreConfig store{};
     pc::nvm::FlashConfig flash{};
+    RetryPolicy retry{};
+};
+
+/** Resilience counters: what the device did about injected faults. */
+struct ResilienceStats
+{
+    u64 radioAttempts = 0;     ///< Exchange attempts started.
+    u64 retries = 0;           ///< Attempts beyond a query's first.
+    u64 noCoverageAttempts = 0; ///< Attempts begun inside an outage.
+    u64 failedAttempts = 0;    ///< Attempts killed mid-exchange.
+    u64 latencySpikes = 0;     ///< Successful but congested exchanges.
+    u64 degradedServes = 0;    ///< Queries answered locally because the
+                               ///< cloud stayed unreachable.
+    u64 staleServes = 0;       ///< Degraded answers with cached results.
+    u64 offlinePages = 0;      ///< Degraded answers with nothing cached.
+    u64 queuedMisses = 0;      ///< Misses queued for later sync.
+    u64 syncedMisses = 0;      ///< Queued misses later fetched.
+
+    /** Counters as a mergeable bag (workbench reporting). */
+    CounterBag toCounters() const;
 };
 
 /** Everything measured about one served query. */
@@ -70,6 +114,16 @@ struct QueryOutcome
     SimTime radioTime = 0;      ///< Radio exchange time (misses).
     SimTime renderTime = 0;     ///< Browser render time.
     SimTime miscTime = 0;       ///< App overhead.
+    SimTime backoffTime = 0;    ///< Time spent waiting between retries.
+    u32 attempts = 0;           ///< Radio attempts made (0 on cache hit).
+    /**
+     * The cloud stayed unreachable, so the query was answered locally
+     * (stale cached results or an offline page) and the miss queued.
+     * Never an error: degradation is the failure mode the caller sees.
+     */
+    bool degraded = false;
+    /** Degraded answer carried cached (possibly stale) results. */
+    bool staleServe = false;
     /** Whole-device power timeline (base + radio), for Figure 16. */
     std::vector<PowerSegment> trace;
 };
@@ -121,6 +175,44 @@ class MobileDevice
     /** A radio by path (must not be PocketSearch). */
     radio::RadioLink &link(ServePath p);
 
+    /**
+     * Attach a fault plan: radio exchanges become fallible (the retry
+     * policy engages) and the flash store becomes crash-able/bit-rotten.
+     * nullptr detaches and restores perfect-hardware behaviour.
+     */
+    void attachFaults(fault::FaultPlan *plan);
+
+    /** The attached fault plan (may be nullptr). */
+    fault::FaultPlan *faults() const { return faults_; }
+
+    /** What the device did about injected faults. */
+    const ResilienceStats &resilience() const { return resilience_; }
+
+    /** Reset resilience counters. */
+    void resetResilience() { resilience_ = ResilienceStats{}; }
+
+    /** Misses queued while the cloud was unreachable (oldest first). */
+    const std::vector<workload::PairRef> &missQueue() const
+    {
+        return missQueue_;
+    }
+
+    /** Outcome of a miss-queue sync pass. */
+    struct SyncResult
+    {
+        u64 synced = 0;        ///< Queued misses fetched and learned.
+        u64 remaining = 0;     ///< Still queued (connectivity died again).
+        SimTime time = 0;      ///< Radio time spent syncing.
+        MicroJoules energy = 0; ///< Radio energy spent syncing.
+    };
+
+    /**
+     * Drain the offline miss queue over the given radio path: fetch
+     * each queued miss and feed it to personalization, stopping early
+     * if connectivity fails again. Call when coverage returns.
+     */
+    SyncResult syncMissQueue(ServePath path = ServePath::ThreeG);
+
     /** Simulated now (advances as queries are served). */
     SimTime now() const { return now_; }
 
@@ -141,6 +233,14 @@ class MobileDevice
     void addSegment(QueryOutcome &out, const char *label, SimTime dur,
                     MilliWatts power) const;
 
+    /**
+     * Run the radio exchange with retry/backoff under the attached
+     * fault plan. Appends trace segments to `out` and advances its
+     * radio/backoff accounting. @return True once an attempt succeeds.
+     */
+    bool radioExchangeWithRetry(QueryOutcome &out, radio::RadioLink &radio,
+                                SimTime start);
+
     DeviceConfig cfg_;
     std::unique_ptr<pc::nvm::FlashDevice> flash_;
     std::unique_ptr<pc::simfs::FlashStore> store_;
@@ -150,6 +250,9 @@ class MobileDevice
     radio::RadioLink edge_;
     radio::RadioLink wifi_;
     SimTime now_ = 0;
+    fault::FaultPlan *faults_ = nullptr;
+    ResilienceStats resilience_;
+    std::vector<workload::PairRef> missQueue_;
 };
 
 } // namespace pc::device

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fault-injecting wrapper around a RadioLink.
+ *
+ * Models one exchange *attempt* under a FaultPlan. Three things can go
+ * wrong relative to the perfect link:
+ *
+ *  - no coverage: the attempt never connects; the radio burns the
+ *    signal-search probe and reports failure without touching the
+ *    link's tail state;
+ *  - mid-exchange failure: the exchange runs to a drawn failure point,
+ *    stalls while the stack times out, then dies — the partial energy,
+ *    the stall, and the post-attempt tail are all charged;
+ *  - congestion spike: the exchange succeeds but its pre-tail latency
+ *    is multiplied by the configured factor.
+ *
+ * With no plan attached (or a plan with all rates zero) an attempt is
+ * byte-identical to RadioLink::request, so fault-free experiments are
+ * unchanged.
+ */
+
+#ifndef PC_FAULT_FAULTY_LINK_H
+#define PC_FAULT_FAULTY_LINK_H
+
+#include "fault/fault_plan.h"
+#include "radio/link.h"
+
+namespace pc::fault {
+
+/** Outcome of one exchange attempt under faults. */
+struct ExchangeOutcome
+{
+    bool ok = true;            ///< Response fully received.
+    bool noCoverage = false;   ///< Failed: started inside an outage.
+    bool failed = false;       ///< Failed: died mid-exchange.
+    bool latencySpike = false; ///< Succeeded, but congested.
+    /** What the radio actually did (partial timeline on failure). */
+    radio::TransferResult xfer;
+};
+
+/**
+ * A RadioLink filtered through a FaultPlan.
+ */
+class FaultyLink
+{
+  public:
+    /**
+     * @param link Underlying perfect link (state is shared; a device
+     *        can wrap the same link repeatedly).
+     * @param plan Fault schedule; nullptr injects nothing.
+     */
+    FaultyLink(radio::RadioLink &link, FaultPlan *plan = nullptr)
+        : link_(link), plan_(plan)
+    {
+    }
+
+    /** Model one exchange attempt at `now`. */
+    ExchangeOutcome attempt(SimTime now, Bytes uplinkBytes,
+                            Bytes downlinkBytes, SimTime serverTime);
+
+    /** The wrapped link. */
+    radio::RadioLink &link() { return link_; }
+
+    /** The plan (may be nullptr). */
+    FaultPlan *plan() { return plan_; }
+
+  private:
+    radio::RadioLink &link_;
+    FaultPlan *plan_;
+};
+
+} // namespace pc::fault
+
+#endif // PC_FAULT_FAULTY_LINK_H

@@ -1,6 +1,19 @@
 #include "harness/workbench.h"
 
+#include "util/strings.h"
+#include "util/table.h"
+
 namespace pc::harness {
+
+void
+printCounterReport(const std::string &title, const CounterBag &bag)
+{
+    AsciiTable t(title);
+    t.header({"counter", "count"});
+    for (const auto &[name, value] : bag.items())
+        t.row({name, strformat("%llu", (unsigned long long)value)});
+    t.print();
+}
 
 WorkbenchConfig
 smallWorkbenchConfig()

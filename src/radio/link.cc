@@ -97,6 +97,23 @@ TransferResult
 RadioLink::request(SimTime now, Bytes uplinkBytes, Bytes downlinkBytes,
                    SimTime serverTime)
 {
+    TransferResult res = model(now, uplinkBytes, downlinkBytes, serverTime);
+    commit(now, res);
+    return res;
+}
+
+void
+RadioLink::commit(SimTime now, const TransferResult &res)
+{
+    readyUntil_ = now + res.latency + cfg_.tailDuration;
+    totalEnergy_ += res.radioEnergy;
+    ++requests_;
+}
+
+TransferResult
+RadioLink::model(SimTime now, Bytes uplinkBytes, Bytes downlinkBytes,
+                 SimTime serverTime) const
+{
     TransferResult res;
     auto push = [&](const char *label, SimTime dur, MilliWatts power,
                     bool counts_latency) {
@@ -129,9 +146,6 @@ RadioLink::request(SimTime now, Bytes uplinkBytes, Bytes downlinkBytes,
     // Post-exchange high-power tail; costs energy but not user latency.
     push("tail", cfg_.tailDuration, cfg_.tailPower, false);
 
-    readyUntil_ = now + res.latency + cfg_.tailDuration;
-    totalEnergy_ += res.radioEnergy;
-    ++requests_;
     return res;
 }
 

@@ -93,6 +93,21 @@ class RadioLink
     TransferResult request(SimTime now, Bytes uplinkBytes,
                            Bytes downlinkBytes, SimTime serverTime);
 
+    /**
+     * Model an exchange without committing it to link state. The fault
+     * layer uses this to truncate an exchange at the point where an
+     * injected failure kills it, then commits the partial result.
+     */
+    TransferResult model(SimTime now, Bytes uplinkBytes,
+                         Bytes downlinkBytes, SimTime serverTime) const;
+
+    /**
+     * Commit a (possibly fault-modified) modelled exchange: charges its
+     * energy and starts the post-exchange tail at `now + res.latency`.
+     * `request` is exactly `model` followed by `commit`.
+     */
+    void commit(SimTime now, const TransferResult &res);
+
     /** Would a request at `now` need the wake-up ramp? */
     bool needsWakeup(SimTime now) const;
 

@@ -26,8 +26,8 @@ FlashStore::FlashStore(pc::nvm::FlashDevice &device, const StoreConfig &cfg)
 FileId
 FlashStore::create(const std::string &name)
 {
-    pc_assert(byName_.find(name) == byName_.end(),
-              "file '", name, "' already exists");
+    if (byName_.find(name) != byName_.end())
+        return kNoFile;
     FileId id = FileId(files_.size());
     files_.push_back(File{name, {}, {}, true});
     byName_[name] = id;
@@ -127,11 +127,18 @@ void
 FlashStore::append(FileId id, std::string_view data, SimTime &time)
 {
     File &f = fileAt(id);
+    if (faults_ && faults_->powerLost())
+        return; // the device is off; nothing reaches the flash
+    // An armed crash may cut the program short, leaving a torn file —
+    // exactly the state the snapshot commit protocol must survive.
+    std::string_view payload = data;
+    if (faults_)
+        payload = data.substr(0, faults_->programBudget(data.size()));
     const Bytes start = f.data.size();
-    reserve(f, start + data.size(), time, true);
+    reserve(f, start + payload.size(), time, true);
     // Charge programs block-run by block-run (appends can straddle).
     Bytes off = start;
-    Bytes remaining = data.size();
+    Bytes remaining = payload.size();
     while (remaining > 0) {
         const Bytes in_block = cfg_.allocUnit - off % cfg_.allocUnit;
         const Bytes chunk = std::min<Bytes>(remaining, in_block);
@@ -139,7 +146,7 @@ FlashStore::append(FileId id, std::string_view data, SimTime &time)
         off += chunk;
         remaining -= chunk;
     }
-    f.data.append(data);
+    f.data.append(payload);
 }
 
 Bytes
@@ -153,15 +160,26 @@ FlashStore::read(FileId id, Bytes offset, Bytes len, std::string &out,
     const Bytes n = std::min<Bytes>(len, f.data.size() - offset);
     out.assign(f.data, offset, n);
     // Charge reads block-run by block-run.
+    const Bytes dev_block =
+        device_.config().pageSize * device_.config().pagesPerBlock;
     Bytes off = offset;
     Bytes remaining = n;
     while (remaining > 0) {
         const Bytes in_block = cfg_.allocUnit - off % cfg_.allocUnit;
         const Bytes chunk = std::min<Bytes>(remaining, in_block);
+        const Bytes addr = flashAddr(f, off);
         // const_cast: the device mutates only stats, which are mutable in
         // spirit; keep the read path usable from const contexts.
         time += const_cast<pc::nvm::FlashDevice &>(device_)
-                    .read(flashAddr(f, off), chunk);
+                    .read(addr, chunk);
+        if (faults_) {
+            // Wear-correlated retention loss: worn blocks may return a
+            // flipped bit. The flip hits the returned buffer only — the
+            // stored data stays intact, as with a real transient read
+            // error.
+            faults_->maybeFlipBit(out, off - offset, chunk,
+                                  device_.blockEraseCount(addr / dev_block));
+        }
         off += chunk;
         remaining -= chunk;
     }
@@ -172,6 +190,8 @@ void
 FlashStore::truncateAndWrite(FileId id, std::string_view data, SimTime &time)
 {
     File &f = fileAt(id);
+    if (faults_ && faults_->powerLost())
+        return;
     // Old blocks must be erased before reuse; charge and free them.
     for (u64 b : f.blocks) {
         time += device_.eraseBlockAt(b * cfg_.allocUnit);

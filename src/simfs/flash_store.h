@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "nvm/flash_device.h"
 #include "util/types.h"
 
@@ -78,8 +79,9 @@ class FlashStore
     FlashStore(pc::nvm::FlashDevice &device, const StoreConfig &cfg = {});
 
     /**
-     * Create an empty file. @pre no live file has this name.
-     * @return The new file's id.
+     * Create an empty file.
+     * @return The new file's id, or kNoFile if a live file already has
+     *         this name (the existing file is untouched).
      */
     FileId create(const std::string &name);
 
@@ -138,6 +140,16 @@ class FlashStore
     /** Configuration. */
     const StoreConfig &config() const { return cfg_; }
 
+    /**
+     * Attach a fault plan: programs become crash-able (power loss may
+     * tear a write mid-file) and reads of worn blocks may suffer bit
+     * flips. nullptr detaches.
+     */
+    void attachFaults(pc::fault::FaultPlan *faults) { faults_ = faults; }
+
+    /** The attached fault plan (may be nullptr). */
+    pc::fault::FaultPlan *faults() const { return faults_; }
+
   private:
     struct File
     {
@@ -161,6 +173,7 @@ class FlashStore
 
     pc::nvm::FlashDevice &device_;
     StoreConfig cfg_;
+    pc::fault::FaultPlan *faults_ = nullptr;
     std::vector<File> files_;
     std::map<std::string, FileId> byName_;
     std::vector<u64> freeBlocks_;

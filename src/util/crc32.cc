@@ -1,0 +1,36 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace pc {
+
+namespace {
+
+/** Byte-at-a-time lookup table for the reflected polynomial. */
+constexpr std::array<u32, 256>
+makeTable()
+{
+    std::array<u32, 256> table{};
+    for (u32 i = 0; i < 256; ++i) {
+        u32 c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr std::array<u32, 256> kTable = makeTable();
+
+} // namespace
+
+u32
+crc32(std::string_view data, u32 seed)
+{
+    u32 c = seed ^ 0xFFFFFFFFu;
+    for (char ch : data)
+        c = kTable[(c ^ u8(ch)) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace pc

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * CRC-32 (ISO-HDLC / zlib polynomial 0xEDB88320) over byte strings.
+ *
+ * The snapshot commit protocol (core/persistence.cc) checksums every
+ * snapshot slot so that torn writes and flash bit rot are detected at
+ * restore time instead of being silently loaded as cache state. A CRC
+ * is the right tool here: the threat model is accidental corruption
+ * (power loss mid-program, wear-induced bit flips), not an adversary.
+ */
+
+#ifndef PC_UTIL_CRC32_H
+#define PC_UTIL_CRC32_H
+
+#include <string_view>
+
+#include "util/types.h"
+
+namespace pc {
+
+/**
+ * CRC-32 of a byte string.
+ *
+ * @param data Bytes to checksum.
+ * @param seed Previous CRC to continue from; chain calls to checksum
+ *             multiple fields without concatenating them first.
+ * @return 32-bit checksum ("123456789" -> 0xCBF43926).
+ */
+u32 crc32(std::string_view data, u32 seed = 0);
+
+} // namespace pc
+
+#endif // PC_UTIL_CRC32_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Known-answer tests for the CRC-32 used by the snapshot commit
+ * protocol. The check values are the standard CRC-32/ISO-HDLC vectors
+ * (zlib's crc32 produces the same numbers).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/crc32.h"
+
+namespace pc {
+namespace {
+
+TEST(Crc32Test, KnownAnswers)
+{
+    EXPECT_EQ(crc32(""), 0x00000000u);
+    EXPECT_EQ(crc32("123456789"), 0xCBF43926u) << "the check value";
+    EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+    EXPECT_EQ(crc32("abc"), 0x352441C2u);
+    EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+              0x414FA339u);
+}
+
+TEST(Crc32Test, BinaryDataAndNulBytes)
+{
+    const std::string zeros(4, '\0');
+    EXPECT_EQ(crc32(zeros), 0x2144DF1Cu); // standard 4x00 vector
+    const std::string ff(4, char(0xFF));
+    EXPECT_EQ(crc32(ff), 0xFFFFFFFFu); // standard 4xFF vector
+}
+
+TEST(Crc32Test, ChainingMatchesOneShot)
+{
+    const std::string s = "123456789";
+    for (std::size_t split = 0; split <= s.size(); ++split) {
+        const u32 first = crc32(s.substr(0, split));
+        EXPECT_EQ(crc32(s.substr(split), first), crc32(s))
+            << "split at " << split;
+    }
+}
+
+TEST(Crc32Test, SingleBitFlipChangesChecksum)
+{
+    std::string data = "pocket cloudlets snapshot payload";
+    const u32 clean = crc32(data);
+    for (std::size_t byte = 0; byte < data.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string flipped = data;
+            flipped[byte] = char(u8(flipped[byte]) ^ (1u << bit));
+            EXPECT_NE(crc32(flipped), clean)
+                << "flip at byte " << byte << " bit " << bit;
+        }
+    }
+}
+
+} // namespace
+} // namespace pc

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the fault-injecting radio wrapper: a plan-less wrapper must
+ * be byte-identical to the perfect link, and each injected fault class
+ * must charge the right time/energy and touch (or not touch) link state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/faulty_link.h"
+
+namespace pc::fault {
+namespace {
+
+constexpr Bytes kUp = 1 * kKiB;
+constexpr Bytes kDown = 100 * kKiB;
+const SimTime kServer = fromMillis(250);
+
+TEST(FaultyLinkTest, NoPlanIsByteIdenticalToPerfectLink)
+{
+    radio::RadioLink plain(radio::threeGConfig());
+    radio::RadioLink wrapped_link(radio::threeGConfig());
+    FaultyLink wrapped(wrapped_link, nullptr);
+
+    SimTime now = 0;
+    for (int i = 0; i < 5; ++i) {
+        const auto want = plain.request(now, kUp, kDown, kServer);
+        const auto got = wrapped.attempt(now, kUp, kDown, kServer);
+        ASSERT_TRUE(got.ok);
+        EXPECT_FALSE(got.noCoverage);
+        EXPECT_FALSE(got.failed);
+        EXPECT_FALSE(got.latencySpike);
+        ASSERT_EQ(got.xfer.latency, want.latency);
+        ASSERT_DOUBLE_EQ(got.xfer.radioEnergy, want.radioEnergy);
+        ASSERT_EQ(got.xfer.segments.size(), want.segments.size());
+        for (std::size_t s = 0; s < want.segments.size(); ++s) {
+            EXPECT_EQ(got.xfer.segments[s].label, want.segments[s].label);
+            EXPECT_EQ(got.xfer.segments[s].duration,
+                      want.segments[s].duration);
+            EXPECT_DOUBLE_EQ(got.xfer.segments[s].power,
+                             want.segments[s].power);
+        }
+        // Link state evolves identically (tail windows, totals).
+        EXPECT_EQ(wrapped_link.requests(), plain.requests());
+        EXPECT_DOUBLE_EQ(wrapped_link.totalEnergy(), plain.totalEnergy());
+        now += (i % 2) ? kSecond : 30 * kSecond; // inside & outside tail
+    }
+}
+
+TEST(FaultyLinkTest, OutageBurnsProbeAndLeavesLinkUntouched)
+{
+    FaultConfig cfg;
+    cfg.seed = 21;
+    cfg.radio.outageShare = 0.5;
+    cfg.radio.meanOutageDuration = 60 * kSecond;
+    FaultPlan plan(cfg);
+
+    // Walk forward to a moment inside an outage (the schedule is lazy
+    // and idempotent for nondecreasing times).
+    SimTime t = 0;
+    while (!plan.inOutage(t))
+        t += kSecond;
+
+    radio::RadioLink link(radio::threeGConfig());
+    FaultyLink fl(link, &plan);
+    const auto out = fl.attempt(t, kUp, kDown, kServer);
+
+    EXPECT_FALSE(out.ok);
+    EXPECT_TRUE(out.noCoverage);
+    EXPECT_FALSE(out.failed);
+    ASSERT_EQ(out.xfer.segments.size(), 1u);
+    EXPECT_EQ(out.xfer.segments[0].label, "no-coverage");
+    EXPECT_EQ(out.xfer.latency, cfg.radio.noCoverageProbe);
+    EXPECT_DOUBLE_EQ(out.xfer.radioEnergy,
+                     energyOver(link.config().wakeupPower,
+                                cfg.radio.noCoverageProbe));
+    EXPECT_EQ(link.requests(), 0u) << "the link never connected";
+    EXPECT_DOUBLE_EQ(link.totalEnergy(), 0.0);
+    EXPECT_TRUE(link.needsWakeup(t)) << "no tail was started";
+    EXPECT_EQ(plan.stats().outageAttempts, 1u);
+}
+
+TEST(FaultyLinkTest, FailureTruncatesThenStallsThenTails)
+{
+    FaultConfig cfg;
+    cfg.seed = 4;
+    cfg.radio.exchangeFailureRate = 1.0;
+    FaultPlan plan(cfg);
+
+    radio::RadioLink link(radio::threeGConfig());
+    radio::RadioLink reference(radio::threeGConfig());
+    const auto full = reference.request(0, kUp, kDown, kServer);
+
+    FaultyLink fl(link, &plan);
+    const auto out = fl.attempt(0, kUp, kDown, kServer);
+    EXPECT_FALSE(out.ok);
+    EXPECT_TRUE(out.failed);
+    ASSERT_GE(out.xfer.segments.size(), 3u);
+    // Timeline ends with the stall and the tail.
+    const auto &segs = out.xfer.segments;
+    EXPECT_EQ(segs[segs.size() - 2].label, "stall");
+    EXPECT_EQ(segs[segs.size() - 2].duration, cfg.radio.failureStall);
+    EXPECT_EQ(segs.back().label, "tail");
+    EXPECT_EQ(segs.back().duration, link.config().tailDuration);
+    // The truncated exchange is strictly shorter than the full one but
+    // the stall still costs something.
+    EXPECT_LT(out.xfer.latency, full.latency + cfg.radio.failureStall);
+    EXPECT_GT(out.xfer.latency, cfg.radio.failureStall);
+    // The failed attempt is committed: it charges energy and starts a
+    // tail window, so an immediate retry skips the wake-up ramp.
+    EXPECT_EQ(link.requests(), 1u);
+    EXPECT_GT(link.totalEnergy(), 0.0);
+    EXPECT_FALSE(link.needsWakeup(out.xfer.latency + kSecond));
+    EXPECT_EQ(plan.stats().exchangeFailures, 1u);
+}
+
+TEST(FaultyLinkTest, LatencySpikeMultipliesPreTailLatency)
+{
+    FaultConfig cfg;
+    cfg.seed = 8;
+    cfg.radio.latencySpikeRate = 1.0;
+    cfg.radio.latencySpikeFactor = 4.0;
+    FaultPlan plan(cfg);
+
+    radio::RadioLink link(radio::threeGConfig());
+    radio::RadioLink reference(radio::threeGConfig());
+    const auto full = reference.request(0, kUp, kDown, kServer);
+
+    FaultyLink fl(link, &plan);
+    const auto out = fl.attempt(0, kUp, kDown, kServer);
+    ASSERT_TRUE(out.ok);
+    EXPECT_TRUE(out.latencySpike);
+    // TransferResult::latency excludes the tail, so a 4x spike on the
+    // pre-tail time quadruples the reported latency (rounding aside).
+    EXPECT_NEAR(double(out.xfer.latency), 4.0 * double(full.latency), 2.0);
+    EXPECT_GT(out.xfer.radioEnergy, full.radioEnergy);
+    // The congestion segment sits before the tail.
+    const auto &segs = out.xfer.segments;
+    ASSERT_GE(segs.size(), 2u);
+    EXPECT_EQ(segs[segs.size() - 2].label, "congestion");
+    EXPECT_EQ(segs.back().label, "tail");
+    EXPECT_EQ(plan.stats().latencySpikes, 1u);
+}
+
+TEST(FaultyLinkTest, MixedFaultStreamIsDeterministic)
+{
+    FaultConfig cfg;
+    cfg.seed = 99;
+    cfg.radio.exchangeFailureRate = 0.3;
+    cfg.radio.latencySpikeRate = 0.2;
+    cfg.radio.outageShare = 0.2;
+    cfg.radio.meanOutageDuration = 30 * kSecond;
+
+    auto run = [&cfg]() {
+        FaultPlan plan(cfg);
+        radio::RadioLink link(radio::threeGConfig());
+        FaultyLink fl(link, &plan);
+        std::vector<ExchangeOutcome> outs;
+        SimTime now = 0;
+        for (int i = 0; i < 200; ++i) {
+            outs.push_back(fl.attempt(now, kUp, kDown, kServer));
+            now += outs.back().xfer.latency + 10 * kSecond;
+        }
+        return outs;
+    };
+
+    const auto a = run();
+    const auto b = run();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].ok, b[i].ok) << "attempt " << i;
+        ASSERT_EQ(a[i].noCoverage, b[i].noCoverage);
+        ASSERT_EQ(a[i].failed, b[i].failed);
+        ASSERT_EQ(a[i].latencySpike, b[i].latencySpike);
+        ASSERT_EQ(a[i].xfer.latency, b[i].xfer.latency);
+        ASSERT_DOUBLE_EQ(a[i].xfer.radioEnergy, b[i].xfer.radioEnergy);
+    }
+}
+
+} // namespace
+} // namespace pc::fault

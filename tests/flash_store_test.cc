@@ -153,10 +153,22 @@ TEST_F(FlashStoreTest, TimingAccumulatesMonotonically)
     EXPECT_GT(t, after_append);
 }
 
-TEST_F(FlashStoreTest, DuplicateCreateDies)
+TEST_F(FlashStoreTest, DuplicateCreateReturnsError)
 {
-    store_.create("dup");
-    EXPECT_DEATH(store_.create("dup"), "already exists");
+    // Regression: creating an existing name used to be an undocumented
+    // precondition (assert). It now reports a defined error and leaves
+    // the existing file untouched.
+    const FileId id = store_.create("dup");
+    SimTime t = 0;
+    store_.append(id, "payload", t);
+    EXPECT_EQ(store_.create("dup"), kNoFile);
+    EXPECT_EQ(store_.lookup("dup"), id);
+    EXPECT_EQ(store_.size(id), 7u);
+    // A removed name can be created again.
+    store_.remove(id);
+    const FileId id2 = store_.create("dup");
+    EXPECT_NE(id2, kNoFile);
+    EXPECT_NE(id2, id);
 }
 
 TEST_F(FlashStoreTest, OutOfSpaceDies)

@@ -88,9 +88,10 @@ TEST_F(PowerCycleTest, FullCacheSurvivesPowerCycle)
             ps.installPair(canonicalPair(r), 0.5 + 0.01 * r, false, t);
         ps.recordClick(canonicalPair(3), t); // accessed + re-scored
         ps.recordClick(canonicalPair(50), t); // learned pair
-        const Bytes written =
+        const auto written =
             persistIndex(ps, *store_, "psearch.snapshot", t);
-        EXPECT_GT(written, 0u);
+        EXPECT_TRUE(written.ok);
+        EXPECT_GT(written.bytes, 0u);
     }
 
     // Boot 2: fresh objects over the surviving flash.
@@ -134,8 +135,9 @@ TEST_F(PowerCycleTest, CorruptSnapshotRejected)
     ps.installPair(canonicalPair(0), 0.9, false, t);
     persistIndex(ps, *store_, "snap", t);
 
-    // Truncate the snapshot file mid-record.
-    const auto f = store_->lookup("snap");
+    // Truncate the only snapshot slot mid-record.
+    const auto f = store_->lookup("snap.s0");
+    ASSERT_NE(f, pc::simfs::kNoFile);
     std::string blob;
     store_->read(f, 0, store_->size(f), blob, t);
     blob.resize(blob.size() - 3);
@@ -144,6 +146,8 @@ TEST_F(PowerCycleTest, CorruptSnapshotRejected)
     PocketSearch ps2(uni_, *store_);
     const auto res = restoreIndex(ps2, *store_, "snap");
     EXPECT_FALSE(res.ok) << "truncated snapshot must be rejected";
+    EXPECT_EQ(res.corruptSlots, 1u);
+    EXPECT_EQ(ps2.pairs(), 0u) << "no partial state may load";
 }
 
 TEST_F(PowerCycleTest, SnapshotOverwriteKeepsLatestState)
@@ -159,6 +163,7 @@ TEST_F(PowerCycleTest, SnapshotOverwriteKeepsLatestState)
     const auto res = restoreIndex(ps2, *store_, "snap");
     ASSERT_TRUE(res.ok);
     EXPECT_EQ(res.pairs, 2u);
+    EXPECT_EQ(res.sequence, 2u);
     EXPECT_TRUE(ps2.containsPair(canonicalPair(1)));
 }
 

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Crash-safety property tests for the snapshot commit protocol: power
+ * can die after ANY number of programmed bytes during a commit, and the
+ * store must still restore to either the previous good snapshot or the
+ * complete new one — never to garbage, never to partial state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/persistence.h"
+#include "fault/fault_plan.h"
+
+namespace pc::core {
+namespace {
+
+workload::UniverseConfig
+tinyUniverse()
+{
+    workload::UniverseConfig cfg;
+    cfg.navResults = 200;
+    cfg.nonNavResults = 800;
+    cfg.navHead = 30;
+    cfg.nonNavHead = 30;
+    cfg.habitNavHead = 20;
+    cfg.habitNonNavHead = 15;
+    return cfg;
+}
+
+class SnapshotCrashTest : public ::testing::Test
+{
+  protected:
+    SnapshotCrashTest() : uni_(tinyUniverse()) {}
+
+    workload::PairRef
+    canonicalPair(u32 r)
+    {
+        return {uni_.result(r).queries.front().first, r};
+    }
+
+    /** Fresh flash + store for one simulated boot history. */
+    struct Rig
+    {
+        explicit Rig(Bytes capacity)
+        {
+            pc::nvm::FlashConfig fc;
+            fc.capacity = capacity;
+            flash = std::make_unique<pc::nvm::FlashDevice>(fc);
+            store = std::make_unique<pc::simfs::FlashStore>(*flash);
+        }
+        std::unique_ptr<pc::nvm::FlashDevice> flash;
+        std::unique_ptr<pc::simfs::FlashStore> store;
+    };
+
+    workload::QueryUniverse uni_;
+};
+
+constexpr u32 kPairsA = 10; ///< Pairs in the first (good) snapshot.
+constexpr u32 kPairsB = 15; ///< Pairs in the snapshot torn by the crash.
+
+TEST_F(SnapshotCrashTest, CrashAtAnyByteLeavesARecoverableStore)
+{
+    // Dry run with no faults to learn the second snapshot's exact size.
+    Bytes blob_bytes = 0;
+    {
+        Rig rig(64 * kMiB);
+        PocketSearch ps(uni_, *rig.store);
+        SimTime t = 0;
+        for (u32 r = 0; r < kPairsA; ++r)
+            ps.installPair(canonicalPair(r), 0.5 + 0.01 * r, false, t);
+        ASSERT_TRUE(persistIndex(ps, *rig.store, "snap", t).ok);
+        for (u32 r = kPairsA; r < kPairsB; ++r)
+            ps.installPair(canonicalPair(r), 0.5 + 0.01 * r, false, t);
+        const auto second = persistIndex(ps, *rig.store, "snap", t);
+        ASSERT_TRUE(second.ok);
+        blob_bytes = second.bytes;
+    }
+    ASSERT_GT(blob_bytes, 150u) << "property sweep needs enough offsets";
+
+    // Crash after k programmed bytes for >= 100 distinct k, including
+    // the extremes (0 = crash before any byte; >= blob_bytes = the
+    // whole slot commits and the power dies afterwards).
+    const Bytes step = std::max<Bytes>(1, blob_bytes / 120);
+    std::vector<Bytes> crash_points;
+    for (Bytes k = 0; k < blob_bytes; k += step)
+        crash_points.push_back(k);
+    crash_points.push_back(blob_bytes - 1);
+    crash_points.push_back(blob_bytes);
+    crash_points.push_back(blob_bytes + 64);
+    u32 points = 0, torn = 0, survived_new = 0;
+    for (const Bytes k : crash_points) {
+        ++points;
+        Rig rig(64 * kMiB);
+        SimTime t = 0;
+        PocketSearch ps(uni_, *rig.store);
+        for (u32 r = 0; r < kPairsA; ++r)
+            ps.installPair(canonicalPair(r), 0.5 + 0.01 * r, false, t);
+        ASSERT_TRUE(persistIndex(ps, *rig.store, "snap", t).ok);
+        for (u32 r = kPairsA; r < kPairsB; ++r)
+            ps.installPair(canonicalPair(r), 0.5 + 0.01 * r, false, t);
+
+        pc::fault::FaultPlan plan;
+        rig.store->attachFaults(&plan);
+        plan.armCrashAfterBytes(k);
+        const auto commit = persistIndex(ps, *rig.store, "snap", t);
+
+        // Power comes back; a fresh boot restores over the same flash.
+        plan.reboot();
+        rig.store->attachFaults(nullptr);
+        PocketSearch ps2(uni_, *rig.store);
+        const auto res = restoreIndex(ps2, *rig.store, "snap");
+
+        ASSERT_TRUE(res.ok) << "crash after " << k
+                            << " bytes must leave a loadable snapshot";
+        ASSERT_TRUE(res.pairs == kPairsA || res.pairs == kPairsB)
+            << "crash after " << k << " bytes loaded " << res.pairs
+            << " pairs: partial state escaped";
+        ASSERT_EQ(ps2.pairs(), res.pairs);
+        if (res.pairs == kPairsA) {
+            // Fell back to the pre-crash snapshot.
+            ++torn;
+            EXPECT_EQ(res.sequence, 1u);
+            EXPECT_FALSE(commit.ok)
+                << "a torn commit must not report success";
+            EXPECT_FALSE(ps2.containsPair(canonicalPair(kPairsB - 1)));
+        } else {
+            // The whole new snapshot made it down before the crash.
+            ++survived_new;
+            EXPECT_EQ(res.sequence, 2u);
+            EXPECT_TRUE(ps2.containsPair(canonicalPair(kPairsB - 1)));
+        }
+        EXPECT_TRUE(ps2.containsPair(canonicalPair(0)))
+            << "the old snapshot's pairs must never be lost";
+    }
+    EXPECT_GE(points, 100u);
+    EXPECT_GT(torn, 0u) << "the sweep must actually tear some commits";
+    EXPECT_GT(survived_new, 0u)
+        << "crashes after the commit must keep the new snapshot";
+}
+
+TEST_F(SnapshotCrashTest, CommitAfterRebootRecoversTheStore)
+{
+    // A torn commit followed by a reboot and a clean commit must leave
+    // the newest snapshot loadable again (the torn slot is reused).
+    Rig rig(64 * kMiB);
+    SimTime t = 0;
+    PocketSearch ps(uni_, *rig.store);
+    for (u32 r = 0; r < kPairsA; ++r)
+        ps.installPair(canonicalPair(r), 0.5 + 0.01 * r, false, t);
+    ASSERT_TRUE(persistIndex(ps, *rig.store, "snap", t).ok);
+
+    pc::fault::FaultPlan plan;
+    rig.store->attachFaults(&plan);
+    ps.installPair(canonicalPair(kPairsA), 0.7, false, t);
+    plan.armCrashAfterBytes(40); // tear the second commit mid-header
+    EXPECT_FALSE(persistIndex(ps, *rig.store, "snap", t).ok);
+
+    plan.reboot();
+    const auto redo = persistIndex(ps, *rig.store, "snap", t);
+    ASSERT_TRUE(redo.ok);
+
+    PocketSearch ps2(uni_, *rig.store);
+    const auto res = restoreIndex(ps2, *rig.store, "snap");
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.pairs, std::size_t(kPairsA) + 1);
+    EXPECT_EQ(res.sequence, redo.sequence);
+}
+
+TEST_F(SnapshotCrashTest, ZeroLengthSlotNeverCrashesRestore)
+{
+    Rig rig(64 * kMiB);
+    // A create that never got its append (crash at byte 0 of the very
+    // first commit) leaves an empty slot file and no other snapshot.
+    ASSERT_NE(rig.store->create("snap.s0"), pc::simfs::kNoFile);
+    PocketSearch ps(uni_, *rig.store);
+    const auto res = restoreIndex(ps, *rig.store, "snap");
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.corruptSlots, 1u);
+    EXPECT_EQ(res.pairs, 0u);
+    EXPECT_EQ(ps.pairs(), 0u);
+}
+
+TEST_F(SnapshotCrashTest, BitFlippedSlotFallsBackToOlderSnapshot)
+{
+    Rig rig(64 * kMiB);
+    SimTime t = 0;
+    PocketSearch ps(uni_, *rig.store);
+    ps.installPair(canonicalPair(0), 0.9, false, t);
+    ASSERT_TRUE(persistIndex(ps, *rig.store, "snap", t).ok); // seq 1
+    ps.installPair(canonicalPair(1), 0.8, false, t);
+    const auto second = persistIndex(ps, *rig.store, "snap", t); // seq 2
+    ASSERT_TRUE(second.ok);
+
+    // Retention loss: flip one bit in the middle of the newer slot.
+    const auto f = rig.store->lookup(second.slot);
+    ASSERT_NE(f, pc::simfs::kNoFile);
+    std::string blob;
+    rig.store->read(f, 0, rig.store->size(f), blob, t);
+    blob[blob.size() / 2] = char(u8(blob[blob.size() / 2]) ^ 0x10);
+    rig.store->truncateAndWrite(f, blob, t);
+
+    PocketSearch ps2(uni_, *rig.store);
+    const auto res = restoreIndex(ps2, *rig.store, "snap");
+    ASSERT_TRUE(res.ok) << "the older slot still restores";
+    EXPECT_TRUE(res.usedFallback);
+    EXPECT_EQ(res.corruptSlots, 1u);
+    EXPECT_EQ(res.sequence, 1u);
+    EXPECT_EQ(res.pairs, 1u);
+    EXPECT_TRUE(ps2.containsPair(canonicalPair(0)));
+    EXPECT_FALSE(ps2.containsPair(canonicalPair(1)));
+}
+
+TEST_F(SnapshotCrashTest, EveryBitFlipInEitherSlotIsDetected)
+{
+    // Exhaustive single-bit corruption over the whole newest slot: the
+    // CRC must catch every flip (restore falls back, never loads it).
+    Rig rig(64 * kMiB);
+    SimTime t = 0;
+    PocketSearch ps(uni_, *rig.store);
+    ps.installPair(canonicalPair(0), 0.9, false, t);
+    ASSERT_TRUE(persistIndex(ps, *rig.store, "snap", t).ok);
+    ps.installPair(canonicalPair(1), 0.8, false, t);
+    const auto second = persistIndex(ps, *rig.store, "snap", t);
+    ASSERT_TRUE(second.ok);
+
+    const auto f = rig.store->lookup(second.slot);
+    std::string clean;
+    rig.store->read(f, 0, rig.store->size(f), clean, t);
+
+    for (std::size_t byte = 0; byte < clean.size(); ++byte) {
+        std::string bad = clean;
+        bad[byte] = char(u8(bad[byte]) ^ 0x01);
+        rig.store->truncateAndWrite(f, bad, t);
+        PocketSearch fresh(uni_, *rig.store);
+        const auto res = restoreIndex(fresh, *rig.store, "snap");
+        ASSERT_TRUE(res.ok) << "flip at byte " << byte;
+        ASSERT_EQ(res.sequence, 1u)
+            << "flip at byte " << byte << " went undetected";
+        ASSERT_EQ(res.pairs, 1u);
+    }
+    // Restore the clean blob so the rig ends consistent.
+    rig.store->truncateAndWrite(f, clean, t);
+}
+
+} // namespace
+} // namespace pc::core
