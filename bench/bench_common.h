@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/report.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -36,6 +37,18 @@ inline std::string
 pct(double frac)
 {
     return strformat("%.1f%%", 100.0 * frac);
+}
+
+/**
+ * Write the report's machine-readable files (JSON + CSV) into the
+ * standard bench output directory and print where they went.
+ */
+inline void
+emitReport(const pc::obs::BenchReport &report)
+{
+    const auto paths = report.writeFiles();
+    for (const auto &p : paths)
+        std::printf("wrote %s\n", p.c_str());
 }
 
 } // namespace pc::bench

@@ -11,6 +11,7 @@
 #include "bench_common.h"
 #include "device/mobile_device.h"
 #include "harness/workbench.h"
+#include "obs/metrics.h"
 #include "util/stats.h"
 
 using namespace pc;
@@ -25,24 +26,28 @@ main()
     const ServePath paths[] = {ServePath::PocketSearch,
                                ServePath::ThreeG, ServePath::Edge,
                                ServePath::Wifi};
-    double avg_mj[4] = {0, 0, 0, 0}; // millijoules
 
+    obs::MetricRegistry registry;
     for (int p = 0; p < 4; ++p) {
         MobileDevice dev(wb.universe());
+        dev.attachMetrics(&registry);
         dev.installCommunityCache(wb.communityCache());
-        RunningStat mj;
         const auto &cache = wb.communityCache();
         u32 served = 0;
         for (std::size_t i = 0;
              i < cache.pairs.size() && served < 100;
              i += std::max<std::size_t>(cache.pairs.size() / 100, 1)) {
-            const auto out = dev.serveQuery(cache.pairs[i].pair,
-                                            paths[p], false);
-            mj.add(out.energy / 1000.0);
+            dev.serveQuery(cache.pairs[i].pair, paths[p], false);
             ++served;
             dev.advanceTime(60 * kSecond);
         }
-        avg_mj[p] = mj.mean();
+    }
+
+    double avg_mj[4] = {0, 0, 0, 0}; // millijoules
+    for (int p = 0; p < 4; ++p) {
+        const auto *h = registry.findHistogram(
+            "device.energy_mj." + servePathKey(paths[p]));
+        avg_mj[p] = h ? h->mean() : 0.0;
     }
 
     AsciiTable t("Average energy per query (100 cached queries)");
@@ -61,5 +66,22 @@ main()
                 "because a hit both avoids radio power and\nfinishes an "
                 "order of magnitude sooner — the paper's two savings "
                 "mechanisms (Figure 16).\n");
+
+    obs::BenchReport report("fig15b",
+                            "Figure 15b — avg energy per query");
+    report.note("queries_per_path", "100");
+    report.note("paper_anchor", "23x vs 3G, 41x vs EDGE, 11x vs WiFi");
+    for (int p = 0; p < 4; ++p) {
+        const std::string key = servePathKey(paths[p]);
+        report.metric("avg_energy_mj." + key, avg_mj[p], "mJ");
+        if (p > 0)
+            report.metric("advantage_vs." + key, avg_mj[p] / avg_mj[0],
+                          "x");
+        if (const auto *h =
+                registry.findHistogram("device.energy_mj." + key))
+            report.quantiles(*h, "mJ");
+    }
+    report.attachSnapshot(registry.snapshot());
+    bench::emitReport(report);
     return 0;
 }

@@ -11,6 +11,7 @@
 #include "bench_common.h"
 #include "device/mobile_device.h"
 #include "harness/workbench.h"
+#include "obs/trace.h"
 
 using namespace pc;
 using namespace pc::device;
@@ -67,12 +68,16 @@ main()
     per_query.header({"query #", "path", "latency", "energy",
                       "first segment"});
 
+    obs::Tracer tracer;
+
     MobileDevice local(wb.universe());
+    local.attachTracer(&tracer, "pocketsearch");
     local.installCommunityCache(wb.communityCache());
     const auto ps = runTen(local, wb.communityCache(),
                            ServePath::PocketSearch, per_query);
 
     MobileDevice radio(wb.universe());
+    radio.attachTracer(&tracer, "3g");
     const auto g3 = runTen(radio, wb.communityCache(),
                            ServePath::ThreeG, per_query);
     per_query.print();
@@ -90,5 +95,25 @@ main()
            strformat("%.1f J", ps.energy / 1e6),
            strformat("%.1f J", g3.energy / 1e6)});
     t.print();
+
+    obs::BenchReport report("fig16",
+                            "Figure 16 — 10 consecutive queries, "
+                            "PocketSearch vs 3G");
+    report.note("paper_anchor",
+                "~4 s at ~900 mW locally vs ~40 s at ~1500 mW over 3G");
+    report.metric("pocketsearch.total_s", double(ps.total) / 1e9, "s");
+    report.metric("pocketsearch.avg_power_mw", ps.avgPower, "mW");
+    report.metric("pocketsearch.peak_power_mw", ps.peakPower, "mW");
+    report.metric("pocketsearch.energy_j", ps.energy / 1e6, "J");
+    report.metric("threeg.total_s", double(g3.total) / 1e9, "s");
+    report.metric("threeg.avg_power_mw", g3.avgPower, "mW");
+    report.metric("threeg.peak_power_mw", g3.peakPower, "mW");
+    report.metric("threeg.energy_j", g3.energy / 1e6, "J");
+    bench::emitReport(report);
+
+    const std::string trace_path =
+        obs::BenchReport::outputDir() + "/BENCH_fig16_trace.json";
+    if (tracer.writeChromeTraceFile(trace_path))
+        std::printf("wrote %s\n", trace_path.c_str());
     return 0;
 }

@@ -20,6 +20,8 @@
 #include "core/pocket_search.h"
 #include "core/table_codec.h"
 #include "logs/triplets.h"
+#include "obs/metrics.h"
+#include "util/stats.h"
 
 namespace pc::core {
 
@@ -34,6 +36,15 @@ struct UpdateStats
     std::size_t pairsAdded = 0;   ///< Fresh popular pairs installed.
     std::size_t conflicts = 0;    ///< Pairs present on both sides.
     std::size_t recordsPatched = 0; ///< New DB records shipped.
+
+    /** Export as "core.update.*" counters. */
+    CounterBag toCounters() const;
+
+    /**
+     * Fold one cycle's accounting into a registry (bumps the
+     * "core.update.*" counters, so successive cycles accumulate).
+     */
+    void publishMetrics(obs::MetricRegistry &reg) const;
 };
 
 /** Update policy knobs. */

@@ -19,6 +19,7 @@
 #include "core/hash_table.h"
 #include "core/result_db.h"
 #include "core/suggest.h"
+#include "obs/metrics.h"
 
 namespace pc::core {
 
@@ -206,6 +207,13 @@ class PocketSearch
     /** Reset serving statistics. */
     void resetStats() { stats_ = ServeStats{}; }
 
+    /**
+     * Register serving counters under "core.search.*" (lookups,
+     * query_hits, pair_hits, clicks, pairs_learned, records_learned),
+     * mirroring ServeStats into the registry. nullptr detaches.
+     */
+    void attachMetrics(obs::MetricRegistry *reg);
+
     /** Mutable hash table (cache manager / tests). */
     QueryHashTable &table() { return table_; }
     /** Hash table. */
@@ -223,6 +231,17 @@ class PocketSearch
     void clearTable();
 
   private:
+    /** Cached metric handles (null when no registry is attached). */
+    struct Metrics
+    {
+        obs::Counter *lookups = nullptr;
+        obs::Counter *queryHits = nullptr;
+        obs::Counter *pairHits = nullptr;
+        obs::Counter *clicks = nullptr;
+        obs::Counter *pairsLearned = nullptr;
+        obs::Counter *recordsLearned = nullptr;
+    };
+
     const QueryUniverse &universe_;
     pc::simfs::FlashStore &store_;
     PocketSearchConfig cfg_;
@@ -230,6 +249,7 @@ class PocketSearch
     ResultDatabase db_;
     SuggestIndex suggest_;
     ServeStats stats_;
+    Metrics metrics_;
 };
 
 } // namespace pc::core

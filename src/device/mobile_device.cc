@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/strings.h"
 
 namespace pc::device {
 
@@ -18,6 +19,22 @@ servePathName(ServePath p)
         return "Edge";
       case ServePath::Wifi:
         return "802.11g";
+    }
+    return "?";
+}
+
+std::string
+servePathKey(ServePath p)
+{
+    switch (p) {
+      case ServePath::PocketSearch:
+        return "pocket";
+      case ServePath::ThreeG:
+        return "3g";
+      case ServePath::Edge:
+        return "edge";
+      case ServePath::Wifi:
+        return "wifi";
     }
     return "?";
 }
@@ -87,6 +104,95 @@ MobileDevice::attachFaults(fault::FaultPlan *plan)
 }
 
 void
+MobileDevice::attachMetrics(obs::MetricRegistry *reg)
+{
+    registry_ = reg;
+    store_->attachMetrics(reg);
+    ps_->attachMetrics(reg);
+    for (ServePath p :
+         {ServePath::ThreeG, ServePath::Edge, ServePath::Wifi}) {
+        radio::RadioLink &l = link(p);
+        l.attachMetrics(reg, reg ? "device.radio." + l.name() : "");
+    }
+    if (!reg) {
+        metrics_ = Metrics{};
+        return;
+    }
+    metrics_.queries = &reg->counter("device.queries");
+    metrics_.cacheHits = &reg->counter("device.cache_hits");
+    metrics_.attempts = &reg->counter("device.radio.attempts");
+    metrics_.retries = &reg->counter("device.radio.retries");
+    metrics_.noCoverage = &reg->counter("device.radio.no_coverage");
+    metrics_.failed = &reg->counter("device.radio.failed");
+    metrics_.spikes = &reg->counter("device.radio.latency_spikes");
+    metrics_.degraded = &reg->counter("device.degraded.serves");
+    metrics_.stale = &reg->counter("device.degraded.stale");
+    metrics_.offline = &reg->counter("device.degraded.offline_pages");
+    metrics_.queued = &reg->counter("device.missq.queued");
+    metrics_.synced = &reg->counter("device.missq.synced");
+    const ServePath all[4] = {ServePath::PocketSearch,
+                              ServePath::ThreeG, ServePath::Edge,
+                              ServePath::Wifi};
+    for (int i = 0; i < 4; ++i) {
+        const std::string key = servePathKey(all[i]);
+        metrics_.latency[i] =
+            &reg->histogram("device.latency_ms." + key);
+        metrics_.energy[i] = &reg->histogram("device.energy_mj." + key);
+    }
+}
+
+void
+MobileDevice::attachTracer(obs::Tracer *tracer,
+                           const std::string &track_label)
+{
+    tracer_ = tracer;
+    traceTrack_ = tracer ? tracer->track(track_label) : 0;
+}
+
+void
+MobileDevice::traceSpan(const char *name, const char *cat, SimTime start,
+                        SimTime dur) const
+{
+    if (!tracer_ || dur <= 0)
+        return;
+    tracer_->span(traceTrack_, name, cat, start, dur);
+}
+
+void
+MobileDevice::finishQueryObs(const workload::PairRef &pair, ServePath path,
+                             const QueryOutcome &out, SimTime t0)
+{
+    const int idx = int(path);
+    if (registry_) {
+        bumpCtr(metrics_.queries);
+        if (out.cacheHit)
+            bumpCtr(metrics_.cacheHits);
+        metrics_.latency[idx]->observe(toMillis(out.latency));
+        metrics_.energy[idx]->observe(out.energy / 1000.0);
+    }
+    if (tracer_ && out.latency > 0) {
+        obs::TraceSpan span;
+        span.name = ps_->universe().query(pair.query).text;
+        span.category = "query";
+        span.track = traceTrack_;
+        span.start = t0;
+        span.duration = out.latency;
+        span.args.emplace_back("path", servePathName(path));
+        span.args.emplace_back("cache_hit",
+                               out.cacheHit ? "true" : "false");
+        span.args.emplace_back("degraded",
+                               out.degraded ? "true" : "false");
+        span.args.emplace_back("attempts",
+                               strformat("%u", out.attempts));
+        span.args.emplace_back("latency_ms",
+                               strformat("%.3f", toMillis(out.latency)));
+        span.args.emplace_back("energy_mj",
+                               strformat("%.3f", out.energy / 1000.0));
+        tracer_->record(std::move(span));
+    }
+}
+
+void
 MobileDevice::addSegment(QueryOutcome &out, const char *label, SimTime dur,
                          MilliWatts power) const
 {
@@ -106,10 +212,14 @@ MobileDevice::radioExchangeWithRetry(QueryOutcome &out,
     for (u32 attempt = 1;; ++attempt) {
         ++out.attempts;
         ++resilience_.radioAttempts;
-        if (attempt > 1)
+        bumpCtr(metrics_.attempts);
+        if (attempt > 1) {
             ++resilience_.retries;
+            bumpCtr(metrics_.retries);
+        }
 
-        const auto oc = flink.attempt(start + elapsed, cfg_.requestBytes,
+        const SimTime attemptStart = start + elapsed;
+        const auto oc = flink.attempt(attemptStart, cfg_.requestBytes,
                                       cfg_.responseBytes, cfg_.serverTime);
         // Device trace: base power under every radio segment, plus the
         // radio's own power; the radio tail runs after the exchange but
@@ -125,15 +235,28 @@ MobileDevice::radioExchangeWithRetry(QueryOutcome &out,
         out.radioTime += oc.xfer.latency;
         elapsed += oc.xfer.latency;
 
+        // One span per attempt: the user-visible exchange time (the
+        // radio tail costs energy, not latency, so it is not a span).
+        traceSpan(oc.ok ? "radio-exchange"
+                  : oc.noCoverage ? "radio-no-coverage"
+                                  : "radio-failed",
+                  "device", attemptStart, oc.xfer.latency);
+
         if (oc.ok) {
-            if (oc.latencySpike)
+            if (oc.latencySpike) {
                 ++resilience_.latencySpikes;
+                bumpCtr(metrics_.spikes);
+            }
             return true;
         }
-        if (oc.noCoverage)
+        if (oc.noCoverage) {
             ++resilience_.noCoverageAttempts;
-        if (oc.failed)
+            bumpCtr(metrics_.noCoverage);
+        }
+        if (oc.failed) {
             ++resilience_.failedAttempts;
+            bumpCtr(metrics_.failed);
+        }
 
         if (attempt >= rp.maxAttempts || elapsed >= rp.queryBudget)
             return false;
@@ -150,6 +273,7 @@ MobileDevice::radioExchangeWithRetry(QueryOutcome &out,
                                            faults_->jitter(rp.jitter)));
         if (backoff > 0) {
             addSegment(out, "backoff", backoff, cfg_.basePower);
+            traceSpan("backoff", "device", start + elapsed, backoff);
             out.backoffTime += backoff;
             elapsed += backoff;
         }
@@ -162,6 +286,7 @@ MobileDevice::serveQuery(const workload::PairRef &pair, ServePath path,
 {
     QueryOutcome out;
     core::LookupOutcome lookup;
+    const SimTime t0 = now_;
 
     if (path == ServePath::PocketSearch) {
         lookup = ps_->lookupPair(pair, 2);
@@ -180,6 +305,16 @@ MobileDevice::serveQuery(const workload::PairRef &pair, ServePath path,
                        cfg_.basePower);
             addSegment(out, "render", out.renderTime,
                        cfg_.basePower + browser_.config().renderPower);
+            traceSpan("probe", "device", t0, out.hashLookupTime);
+            traceSpan("fetch", "device", t0 + out.hashLookupTime,
+                      out.fetchTime);
+            traceSpan("misc", "device",
+                      t0 + out.hashLookupTime + out.fetchTime,
+                      out.miscTime);
+            traceSpan("render", "device",
+                      t0 + out.hashLookupTime + out.fetchTime +
+                          out.miscTime,
+                      out.renderTime);
             if (record_click) {
                 SimTime learn = 0;
                 ps_->recordClick(pair, learn);
@@ -187,6 +322,7 @@ MobileDevice::serveQuery(const workload::PairRef &pair, ServePath path,
                 // energy but not user latency.
                 addSegment(out, "learn", learn, cfg_.basePower);
             }
+            finishQueryObs(pair, path, out, t0);
             now_ += out.latency;
             return out;
         }
@@ -197,6 +333,7 @@ MobileDevice::serveQuery(const workload::PairRef &pair, ServePath path,
     radio::RadioLink &radio =
         link(path == ServePath::PocketSearch ? ServePath::ThreeG : path);
     addSegment(out, "probe", out.hashLookupTime, cfg_.basePower);
+    traceSpan("probe", "device", t0, out.hashLookupTime);
     const bool reachable =
         radioExchangeWithRetry(out, radio, now_ + out.hashLookupTime);
 
@@ -208,20 +345,25 @@ MobileDevice::serveQuery(const workload::PairRef &pair, ServePath path,
         // fetched when coverage returns.
         out.degraded = true;
         ++resilience_.degradedServes;
+        bumpCtr(metrics_.degraded);
         if (path == ServePath::PocketSearch) {
             missQueue_.push_back(pair);
             ++resilience_.queuedMisses;
+            bumpCtr(metrics_.queued);
             if (lookup.hit) {
                 out.staleServe = true;
                 ++resilience_.staleServes;
+                bumpCtr(metrics_.stale);
                 out.fetchTime = lookup.fetchTime;
                 addSegment(out, "stale-fetch", out.fetchTime,
                            cfg_.basePower);
             } else {
                 ++resilience_.offlinePages;
+                bumpCtr(metrics_.offline);
             }
         } else {
             ++resilience_.offlinePages;
+            bumpCtr(metrics_.offline);
         }
         out.renderTime = browser_.renderSearchPage();
         out.miscTime = browser_.miscOverhead();
@@ -231,6 +373,13 @@ MobileDevice::serveQuery(const workload::PairRef &pair, ServePath path,
         addSegment(out, "render", out.renderTime,
                    cfg_.basePower + browser_.config().renderPower);
         addSegment(out, "misc", out.miscTime, cfg_.basePower);
+        const SimTime tr = t0 + out.hashLookupTime + out.radioTime +
+                           out.backoffTime;
+        traceSpan("stale-fetch", "device", tr, out.fetchTime);
+        traceSpan("render", "device", tr + out.fetchTime, out.renderTime);
+        traceSpan("misc", "device", tr + out.fetchTime + out.renderTime,
+                  out.miscTime);
+        finishQueryObs(pair, path, out, t0);
         now_ += out.latency;
         return out;
     }
@@ -243,12 +392,17 @@ MobileDevice::serveQuery(const workload::PairRef &pair, ServePath path,
     addSegment(out, "render", out.renderTime,
                cfg_.basePower + browser_.config().renderPower);
     addSegment(out, "misc", out.miscTime, cfg_.basePower);
+    const SimTime tr =
+        t0 + out.hashLookupTime + out.radioTime + out.backoffTime;
+    traceSpan("render", "device", tr, out.renderTime);
+    traceSpan("misc", "device", tr + out.renderTime, out.miscTime);
 
     if (record_click && path == ServePath::PocketSearch) {
         SimTime learn = 0;
         ps_->recordClick(pair, learn);
         addSegment(out, "learn", learn, cfg_.basePower);
     }
+    finishQueryObs(pair, path, out, t0);
     now_ += out.latency;
     return out;
 }
@@ -264,6 +418,7 @@ MobileDevice::syncMissQueue(ServePath path)
     std::size_t done = 0;
     while (done < missQueue_.size()) {
         ++resilience_.radioAttempts;
+        bumpCtr(metrics_.attempts);
         const auto oc = flink.attempt(now_, cfg_.requestBytes,
                                       cfg_.responseBytes, cfg_.serverTime);
         res.time += oc.xfer.latency;
@@ -271,20 +426,27 @@ MobileDevice::syncMissQueue(ServePath path)
         now_ += oc.xfer.latency;
         if (!oc.ok) {
             // Connectivity died again; keep the rest queued.
-            if (oc.noCoverage)
+            if (oc.noCoverage) {
                 ++resilience_.noCoverageAttempts;
-            if (oc.failed)
+                bumpCtr(metrics_.noCoverage);
+            }
+            if (oc.failed) {
                 ++resilience_.failedAttempts;
+                bumpCtr(metrics_.failed);
+            }
             break;
         }
-        if (oc.latencySpike)
+        if (oc.latencySpike) {
             ++resilience_.latencySpikes;
+            bumpCtr(metrics_.spikes);
+        }
         // The queued miss is now fetched: feed it to personalization
         // exactly as a served click would have been.
         SimTime learn = 0;
         ps_->recordClick(missQueue_[done], learn);
         ++res.synced;
         ++resilience_.syncedMisses;
+        bumpCtr(metrics_.synced);
         ++done;
     }
     missQueue_.erase(missQueue_.begin(),

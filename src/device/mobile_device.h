@@ -21,6 +21,8 @@
 #include "core/pocket_search.h"
 #include "device/browser.h"
 #include "fault/faulty_link.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "radio/link.h"
 #include "util/stats.h"
 
@@ -42,6 +44,9 @@ enum class ServePath
 
 /** Display name of a serve path. */
 std::string servePathName(ServePath p);
+
+/** Metric-name-safe key of a serve path ("pocket", "3g", ...). */
+std::string servePathKey(ServePath p);
 
 /**
  * How the device retries failed radio exchanges (bounded retries,
@@ -185,6 +190,26 @@ class MobileDevice
     /** The attached fault plan (may be nullptr). */
     fault::FaultPlan *faults() const { return faults_; }
 
+    /**
+     * Attach a metrics registry: the device registers its counters
+     * ("device.queries", "device.radio.attempts", ...), per-path
+     * latency/energy histograms ("device.latency_ms.<path>"), and
+     * wires the store ("simfs.*"), PocketSearch ("core.search.*") and
+     * every radio link ("device.radio.<link>.*") into the same
+     * registry. nullptr detaches everything.
+     */
+    void attachMetrics(obs::MetricRegistry *reg);
+
+    /**
+     * Attach a tracer: every served query records spans on the track
+     * named `track_label` — an umbrella span (category "query") plus
+     * component spans (category "device": probe, fetch, radio
+     * attempts, backoffs, render, ...) whose durations sum exactly to
+     * the query's end-to-end latency. nullptr detaches.
+     */
+    void attachTracer(obs::Tracer *tracer,
+                      const std::string &track_label = "device");
+
     /** What the device did about injected faults. */
     const ResilienceStats &resilience() const { return resilience_; }
 
@@ -229,6 +254,41 @@ class MobileDevice
     pc::nvm::FlashDevice &flash() { return *flash_; }
 
   private:
+    /** Cached metric handles (null when no registry is attached). */
+    struct Metrics
+    {
+        obs::Counter *queries = nullptr;
+        obs::Counter *cacheHits = nullptr;
+        obs::Counter *attempts = nullptr;
+        obs::Counter *retries = nullptr;
+        obs::Counter *noCoverage = nullptr;
+        obs::Counter *failed = nullptr;
+        obs::Counter *spikes = nullptr;
+        obs::Counter *degraded = nullptr;
+        obs::Counter *stale = nullptr;
+        obs::Counter *offline = nullptr;
+        obs::Counter *queued = nullptr;
+        obs::Counter *synced = nullptr;
+        obs::Histogram *latency[4] = {};
+        obs::Histogram *energy[4] = {};
+    };
+
+    /** Bump a cached counter if metrics are attached. */
+    static void
+    bumpCtr(obs::Counter *c, u64 delta = 1)
+    {
+        if (c)
+            c->bump(delta);
+    }
+
+    /** Record a component span if a tracer is attached. */
+    void traceSpan(const char *name, const char *cat, SimTime start,
+                   SimTime dur) const;
+
+    /** Record the per-query umbrella span and histogram samples. */
+    void finishQueryObs(const workload::PairRef &pair, ServePath path,
+                        const QueryOutcome &out, SimTime t0);
+
     /** Append a device-power segment and charge energy. */
     void addSegment(QueryOutcome &out, const char *label, SimTime dur,
                     MilliWatts power) const;
@@ -253,6 +313,10 @@ class MobileDevice
     fault::FaultPlan *faults_ = nullptr;
     ResilienceStats resilience_;
     std::vector<workload::PairRef> missQueue_;
+    obs::MetricRegistry *registry_ = nullptr;
+    Metrics metrics_;
+    obs::Tracer *tracer_ = nullptr;
+    u32 traceTrack_ = 0;
 };
 
 } // namespace pc::device

@@ -164,4 +164,10 @@ FaultPlan::toCounters() const
     return bag;
 }
 
+void
+FaultPlan::publishMetrics(obs::MetricRegistry &reg) const
+{
+    reg.importCounters(toCounters());
+}
+
 } // namespace pc::fault

@@ -32,6 +32,7 @@
 
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/types.h"
@@ -168,6 +169,13 @@ class FaultPlan
 
     /** Injected-fault counters as a mergeable bag. */
     CounterBag toCounters() const;
+
+    /**
+     * Fold the injected-fault ground truth into a registry (bumps the
+     * "fault.*" counters by current values). Call once per experiment
+     * phase — typically right before snapshotting.
+     */
+    void publishMetrics(obs::MetricRegistry &reg) const;
 
   private:
     /** Advance the outage schedule so it covers `now`. */

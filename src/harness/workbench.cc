@@ -15,6 +15,47 @@ printCounterReport(const std::string &title, const CounterBag &bag)
     t.print();
 }
 
+void
+printMetricsReport(const std::string &title,
+                   const obs::MetricsSnapshot &snap)
+{
+    AsciiTable counters(title + " — counters");
+    counters.header({"counter", "count"});
+    for (const auto &[name, value] : snap.counters) {
+        if (value == 0)
+            continue;
+        counters.row({name,
+                      strformat("%llu", (unsigned long long)value)});
+    }
+    counters.print();
+
+    if (!snap.gauges.empty()) {
+        AsciiTable gauges(title + " — gauges");
+        gauges.header({"gauge", "value"});
+        for (const auto &[name, value] : snap.gauges)
+            gauges.row({name, strformat("%.3f", value)});
+        gauges.print();
+    }
+
+    if (!snap.histograms.empty()) {
+        AsciiTable hists(title + " — histograms");
+        hists.header({"histogram", "count", "mean", "p50", "p90", "p99",
+                      "max"});
+        for (const auto &h : snap.histograms) {
+            if (h.count == 0)
+                continue;
+            hists.row({h.name,
+                       strformat("%llu", (unsigned long long)h.count),
+                       strformat("%.3f", h.mean),
+                       strformat("%.3f", h.p50),
+                       strformat("%.3f", h.p90),
+                       strformat("%.3f", h.p99),
+                       strformat("%.3f", h.max)});
+        }
+        hists.print();
+    }
+}
+
 WorkbenchConfig
 smallWorkbenchConfig()
 {

@@ -13,6 +13,7 @@
 
 #include "core/cache_content.h"
 #include "logs/triplets.h"
+#include "obs/metrics.h"
 #include "util/stats.h"
 #include "workload/loggen.h"
 #include "workload/population.h"
@@ -28,6 +29,15 @@ namespace pc::harness {
  * device did about it.
  */
 void printCounterReport(const std::string &title, const CounterBag &bag);
+
+/**
+ * Print a registry snapshot as tables: one for counters (skipping
+ * zeros), one for gauges, one summary row per histogram. The same
+ * snapshot can be attached to a BenchReport for the machine-readable
+ * twin of this human-readable view.
+ */
+void printMetricsReport(const std::string &title,
+                        const obs::MetricsSnapshot &snap);
 
 /** Scale of the standard experiment world. */
 struct WorkbenchConfig

@@ -1,0 +1,231 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/json.h"
+#include "util/logging.h"
+
+namespace pc::obs {
+
+namespace {
+
+/** CSV field: quote when it contains a comma/quote/newline. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+csvNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+} // namespace
+
+BenchReport::BenchReport(std::string id, std::string title)
+    : id_(std::move(id)), title_(std::move(title))
+{
+    pc_assert(!id_.empty() &&
+              id_.find_first_of("/\\ \t\n") == std::string::npos,
+              "bench id must be a file-name-safe token");
+}
+
+void
+BenchReport::note(const std::string &key, std::string value)
+{
+    notes_.emplace_back(key, std::move(value));
+}
+
+void
+BenchReport::metric(const std::string &name, double value, std::string unit)
+{
+    metrics_.push_back(Scalar{name, value, std::move(unit)});
+}
+
+void
+BenchReport::quantiles(const Histogram &h, std::string unit)
+{
+    HistogramSummary s;
+    s.name = h.name();
+    s.count = h.count();
+    s.mean = h.mean();
+    s.min = h.min();
+    s.max = h.max();
+    s.sum = h.sum();
+    s.p50 = h.quantile(0.50);
+    s.p90 = h.quantile(0.90);
+    s.p99 = h.quantile(0.99);
+    histograms_.push_back(HistoRow{std::move(s), std::move(unit)});
+}
+
+void
+BenchReport::attachSnapshot(MetricsSnapshot snap)
+{
+    snapshot_ = std::move(snap);
+}
+
+void
+BenchReport::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os, /*pretty=*/true);
+    w.beginObject();
+    w.kv("bench", id_);
+    w.kv("title", title_);
+    if (!notes_.empty()) {
+        w.key("notes");
+        w.beginObject();
+        for (const auto &[k, v] : notes_)
+            w.kv(k, v);
+        w.endObject();
+    }
+    w.key("metrics");
+    w.beginArray();
+    for (const auto &m : metrics_) {
+        w.beginObject();
+        w.kv("name", m.name);
+        w.kv("value", m.value);
+        if (!m.unit.empty())
+            w.kv("unit", m.unit);
+        w.endObject();
+    }
+    w.endArray();
+    if (!histograms_.empty()) {
+        w.key("histograms");
+        w.beginArray();
+        for (const auto &h : histograms_) {
+            w.beginObject();
+            w.kv("name", h.summary.name);
+            if (!h.unit.empty())
+                w.kv("unit", h.unit);
+            w.kv("count", h.summary.count);
+            w.kv("mean", h.summary.mean);
+            w.kv("min", h.summary.min);
+            w.kv("max", h.summary.max);
+            w.kv("p50", h.summary.p50);
+            w.kv("p90", h.summary.p90);
+            w.kv("p99", h.summary.p99);
+            w.endObject();
+        }
+        w.endArray();
+    }
+    if (snapshot_) {
+        w.key("registry");
+        // Inline the snapshot's own JSON shape.
+        w.beginObject();
+        w.key("counters");
+        w.beginObject();
+        for (const auto &[n, v] : snapshot_->counters)
+            w.kv(n, v);
+        w.endObject();
+        w.key("gauges");
+        w.beginObject();
+        for (const auto &[n, v] : snapshot_->gauges)
+            w.kv(n, v);
+        w.endObject();
+        w.key("histograms");
+        w.beginArray();
+        for (const auto &h : snapshot_->histograms) {
+            w.beginObject();
+            w.kv("name", h.name);
+            w.kv("count", h.count);
+            w.kv("mean", h.mean);
+            w.kv("min", h.min);
+            w.kv("max", h.max);
+            w.kv("p50", h.p50);
+            w.kv("p90", h.p90);
+            w.kv("p99", h.p99);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+    os << '\n';
+}
+
+void
+BenchReport::writeCsv(std::ostream &os) const
+{
+    os << "kind,name,value,unit\n";
+    for (const auto &m : metrics_) {
+        os << "metric," << csvField(m.name) << ','
+           << csvNumber(m.value) << ',' << csvField(m.unit) << '\n';
+    }
+    for (const auto &h : histograms_) {
+        const auto row = [&](const char *stat, double v) {
+            os << "histogram," << csvField(h.summary.name + "." + stat)
+               << ',' << csvNumber(v) << ',' << csvField(h.unit) << '\n';
+        };
+        row("count", double(h.summary.count));
+        row("mean", h.summary.mean);
+        row("min", h.summary.min);
+        row("max", h.summary.max);
+        row("p50", h.summary.p50);
+        row("p90", h.summary.p90);
+        row("p99", h.summary.p99);
+    }
+}
+
+std::string
+BenchReport::outputDir()
+{
+    const char *env = std::getenv("PC_BENCH_OUT");
+    if (env && *env)
+        return env;
+    return "bench_out";
+}
+
+std::vector<std::string>
+BenchReport::writeFiles(const std::string &dir) const
+{
+    const std::string out = dir.empty() ? outputDir() : dir;
+    std::error_code ec;
+    std::filesystem::create_directories(out, ec);
+    if (ec) {
+        pc_warn("cannot create bench output dir '", out, "': ",
+                ec.message());
+        return {};
+    }
+    std::vector<std::string> paths;
+    const std::string json = out + "/BENCH_" + id_ + ".json";
+    {
+        std::ofstream f(json);
+        if (f)
+            writeJson(f);
+        if (!f) {
+            pc_warn("cannot write ", json);
+            return {};
+        }
+    }
+    paths.push_back(json);
+    const std::string csv = out + "/BENCH_" + id_ + ".csv";
+    {
+        std::ofstream f(csv);
+        if (f)
+            writeCsv(f);
+        if (!f) {
+            pc_warn("cannot write ", csv);
+            return paths;
+        }
+    }
+    paths.push_back(csv);
+    return paths;
+}
+
+} // namespace pc::obs

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Machine-readable bench result emitter.
+ *
+ * Every bench binary prints a human ASCII table; this reporter writes
+ * the same results as `BENCH_<id>.json` and `BENCH_<id>.csv` next to
+ * it, so the evaluation becomes a trajectory of parseable files
+ * instead of a wall of stdout. Output is fully deterministic (no
+ * timestamps, stable number formatting) — running a bench twice must
+ * produce byte-identical files.
+ */
+
+#ifndef PC_OBS_REPORT_H
+#define PC_OBS_REPORT_H
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace pc::obs {
+
+/**
+ * Accumulates one bench run's results, then serializes them.
+ */
+class BenchReport
+{
+  public:
+    /**
+     * @param id Short file-name-safe identifier ("fig15a").
+     * @param title Human experiment title.
+     */
+    BenchReport(std::string id, std::string title);
+
+    /** Free-form string annotation (configuration, units, anchors). */
+    void note(const std::string &key, std::string value);
+
+    /** One scalar result. */
+    void metric(const std::string &name, double value,
+                std::string unit = "");
+
+    /** Quantile summary of a registry histogram. */
+    void quantiles(const Histogram &h, std::string unit = "");
+
+    /** Embed a full registry snapshot (counters/gauges/histograms). */
+    void attachSnapshot(MetricsSnapshot snap);
+
+    /** Identifier. */
+    const std::string &id() const { return id_; }
+
+    /** Serialize as JSON. */
+    void writeJson(std::ostream &os) const;
+
+    /** Serialize scalars + histogram quantiles as CSV. */
+    void writeCsv(std::ostream &os) const;
+
+    /**
+     * Write `BENCH_<id>.json` and `BENCH_<id>.csv` under `dir`
+     * (created if missing; empty means outputDir()).
+     * @return Paths written; empty on I/O failure.
+     */
+    std::vector<std::string> writeFiles(const std::string &dir = "") const;
+
+    /** Bench output directory: $PC_BENCH_OUT, or "bench_out". */
+    static std::string outputDir();
+
+  private:
+    struct Scalar
+    {
+        std::string name;
+        double value;
+        std::string unit;
+    };
+
+    struct HistoRow
+    {
+        HistogramSummary summary;
+        std::string unit;
+    };
+
+    std::string id_;
+    std::string title_;
+    std::vector<std::pair<std::string, std::string>> notes_;
+    std::vector<Scalar> metrics_;
+    std::vector<HistoRow> histograms_;
+    std::optional<MetricsSnapshot> snapshot_;
+};
+
+} // namespace pc::obs
+
+#endif // PC_OBS_REPORT_H

@@ -103,11 +103,32 @@ RadioLink::request(SimTime now, Bytes uplinkBytes, Bytes downlinkBytes,
 }
 
 void
+RadioLink::attachMetrics(obs::MetricRegistry *reg,
+                         const std::string &prefix)
+{
+    if (!reg) {
+        requestsCtr_ = nullptr;
+        wakeupsCtr_ = nullptr;
+        energyGauge_ = nullptr;
+        return;
+    }
+    requestsCtr_ = &reg->counter(prefix + ".requests");
+    wakeupsCtr_ = &reg->counter(prefix + ".wakeups");
+    energyGauge_ = &reg->gauge(prefix + ".energy_mj");
+}
+
+void
 RadioLink::commit(SimTime now, const TransferResult &res)
 {
+    if (wakeupsCtr_ && needsWakeup(now))
+        wakeupsCtr_->bump();
     readyUntil_ = now + res.latency + cfg_.tailDuration;
     totalEnergy_ += res.radioEnergy;
     ++requests_;
+    if (requestsCtr_)
+        requestsCtr_->bump();
+    if (energyGauge_)
+        energyGauge_->set(totalEnergy_ / 1000.0);
 }
 
 TransferResult

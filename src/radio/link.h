@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/types.h"
 
 namespace pc::radio {
@@ -120,11 +121,23 @@ class RadioLink
     /** Number of requests served. */
     u64 requests() const { return requests_; }
 
+    /**
+     * Register this link's metrics under `prefix` (hierarchical, e.g.
+     * "device.radio.3g"): `<prefix>.requests` and `<prefix>.wakeups`
+     * counters plus a `<prefix>.energy_mj` gauge, updated per commit.
+     * nullptr detaches.
+     */
+    void attachMetrics(obs::MetricRegistry *reg,
+                       const std::string &prefix);
+
   private:
     LinkConfig cfg_;
     SimTime readyUntil_ = -1; ///< End of the last tail; -1 = cold.
     MicroJoules totalEnergy_ = 0;
     u64 requests_ = 0;
+    obs::Counter *requestsCtr_ = nullptr;
+    obs::Counter *wakeupsCtr_ = nullptr;
+    obs::Gauge *energyGauge_ = nullptr;
 };
 
 /** Transfer time of `bytes` at `bps` (bits per second). */

@@ -23,6 +23,23 @@ FlashStore::FlashStore(pc::nvm::FlashDevice &device, const StoreConfig &cfg)
               "allocation unit and flash page size must nest");
 }
 
+void
+FlashStore::attachMetrics(obs::MetricRegistry *reg)
+{
+    if (!reg) {
+        metrics_ = Metrics{};
+        return;
+    }
+    metrics_.creates = &reg->counter("simfs.creates");
+    metrics_.opens = &reg->counter("simfs.opens");
+    metrics_.reads = &reg->counter("simfs.reads");
+    metrics_.writes = &reg->counter("simfs.writes");
+    metrics_.truncates = &reg->counter("simfs.truncates");
+    metrics_.removes = &reg->counter("simfs.removes");
+    metrics_.bytesRead = &reg->counter("simfs.bytes_read");
+    metrics_.bytesWritten = &reg->counter("simfs.bytes_written");
+}
+
 FileId
 FlashStore::create(const std::string &name)
 {
@@ -31,6 +48,8 @@ FlashStore::create(const std::string &name)
     FileId id = FileId(files_.size());
     files_.push_back(File{name, {}, {}, true});
     byName_[name] = id;
+    if (metrics_.creates)
+        metrics_.creates->bump();
     return id;
 }
 
@@ -38,6 +57,8 @@ FileId
 FlashStore::open(const std::string &name, SimTime &time)
 {
     time += cfg_.openOverhead;
+    if (metrics_.opens)
+        metrics_.opens->bump();
     auto it = byName_.find(name);
     return it == byName_.end() ? kNoFile : it->second;
 }
@@ -135,6 +156,10 @@ FlashStore::append(FileId id, std::string_view data, SimTime &time)
     if (faults_)
         payload = data.substr(0, faults_->programBudget(data.size()));
     const Bytes start = f.data.size();
+    if (metrics_.writes) {
+        metrics_.writes->bump();
+        metrics_.bytesWritten->bump(payload.size());
+    }
     reserve(f, start + payload.size(), time, true);
     // Charge programs block-run by block-run (appends can straddle).
     Bytes off = start;
@@ -155,9 +180,13 @@ FlashStore::read(FileId id, Bytes offset, Bytes len, std::string &out,
 {
     const File &f = fileAt(id);
     out.clear();
+    if (metrics_.reads)
+        metrics_.reads->bump();
     if (offset >= f.data.size())
         return 0;
     const Bytes n = std::min<Bytes>(len, f.data.size() - offset);
+    if (metrics_.bytesRead)
+        metrics_.bytesRead->bump(n);
     out.assign(f.data, offset, n);
     // Charge reads block-run by block-run.
     const Bytes dev_block =
@@ -192,6 +221,8 @@ FlashStore::truncateAndWrite(FileId id, std::string_view data, SimTime &time)
     File &f = fileAt(id);
     if (faults_ && faults_->powerLost())
         return;
+    if (metrics_.truncates)
+        metrics_.truncates->bump();
     // Old blocks must be erased before reuse; charge and free them.
     for (u64 b : f.blocks) {
         time += device_.eraseBlockAt(b * cfg_.allocUnit);
@@ -206,6 +237,8 @@ void
 FlashStore::remove(FileId id)
 {
     File &f = fileAt(id);
+    if (metrics_.removes)
+        metrics_.removes->bump();
     for (u64 b : f.blocks)
         freeBlocks_.push_back(b);
     byName_.erase(f.name);

@@ -27,6 +27,7 @@
 
 #include "fault/fault_plan.h"
 #include "nvm/flash_device.h"
+#include "obs/metrics.h"
 #include "util/types.h"
 
 namespace pc::simfs {
@@ -150,6 +151,13 @@ class FlashStore
     /** The attached fault plan (may be nullptr). */
     pc::fault::FaultPlan *faults() const { return faults_; }
 
+    /**
+     * Register store counters under "simfs.*" (creates, opens, reads,
+     * writes, truncates, removes, bytes_read, bytes_written), bumped
+     * per operation. nullptr detaches.
+     */
+    void attachMetrics(obs::MetricRegistry *reg);
+
   private:
     struct File
     {
@@ -171,9 +179,23 @@ class FlashStore
     /** Flash byte address of a file offset. */
     Bytes flashAddr(const File &f, Bytes offset) const;
 
+    /** Cached metric handles (null when no registry is attached). */
+    struct Metrics
+    {
+        obs::Counter *creates = nullptr;
+        obs::Counter *opens = nullptr;
+        obs::Counter *reads = nullptr;
+        obs::Counter *writes = nullptr;
+        obs::Counter *truncates = nullptr;
+        obs::Counter *removes = nullptr;
+        obs::Counter *bytesRead = nullptr;
+        obs::Counter *bytesWritten = nullptr;
+    };
+
     pc::nvm::FlashDevice &device_;
     StoreConfig cfg_;
     pc::fault::FaultPlan *faults_ = nullptr;
+    Metrics metrics_;
     std::vector<File> files_;
     std::map<std::string, FileId> byName_;
     std::vector<u64> freeBlocks_;

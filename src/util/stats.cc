@@ -89,6 +89,28 @@ RunningStat::add(double x)
     max_ = std::max(max_, x);
 }
 
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    // Chan et al. pairwise combine: exact counts/sums, numerically
+    // stable M2 update.
+    const u64 n = n_ + other.n_;
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ +
+           delta * delta * double(n_) * double(other.n_) / double(n);
+    mean_ += delta * double(other.n_) / double(n);
+    n_ = n;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
 double
 RunningStat::variance() const
 {

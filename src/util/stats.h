@@ -40,7 +40,15 @@ class CounterBag
     /** True if the counter exists. */
     bool contains(const std::string &name) const;
 
-    /** Fold another bag's counters into this one. */
+    /**
+     * Fold another bag's counters into this one.
+     *
+     * Ordering guarantee: counters already present keep their existing
+     * positions (their values accumulate in place); counters new to
+     * this bag are appended in `other`'s first-bump order. Merging the
+     * same sequence of bags therefore always yields the same item
+     * order, so merged reports are deterministic and diffable.
+     */
     void merge(const CounterBag &other);
 
     /** Counters in first-bump order. */
@@ -70,6 +78,14 @@ class RunningStat
   public:
     /** Fold one observation into the accumulator. */
     void add(double x);
+
+    /**
+     * Fold another accumulator in (parallel Welford/Chan combine).
+     * Equivalent to having added the other stream's observations here,
+     * up to floating-point rounding. Lets per-shard stats be reduced
+     * without replaying observations.
+     */
+    void merge(const RunningStat &other);
 
     /** Number of observations so far. */
     u64 count() const { return n_; }

@@ -89,6 +89,19 @@ TEST_F(CacheManagerTest, PrunesUntouchedCommunityPairs)
     EXPECT_EQ(ps_->pairs(), 1u);
     EXPECT_TRUE(ps_->containsPair(canonicalPair(2)));
     EXPECT_FALSE(ps_->containsPair(canonicalPair(0)));
+
+    // The cycle accounting folds into a metrics registry under
+    // "core.update.*" and accumulates across cycles.
+    obs::MetricRegistry reg;
+    stats.publishMetrics(reg);
+    stats.publishMetrics(reg);
+    const auto snap = reg.snapshot();
+    EXPECT_EQ(snap.counterValue("core.update.pairs_pruned"), 4u);
+    EXPECT_EQ(snap.counterValue("core.update.pairs_added"), 2u);
+    EXPECT_EQ(snap.counterValue("core.update.bytes_to_server"),
+              2 * stats.bytesToServer);
+    EXPECT_EQ(stats.toCounters().value("core.update.records_patched"),
+              stats.recordsPatched);
 }
 
 TEST_F(CacheManagerTest, KeepsUserAccessedPairs)

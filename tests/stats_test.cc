@@ -55,6 +55,50 @@ TEST(RunningStat, NegativeValues)
     EXPECT_DOUBLE_EQ(s.max(), 5.0);
 }
 
+TEST(RunningStat, MergeMatchesSingleStream)
+{
+    // Parallel Welford combine: splitting a stream across two
+    // accumulators and merging must match feeding one accumulator.
+    const std::vector<double> xs = {2.0, -4.0, 4.5,  4.0, 5.0,
+                                    5.5, 7.0,  -9.0, 0.0, 12.5};
+    RunningStat whole;
+    for (double x : xs)
+        whole.add(x);
+
+    for (std::size_t split = 0; split <= xs.size(); ++split) {
+        RunningStat a, b;
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            (i < split ? a : b).add(xs[i]);
+        a.merge(b);
+        EXPECT_EQ(a.count(), whole.count()) << "split=" << split;
+        EXPECT_NEAR(a.mean(), whole.mean(), 1e-12) << "split=" << split;
+        EXPECT_NEAR(a.variance(), whole.variance(), 1e-12)
+            << "split=" << split;
+        EXPECT_DOUBLE_EQ(a.min(), whole.min()) << "split=" << split;
+        EXPECT_DOUBLE_EQ(a.max(), whole.max()) << "split=" << split;
+        EXPECT_NEAR(a.sum(), whole.sum(), 1e-12) << "split=" << split;
+    }
+}
+
+TEST(RunningStat, MergeWithEmptySides)
+{
+    RunningStat full;
+    full.add(3.0);
+    full.add(7.0);
+
+    RunningStat a = full, empty;
+    a.merge(empty); // no-op
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+
+    RunningStat b;
+    b.merge(full); // adopt the other stream wholesale
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(b.min(), 3.0);
+    EXPECT_DOUBLE_EQ(b.max(), 7.0);
+}
+
 TEST(EmpiricalCdf, AtComputesFraction)
 {
     EmpiricalCdf cdf;
@@ -93,6 +137,39 @@ TEST(EmpiricalCdf, AddAfterQueryResorts)
     EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 10.0);
 }
 
+TEST(EmpiricalCdf, QuantileSingleSample)
+{
+    EmpiricalCdf cdf;
+    cdf.add(7.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 7.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 7.0);
+}
+
+TEST(EmpiricalCdf, QuantileExtremesHitOrderStatistics)
+{
+    EmpiricalCdf cdf;
+    cdf.add({3.0, 1.0, 4.0, 1.0, 5.0});
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0) << "q=0 is the minimum";
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0) << "q=1 is the maximum";
+}
+
+TEST(EmpiricalCdf, QuantileWithDuplicates)
+{
+    EmpiricalCdf cdf;
+    cdf.add({2.0, 2.0, 2.0, 2.0});
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.37), 2.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 2.0);
+
+    // A run of duplicates pins the interior quantiles that land on it.
+    EmpiricalCdf mixed;
+    mixed.add({1.0, 5.0, 5.0, 5.0, 9.0});
+    EXPECT_DOUBLE_EQ(mixed.quantile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(mixed.quantile(0.25), 5.0);
+    EXPECT_DOUBLE_EQ(mixed.quantile(0.75), 5.0);
+}
+
 TEST(Histogram, BucketsAndClamping)
 {
     Histogram h(0.0, 10.0, 5);
@@ -107,6 +184,20 @@ TEST(Histogram, BucketsAndClamping)
     EXPECT_EQ(h.bucketCount(4), 2u);
     EXPECT_DOUBLE_EQ(h.bucketLow(2), 4.0);
     EXPECT_DOUBLE_EQ(h.bucketHigh(2), 6.0);
+}
+
+TEST(Histogram, ClampToEdgeBuckets)
+{
+    Histogram h(0.0, 10.0, 4);
+    h.add(-1e9);  // far below -> bucket 0
+    h.add(0.0);   // exactly lo -> bucket 0
+    h.add(10.0);  // exactly hi (exclusive) clamps to the last bucket
+    h.add(1e9);   // far above -> last bucket
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 0u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(3), 2u);
 }
 
 TEST(CumulativeShare, SortsAndAccumulates)
@@ -184,6 +275,40 @@ TEST(CounterBag, MergeAddsAndAppends)
     ASSERT_EQ(a.size(), 3u);
     EXPECT_EQ(a.items()[2].first, "retries") << "new keys append at the end";
     EXPECT_EQ(a.total(), 13u);
+}
+
+TEST(CounterBag, MergeOrderingIsDeterministicAcrossMerges)
+{
+    // The documented guarantee: existing counters keep their positions
+    // (values accumulate in place); counters new to this bag append in
+    // the other bag's first-bump order. Merging the same sequence of
+    // bags therefore always yields the same item order.
+    CounterBag b1;
+    b1.bump("alpha");
+    b1.bump("beta");
+    CounterBag b2;
+    b2.bump("gamma");
+    b2.bump("alpha");
+    b2.bump("delta");
+
+    CounterBag merged;
+    merged.merge(b1);
+    merged.merge(b2);
+    const auto &items = merged.items();
+    ASSERT_EQ(items.size(), 4u);
+    EXPECT_EQ(items[0].first, "alpha");
+    EXPECT_EQ(items[1].first, "beta");
+    EXPECT_EQ(items[2].first, "gamma");
+    EXPECT_EQ(items[3].first, "delta");
+    EXPECT_EQ(merged.value("alpha"), 2u);
+
+    // Re-running the same merge sequence reproduces the exact order.
+    CounterBag again;
+    again.merge(b1);
+    again.merge(b2);
+    ASSERT_EQ(again.items().size(), items.size());
+    for (std::size_t i = 0; i < items.size(); ++i)
+        EXPECT_EQ(again.items()[i], items[i]) << "index " << i;
 }
 
 TEST(CounterBag, ClearEmpties)

@@ -9,7 +9,9 @@
  *   search <query>    serve a full query (cache first, 3G on a miss)
  *   click <n>         click result #n of the last search (teaches the
  *                     personalization component / re-ranks)
- *   stats             cache + device counters
+ *   stats             cache + device counters + metrics registry
+ *   trace <n> [file]  serve the n-th cached pair end to end and show
+ *                     its trace spans (optionally export Chrome JSON)
  *   update            run the nightly Figure 14 sync against fresh logs
  *   seed <n>          jump to the n-th most popular community query
  *   help / quit
@@ -25,6 +27,8 @@
 #include "core/cache_manager.h"
 #include "device/mobile_device.h"
 #include "harness/workbench.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 using namespace pc;
@@ -40,7 +44,9 @@ help()
         "  search <query>  serve a query end to end\n"
         "  click <n>       click result #n of the last search\n"
         "  seed <n>        print the n-th most popular cached query\n"
-        "  stats           cache/device counters\n"
+        "  stats           cache/device counters + metrics registry\n"
+        "  trace <n> [f]   serve cached pair #n and print its spans\n"
+        "                  (write Chrome trace JSON to file f if given)\n"
         "  update          nightly community sync (Figure 14)\n"
         "  help, quit\n");
 }
@@ -53,6 +59,10 @@ main()
     std::printf("building the world (a few seconds)...\n");
     harness::Workbench wb(harness::smallWorkbenchConfig());
     device::MobileDevice dev(wb.universe());
+    obs::MetricRegistry registry;
+    obs::Tracer tracer;
+    dev.attachMetrics(&registry);
+    dev.attachTracer(&tracer, "shell");
     dev.installCommunityCache(wb.communityCache());
     core::CacheManager manager(wb.universe());
     auto &ps = dev.pocketSearch();
@@ -147,6 +157,38 @@ main()
                         (unsigned long long)s.queryHits,
                         (unsigned long long)s.pairsLearned,
                         ps.suggestIndex().size());
+            harness::printMetricsReport("metrics registry",
+                                        registry.snapshot());
+        } else if (cmd == "trace") {
+            std::size_t n = 0;
+            std::string out_file;
+            iss >> n >> out_file;
+            const auto &pairs = wb.communityCache().pairs;
+            if (n >= pairs.size()) {
+                std::printf("only %zu cached pairs\n", pairs.size());
+                continue;
+            }
+            const std::size_t before = tracer.spans().size();
+            const auto out = dev.serveQuery(
+                pairs[n].pair, device::ServePath::PocketSearch, false);
+            std::printf("\"%s\": %s, %s (%.1f mJ)\n",
+                        wb.universe().query(pairs[n].pair.query)
+                            .text.c_str(),
+                        out.cacheHit ? "HIT" : "MISS",
+                        humanTime(out.latency).c_str(),
+                        out.energy / 1000.0);
+            for (std::size_t i = before; i < tracer.spans().size();
+                 ++i) {
+                const auto &sp = tracer.spans()[i];
+                std::printf("  %-10s %-18s @%-12s %s\n",
+                            sp.category.c_str(), sp.name.c_str(),
+                            humanTime(sp.start).c_str(),
+                            humanTime(sp.duration).c_str());
+            }
+            if (!out_file.empty()) {
+                if (tracer.writeChromeTraceFile(out_file))
+                    std::printf("wrote %s\n", out_file.c_str());
+            }
         } else if (cmd == "update") {
             const auto fresh_log = wb.nextCommunityMonth();
             const auto fresh =
@@ -156,6 +198,7 @@ main()
             policy.content.volumeShare = 0.55;
             SimTime t = 0;
             const auto st = manager.update(ps, fresh, policy, t);
+            st.publishMetrics(registry);
             std::printf("synced: -%zu pruned, +%zu fresh, %zu kept; "
                         "exchange %s\n",
                         st.pairsPruned, st.pairsAdded, st.pairsKept,
