@@ -70,5 +70,21 @@ main()
     std::printf("\nServed hits are ~16x faster (Fig 15a); the same "
                 "fraction of the query load never reaches the\ncellular "
                 "link or the search engine's datacenter.\n");
+
+    obs::BenchReport report("fig17",
+                            "Figure 17 — cache hit rate per user class");
+    report.note("users_per_class", "100");
+    report.note("paper_anchor",
+                "combined ~65%, community ~55%, personalization ~56.5%");
+    const char *modeKey[] = {"combined", "community", "personalization"};
+    for (int m = 0; m < 3; ++m) {
+        report.metric(std::string("hit_rate.") + modeKey[m],
+                      results[m].overallMeanHitRate);
+        for (int c = 0; c < 4; ++c) {
+            report.metric(strformat("hit_rate.%s.class%d", modeKey[m], c),
+                          results[m].classes[c].meanHitRate);
+        }
+    }
+    bench::emitReport(report);
     return 0;
 }

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Fleet telemetry — 1000 simulated devices, one telemetry roll-up.
+ *
+ * Exercises the whole observability stack at fleet scale: every
+ * device fills its own MetricRegistry (bounded sketch histograms), a
+ * FleetCollector folds them into per-class and fleet-wide registries
+ * and monthly time series, and an EWMA drift scan must flag the
+ * injected month-3 radio outage. Alongside the ASCII tables the bench
+ * writes, into $PC_BENCH_OUT (default bench_out/):
+ *
+ *   BENCH_fleet_telemetry.{json,csv}      scalar report + registry
+ *   BENCH_fleet_telemetry_series.csv      fleet time series
+ *   BENCH_fleet_telemetry_anomalies.csv   drift report
+ *
+ * All three are byte-deterministic: a second run must produce
+ * identical files (CI diffs them).
+ *
+ * The world is the small workbench (the full 60k-user community only
+ * changes the cache contents, not what the telemetry path exercises);
+ * 1000 devices x 6 months is ~420k served queries.
+ */
+
+#include <fstream>
+
+#include "bench_common.h"
+#include "harness/fleet.h"
+#include "harness/workbench.h"
+#include "obs/fleet.h"
+
+using namespace pc;
+using namespace pc::harness;
+
+int
+main()
+{
+    bench::banner("Fleet telemetry",
+                  "1000 devices, 6 months, injected month-3 outage");
+    Workbench wb(smallWorkbenchConfig());
+
+    FleetRunConfig cfg;
+    cfg.devices = 1000;
+    cfg.months = 6;
+    cfg.outageStartMonth = 3;
+    cfg.outageMonths = 1;
+
+    obs::FleetConfig fc;
+    fc.windowWidth = workload::kMonth;
+    obs::FleetCollector collector(fc);
+    const FleetRunResult run = runFleet(wb, cfg, collector);
+
+    const double hitRate =
+        run.queries ? double(run.cacheHits) / double(run.queries) : 0.0;
+    AsciiTable t("Fleet totals");
+    t.header({"metric", "value"});
+    t.row({"devices", strformat("%zu", run.devices)});
+    t.row({"queries", strformat("%llu",
+                                (unsigned long long)run.queries)});
+    t.row({"cache hit rate", bench::pct(hitRate)});
+    t.row({"degraded serves",
+           strformat("%llu", (unsigned long long)run.degradedServes)});
+    t.print();
+
+    AsciiTable classes("Devices per user class");
+    classes.header({"class", "devices"});
+    for (const auto &[cls, n] : collector.classDevices())
+        classes.row({cls, strformat("%zu", n)});
+    classes.print();
+
+    // Monthly fleet series: the outage month must be visible as a
+    // degraded-serve spike in the rolled-up table.
+    const auto queries = collector.fleetSeries().counterSeries(
+        "device.queries");
+    const auto hits = collector.fleetSeries().counterSeries(
+        "device.cache_hits");
+    const auto degraded = collector.fleetSeries().counterSeries(
+        "device.degraded.serves");
+    AsciiTable monthly("Fleet by month");
+    monthly.header({"month", "queries", "hit rate", "degraded serves"});
+    for (std::size_t m = 0; m < queries.size(); ++m) {
+        monthly.row({strformat("%zu", m),
+                     strformat("%.0f", queries[m]),
+                     bench::pct(queries[m] > 0 ? hits[m] / queries[m]
+                                               : 0.0),
+                     strformat("%.0f", degraded[m])});
+    }
+    monthly.print();
+
+    obs::DriftConfig dc;
+    dc.warmup = 2;
+    const auto anomalies = collector.scanAnomalies(dc);
+    AsciiTable at("Top anomalies (EWMA z-score)");
+    at.header({"series", "month", "value", "expected", "z"});
+    std::size_t shown = 0;
+    for (const auto &a : anomalies) {
+        if (++shown > 8)
+            break;
+        at.row({a.series,
+                strformat("%lld",
+                          (long long)(a.windowStart / workload::kMonth)),
+                strformat("%.4g", a.value),
+                strformat("%.4g", a.expected),
+                strformat("%+.1f", a.zscore)});
+    }
+    at.print();
+
+    bool outageFlagged = false;
+    for (const auto &a : anomalies) {
+        if (a.windowStart == SimTime(cfg.outageStartMonth) *
+                                 workload::kMonth &&
+            a.series == "fleet.degraded_rate")
+            outageFlagged = true;
+    }
+    std::printf("\ninjected outage (month %u) %s by the drift scan\n",
+                cfg.outageStartMonth,
+                outageFlagged ? "FLAGGED" : "** NOT FLAGGED **");
+
+    obs::BenchReport report("fleet_telemetry",
+                            "Fleet telemetry — 1000-device roll-up");
+    report.note("devices", strformat("%zu", cfg.devices));
+    report.note("months", strformat("%u", cfg.months));
+    report.note("outage_month", strformat("%u", cfg.outageStartMonth));
+    report.metric("queries", double(run.queries));
+    report.metric("hit_rate", hitRate);
+    report.metric("degraded_serves", double(run.degradedServes));
+    report.metric("anomalies", double(anomalies.size()));
+    report.metric("outage_flagged", outageFlagged ? 1.0 : 0.0);
+    for (const auto &[cls, n] : collector.classDevices())
+        report.metric("devices." + cls, double(n));
+    if (const auto *h = collector.fleetRegistry().findHistogram(
+            "device.latency_ms.pocket"))
+        report.quantiles(*h, "ms");
+    report.attachSnapshot(collector.fleetRegistry().snapshot());
+    bench::emitReport(report);
+
+    const std::string dir = obs::BenchReport::outputDir();
+    {
+        const std::string path = dir + "/BENCH_fleet_telemetry_series.csv";
+        std::ofstream f(path);
+        collector.writeSeriesCsv(f);
+        if (f)
+            std::printf("wrote %s\n", path.c_str());
+    }
+    {
+        const std::string path =
+            dir + "/BENCH_fleet_telemetry_anomalies.csv";
+        std::ofstream f(path);
+        obs::FleetCollector::writeAnomaliesCsv(f, anomalies);
+        if (f)
+            std::printf("wrote %s\n", path.c_str());
+    }
+    return outageFlagged ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+#include "harness/fleet.h"
+
+#include "util/logging.h"
+
+namespace pc::harness {
+
+std::string
+userClassKey(workload::UserClass cls)
+{
+    switch (cls) {
+      case workload::UserClass::Low: return "low";
+      case workload::UserClass::Medium: return "medium";
+      case workload::UserClass::High: return "high";
+      case workload::UserClass::Extreme: return "extreme";
+    }
+    return "unknown";
+}
+
+fault::FaultConfig
+defaultOutageFaults()
+{
+    fault::FaultConfig f;
+    f.radio.outageShare = 0.45;
+    f.radio.meanOutageDuration = 10ll * 60 * kSecond;
+    f.radio.exchangeFailureRate = 0.05;
+    f.radio.latencySpikeRate = 0.10;
+    return f;
+}
+
+FleetRunResult
+runFleet(const Workbench &wb, const FleetRunConfig &cfg,
+         obs::FleetCollector &collector)
+{
+    pc_assert(cfg.devices > 0, "runFleet: need at least one device");
+    pc_assert(cfg.months > 0, "runFleet: need at least one month");
+
+    workload::PopulationSampler sampler(wb.population());
+    const auto profiles = sampler.samplePopulation(cfg.devices);
+
+    FleetRunResult result;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        const workload::UserProfile &profile = profiles[i];
+
+        device::MobileDevice dev(wb.universe(), cfg.device);
+        dev.installCommunityCache(wb.communityCache());
+        obs::MetricRegistry reg;
+        dev.attachMetrics(&reg);
+
+        // Per-device derived seeds: device index decorrelates streams
+        // and fault schedules, the run seed shifts the whole fleet.
+        const u64 devSeed = cfg.seed * 1000003ull + u64(i) * 7919ull;
+        workload::UserStream stream(wb.universe(), profile, devSeed);
+        fault::FaultConfig faultCfg = cfg.outageFaults;
+        faultCfg.seed = devSeed + 1;
+        fault::FaultPlan faults(faultCfg);
+
+        collector.beginDevice(userClassKey(profile.cls));
+        for (u32 m = 0; m < cfg.months; ++m) {
+            const SimTime windowStart = SimTime(m) * workload::kMonth;
+            const bool inOutage = cfg.outageMonths > 0 &&
+                                  m >= cfg.outageStartMonth &&
+                                  m < cfg.outageStartMonth +
+                                          cfg.outageMonths;
+            dev.attachFaults(inOutage ? &faults : nullptr);
+
+            stream.setEpoch(m);
+            for (const auto &ev : stream.month(windowStart)) {
+                if (ev.time > dev.now())
+                    dev.advanceTime(ev.time - dev.now());
+                dev.serveQuery(ev.pair, device::ServePath::PocketSearch);
+            }
+
+            // Coverage is back after an outage month: drain the
+            // misses the device queued while the cloud was dark.
+            if (!inOutage && !dev.missQueue().empty())
+                dev.syncMissQueue();
+
+            collector.collect(windowStart, reg);
+        }
+        dev.attachFaults(nullptr);
+        collector.endDevice(reg);
+
+        const auto snap = reg.snapshot();
+        result.queries += snap.counterValue("device.queries");
+        result.cacheHits += snap.counterValue("device.cache_hits");
+        result.degradedServes +=
+            snap.counterValue("device.degraded.serves");
+        ++result.devices;
+    }
+    return result;
+}
+
+} // namespace pc::harness

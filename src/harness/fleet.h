@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fleet runner: many simulated devices, one telemetry roll-up.
+ *
+ * Drives N independent MobileDevices — each with its own sampled user
+ * profile, query stream, metric registry and (optionally) a fault
+ * plan for an injected mid-run outage episode — and reduces them
+ * through a FleetCollector into per-class and fleet-wide registries,
+ * windowed time series (one window per simulated month) and an
+ * anomaly scan. Devices run sequentially so only one device's world
+ * is alive at a time; a thousand-device run costs one device of
+ * memory plus the collector's bounded series.
+ *
+ * Determinism: every device's stream/fault seeds derive from the run
+ * seed and the device index, so a fixed FleetRunConfig reproduces the
+ * same fleet byte for byte.
+ */
+
+#ifndef PC_HARNESS_FLEET_H
+#define PC_HARNESS_FLEET_H
+
+#include "device/mobile_device.h"
+#include "fault/fault_plan.h"
+#include "harness/workbench.h"
+#include "obs/fleet.h"
+#include "workload/stream.h"
+
+namespace pc::harness {
+
+/** Metric-name-safe key of a user class ("low", ..., "extreme"). */
+std::string userClassKey(workload::UserClass cls);
+
+/** Default outage episode: heavy coverage loss plus flaky exchanges. */
+fault::FaultConfig defaultOutageFaults();
+
+/** Fleet run shape. */
+struct FleetRunConfig
+{
+    std::size_t devices = 100; ///< Simulated handsets.
+    u32 months = 6;            ///< Simulated months per device.
+    u64 seed = 2011;           ///< Run seed (streams + faults derive).
+
+    /**
+     * Outage episode: months [outageStartMonth, outageStartMonth +
+     * outageMonths) run with `outageFaults` attached; 0 months
+     * disables injection entirely.
+     */
+    u32 outageStartMonth = 0;
+    u32 outageMonths = 0;
+    fault::FaultConfig outageFaults = defaultOutageFaults();
+
+    device::DeviceConfig device{}; ///< Per-device constants.
+};
+
+/** Scalar outcome of a fleet run (series live in the collector). */
+struct FleetRunResult
+{
+    std::size_t devices = 0;
+    u64 queries = 0;
+    u64 cacheHits = 0;
+    u64 degradedServes = 0;
+};
+
+/**
+ * Run the fleet against `wb`'s world, reducing into `collector`. The
+ * collector must have been constructed with a window width of one
+ * month (workload::kMonth) for the outage episode to land in its own
+ * windows; other widths roll up correspondingly coarser.
+ */
+FleetRunResult runFleet(const Workbench &wb, const FleetRunConfig &cfg,
+                        obs::FleetCollector &collector);
+
+} // namespace pc::harness
+
+#endif // PC_HARNESS_FLEET_H

@@ -1,0 +1,220 @@
+#include "obs/benchdiff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/csvutil.h"
+#include "obs/jsonparse.h"
+
+namespace pc::obs {
+
+namespace {
+
+/** Append one histogram-summary object's fields under `prefix.`. */
+void
+flattenHistogram(const JsonValue &h, const std::string &prefix,
+                 std::map<std::string, double> &out)
+{
+    for (const char *field :
+         {"count", "mean", "min", "max", "p50", "p90", "p99"}) {
+        const JsonValue *v = h.find(field);
+        if (v && v->isNumber())
+            out[prefix + "." + field] = v->number();
+    }
+}
+
+} // namespace
+
+bool
+flattenBenchReport(const JsonValue &root, BenchMetrics &out,
+                   std::string *error)
+{
+    if (!root.isObject() || !root.find("bench")) {
+        if (error)
+            *error = "not a bench report (no \"bench\" key)";
+        return false;
+    }
+    out.bench = root.strOr("bench", "");
+    out.values.clear();
+
+    if (const JsonValue *metrics = root.find("metrics");
+        metrics && metrics->isArray()) {
+        for (const JsonValue &m : metrics->array()) {
+            const std::string name = m.strOr("name", "");
+            const JsonValue *v = m.find("value");
+            if (!name.empty() && v && v->isNumber())
+                out.values["metric." + name] = v->number();
+        }
+    }
+    if (const JsonValue *histos = root.find("histograms");
+        histos && histos->isArray()) {
+        for (const JsonValue &h : histos->array()) {
+            const std::string name = h.strOr("name", "");
+            if (!name.empty())
+                flattenHistogram(h, "histogram." + name, out.values);
+        }
+    }
+    if (const JsonValue *reg = root.find("registry");
+        reg && reg->isObject()) {
+        if (const JsonValue *cs = reg->find("counters");
+            cs && cs->isObject()) {
+            for (const auto &[n, v] : cs->object()) {
+                if (v.isNumber())
+                    out.values["counter." + n] = v.number();
+            }
+        }
+        if (const JsonValue *gs = reg->find("gauges");
+            gs && gs->isObject()) {
+            for (const auto &[n, v] : gs->object()) {
+                if (v.isNumber())
+                    out.values["gauge." + n] = v.number();
+            }
+        }
+        if (const JsonValue *hs = reg->find("histograms");
+            hs && hs->isArray()) {
+            for (const JsonValue &h : hs->array()) {
+                const std::string name = h.strOr("name", "");
+                if (!name.empty())
+                    flattenHistogram(h, "registry." + name, out.values);
+            }
+        }
+    }
+    return true;
+}
+
+bool
+globMatch(const std::string &pattern, const std::string &name)
+{
+    // Iterative '*' glob: greedy with backtracking to the last star.
+    std::size_t p = 0, n = 0;
+    std::size_t starP = std::string::npos, starN = 0;
+    while (n < name.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == name[n] || pattern[p] == '?')) {
+            ++p;
+            ++n;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            starP = p++;
+            starN = n;
+        } else if (starP != std::string::npos) {
+            p = starP + 1;
+            n = ++starN;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+namespace {
+
+/** Tolerances for `name`: first matching rule, else the defaults. */
+std::pair<double, double>
+toleranceFor(const DiffConfig &cfg, const std::string &name)
+{
+    for (const auto &r : cfg.rules) {
+        if (globMatch(r.pattern, name))
+            return {r.relTol, r.absTol};
+    }
+    return {cfg.defaultRelTol, cfg.defaultAbsTol};
+}
+
+/** Symmetric relative change; 0 when both are 0. */
+double
+relChange(double a, double b)
+{
+    const double scale = std::max(std::abs(a), std::abs(b));
+    return scale == 0.0 ? 0.0 : std::abs(b - a) / scale;
+}
+
+} // namespace
+
+void
+DiffResult::mergeFrom(const DiffResult &other)
+{
+    entries.insert(entries.end(), other.entries.begin(),
+                   other.entries.end());
+    compared += other.compared;
+    changed += other.changed;
+    missing += other.missing;
+    added += other.added;
+}
+
+DiffResult
+diffReports(const BenchMetrics &base, const BenchMetrics &current,
+            const DiffConfig &cfg)
+{
+    DiffResult r;
+    for (const auto &[name, bv] : base.values) {
+        DiffEntry e;
+        e.bench = base.bench;
+        e.name = name;
+        e.base = bv;
+        const auto it = current.values.find(name);
+        if (it == current.values.end()) {
+            e.status = DiffEntry::Status::Missing;
+            ++r.missing;
+            r.entries.push_back(std::move(e));
+            continue;
+        }
+        e.current = it->second;
+        e.relChange = relChange(bv, it->second);
+        const auto [relTol, absTol] = toleranceFor(cfg, name);
+        const bool within = std::abs(it->second - bv) <= absTol ||
+                            e.relChange <= relTol;
+        e.status = within ? DiffEntry::Status::Ok
+                          : DiffEntry::Status::Changed;
+        ++r.compared;
+        if (!within)
+            ++r.changed;
+        r.entries.push_back(std::move(e));
+    }
+    for (const auto &[name, cv] : current.values) {
+        if (base.values.count(name))
+            continue;
+        DiffEntry e;
+        e.bench = current.bench;
+        e.name = name;
+        e.current = cv;
+        e.status = DiffEntry::Status::Added;
+        ++r.added;
+        r.entries.push_back(std::move(e));
+    }
+    return r;
+}
+
+void
+writeDiffReport(std::ostream &os, const DiffResult &result, bool verbose)
+{
+    for (const auto &e : result.entries) {
+        const char *tag = nullptr;
+        switch (e.status) {
+          case DiffEntry::Status::Ok:
+            tag = verbose ? "   ok" : nullptr;
+            break;
+          case DiffEntry::Status::Changed:
+            tag = "DRIFT";
+            break;
+          case DiffEntry::Status::Missing:
+            tag = " GONE";
+            break;
+          case DiffEntry::Status::Added:
+            tag = "  new";
+            break;
+        }
+        if (!tag)
+            continue;
+        os << tag << "  " << e.bench << ":" << e.name << "  "
+           << csvNumber(e.base) << " -> " << csvNumber(e.current);
+        if (e.status == DiffEntry::Status::Changed)
+            os << "  (" << csvNumber(100.0 * e.relChange) << "%)";
+        os << '\n';
+    }
+    os << result.compared << " compared, " << result.changed
+       << " drifted, " << result.missing << " missing, " << result.added
+       << " added\n";
+}
+
+} // namespace pc::obs

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Bench regression gate: compare two BENCH_*.json reports (or trees).
+ *
+ * The bench binaries emit deterministic machine-readable reports; CI
+ * keeps a committed baseline tree. The gate flattens each report into
+ * `name -> value` pairs (scalar metrics, histogram summary fields,
+ * attached registry counters/gauges/histograms), pairs baseline
+ * against current, and flags every value whose drift exceeds its
+ * tolerance — plus metrics that vanished, which are regressions too
+ * (a silently dropped metric is how coverage rots). Tolerances are
+ * per-metric via first-match-wins glob rules ('*' wildcards) over a
+ * default, so "p99 may wobble 10%, counters must match exactly" is
+ * one rule away.
+ *
+ * The comparison is direction-agnostic on purpose: this gates a
+ * deterministic simulation, so *any* unexplained drift — faster,
+ * slower, fewer retries — means behaviour changed and someone should
+ * look. The CLI wrapper (tools/bench_diff.cc) exits nonzero when
+ * ok() is false.
+ */
+
+#ifndef PC_OBS_BENCHDIFF_H
+#define PC_OBS_BENCHDIFF_H
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pc::obs {
+
+class JsonValue;
+
+/** One report flattened to comparable numbers. */
+struct BenchMetrics
+{
+    std::string bench; ///< Report id ("fig15a_latency").
+    std::map<std::string, double> values;
+};
+
+/**
+ * Flatten a parsed BENCH_*.json document. @return False (with
+ * `*error` set when non-null) when the document is not a bench
+ * report.
+ */
+bool flattenBenchReport(const JsonValue &root, BenchMetrics &out,
+                        std::string *error = nullptr);
+
+/** Glob match with '*' wildcards (matches any run, including empty). */
+bool globMatch(const std::string &pattern, const std::string &name);
+
+/** Per-metric tolerance override; first matching rule wins. */
+struct DiffRule
+{
+    std::string pattern; ///< Glob over the flattened metric name.
+    double relTol = 0.0; ///< Allowed |cur-base| / max(|base|,|cur|).
+    double absTol = 0.0; ///< Absolute slack (covers base == 0).
+};
+
+/** Gate configuration. */
+struct DiffConfig
+{
+    /** Fallback when no rule matches: exact match required. */
+    double defaultRelTol = 0.0;
+    /** Tiny absolute slack so 0-vs-1e-300 noise never trips. */
+    double defaultAbsTol = 1e-12;
+    std::vector<DiffRule> rules;
+};
+
+/** Verdict for one flattened metric. */
+struct DiffEntry
+{
+    enum class Status {
+        Ok,      ///< Within tolerance.
+        Changed, ///< Drift beyond tolerance — regression.
+        Missing, ///< In baseline, gone from current — regression.
+        Added,   ///< New in current — reported, not a failure.
+    };
+    std::string bench;
+    std::string name;
+    double base = 0.0;
+    double current = 0.0;
+    double relChange = 0.0;
+    Status status = Status::Ok;
+};
+
+/** Comparison outcome for one report pair (or a whole tree). */
+struct DiffResult
+{
+    std::vector<DiffEntry> entries;
+    std::size_t compared = 0;
+    std::size_t changed = 0;
+    std::size_t missing = 0;
+    std::size_t added = 0;
+
+    /** True when nothing regressed (changed == missing == 0). */
+    bool ok() const { return changed == 0 && missing == 0; }
+
+    /** Fold another result in (tree = sum over report pairs). */
+    void mergeFrom(const DiffResult &other);
+};
+
+/** Compare one baseline report against its current counterpart. */
+DiffResult diffReports(const BenchMetrics &base,
+                       const BenchMetrics &current,
+                       const DiffConfig &cfg = {});
+
+/**
+ * Human-readable summary: one line per non-Ok entry (plus Ok lines
+ * when `verbose`), then totals.
+ */
+void writeDiffReport(std::ostream &os, const DiffResult &result,
+                     bool verbose = false);
+
+} // namespace pc::obs
+
+#endif // PC_OBS_BENCHDIFF_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared CSV emission helpers for the observability exporters. Same
+ * determinism contract as the JSON writer: %.10g number formatting,
+ * RFC-4180 quoting, no locale dependence — CSV output must stay
+ * byte-identical across runs.
+ */
+
+#ifndef PC_OBS_CSVUTIL_H
+#define PC_OBS_CSVUTIL_H
+
+#include <cstdio>
+#include <string>
+
+namespace pc::obs {
+
+/** CSV field: quote when it contains a comma/quote/newline. */
+inline std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/** Deterministic shortest-ish number formatting (%.10g). */
+inline std::string
+csvNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+} // namespace pc::obs
+
+#endif // PC_OBS_CSVUTIL_H

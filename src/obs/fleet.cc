@@ -1,0 +1,212 @@
+#include "obs/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "obs/csvutil.h"
+#include "util/logging.h"
+
+namespace pc::obs {
+
+namespace {
+
+/** Sum of a snapshot's histogram `name`; 0 when absent. */
+double
+histogramSum(const MetricsSnapshot &snap, const std::string &name)
+{
+    for (const auto &h : snap.histograms) {
+        if (h.name == name)
+            return h.sum;
+    }
+    return 0.0;
+}
+
+} // namespace
+
+std::vector<Anomaly>
+driftScan(const std::string &series, const std::vector<double> &values,
+          const std::vector<SimTime> &starts, const DriftConfig &cfg)
+{
+    pc_assert(values.size() == starts.size(),
+              "driftScan: values/starts length mismatch");
+    pc_assert(cfg.alpha > 0.0 && cfg.alpha <= 1.0,
+              "driftScan: alpha must be in (0, 1]");
+    std::vector<Anomaly> out;
+    if (values.empty())
+        return out;
+
+    // EWMA of mean and variance, seeded on the first window. Each
+    // window is scored against the expectation *before* it, then
+    // folded in — so a step change is flagged at onset and the
+    // detector re-converges to the new level instead of alarming
+    // forever.
+    double mean = values.front();
+    double var = 0.0;
+    for (std::size_t i = 1; i < values.size(); ++i) {
+        const double sd = std::max(std::sqrt(var), cfg.minStddev);
+        const double z = (values[i] - mean) / sd;
+        if (i >= cfg.warmup && std::abs(z) >= cfg.threshold)
+            out.push_back({series, starts[i], values[i], mean, z});
+        const double d = values[i] - mean;
+        mean += cfg.alpha * d;
+        var = (1.0 - cfg.alpha) * (var + cfg.alpha * d * d);
+    }
+    return out;
+}
+
+FleetCollector::FleetCollector(FleetConfig cfg)
+    : cfg_(cfg), fleetSeries_(cfg.windowWidth, cfg.maxWindows)
+{
+}
+
+void
+FleetCollector::beginDevice(const std::string &userClass)
+{
+    pc_assert(!inDevice_, "FleetCollector: beginDevice while a device "
+                          "is still open (endDevice missing)");
+    pc_assert(!userClass.empty(), "FleetCollector: empty user class");
+    inDevice_ = true;
+    currentClass_ = userClass;
+    devicePrev_ = MetricsSnapshot{};
+    classSeries_.try_emplace(userClass, cfg_.windowWidth,
+                             cfg_.maxWindows);
+    classRegs_[userClass];
+    classDevices_[userClass];
+}
+
+void
+FleetCollector::collect(SimTime windowStart, const MetricRegistry &reg)
+{
+    pc_assert(inDevice_, "FleetCollector: collect outside a device");
+    const MetricsSnapshot snap = reg.snapshot();
+    recordDelta(windowStart, snap, devicePrev_);
+    devicePrev_ = snap;
+}
+
+void
+FleetCollector::recordDelta(SimTime t, const MetricsSnapshot &snap,
+                            const MetricsSnapshot &prev)
+{
+    TimeSeries &cls = classSeries_.at(currentClass_);
+    const MetricsSnapshot delta = snap.deltaSince(prev);
+
+    for (const auto &[n, v] : delta.counters) {
+        fleetSeries_.recordCounter(t, n, v);
+        cls.recordCounter(t, n, v);
+    }
+
+    // Histograms cannot delta their distributions, but their summed
+    // mass can: per-window energy/latency totals come from snapshot
+    // sum differences.
+    double energy = 0.0;
+    for (const auto &h : snap.histograms) {
+        const double d = h.sum - histogramSum(prev, h.name);
+        fleetSeries_.recordAccum(t, h.name + ".sum", d);
+        cls.recordAccum(t, h.name + ".sum", d);
+        if (h.name.rfind("device.energy_mj.", 0) == 0)
+            energy += d;
+    }
+
+    // Derived per-device observations: recorded as values, so a
+    // window summarizes the distribution across devices.
+    const double qd = double(delta.counterValue("device.queries"));
+    if (qd > 0.0) {
+        const auto ratio = [&](const char *name, const char *num) {
+            const double r =
+                double(delta.counterValue(num)) / qd;
+            fleetSeries_.recordValue(t, name, r);
+            cls.recordValue(t, name, r);
+        };
+        ratio("device.hit_rate", "device.cache_hits");
+        ratio("device.stale_rate", "device.degraded.stale");
+        ratio("device.degraded_rate", "device.degraded.serves");
+        fleetSeries_.recordValue(t, "device.energy_mj", energy);
+        cls.recordValue(t, "device.energy_mj", energy);
+    }
+}
+
+void
+FleetCollector::endDevice(const MetricRegistry &reg)
+{
+    pc_assert(inDevice_, "FleetCollector: endDevice outside a device");
+    fleet_.mergeFrom(reg);
+    classRegs_.at(currentClass_).mergeFrom(reg);
+    ++classDevices_.at(currentClass_);
+    ++devices_;
+    inDevice_ = false;
+    currentClass_.clear();
+}
+
+std::vector<Anomaly>
+FleetCollector::scanAnomalies(const DriftConfig &cfg) const
+{
+    std::vector<SimTime> starts;
+    starts.reserve(fleetSeries_.windows().size());
+    for (const auto &w : fleetSeries_.windows())
+        starts.push_back(w.start);
+
+    std::vector<Anomaly> all;
+    const auto scan = [&](const std::string &name,
+                          const std::vector<double> &vals) {
+        auto found = driftScan(name, vals, starts, cfg);
+        all.insert(all.end(), found.begin(), found.end());
+    };
+
+    // Fleet-level ratios of windowed counter sums.
+    const auto ratioSeries = [&](const char *num, const char *den) {
+        const auto a = fleetSeries_.counterSeries(num);
+        const auto b = fleetSeries_.counterSeries(den);
+        std::vector<double> r(a.size(), 0.0);
+        for (std::size_t i = 0; i < a.size(); ++i)
+            r[i] = b[i] > 0.0 ? a[i] / b[i] : 0.0;
+        return r;
+    };
+    scan("fleet.hit_rate",
+         ratioSeries("device.cache_hits", "device.queries"));
+    scan("fleet.stale_rate",
+         ratioSeries("device.degraded.stale", "device.queries"));
+    scan("fleet.degraded_rate",
+         ratioSeries("device.degraded.serves", "device.queries"));
+
+    // Every accumulated sum series (energy, latency mass, ...) and
+    // every per-device value distribution's windowed mean.
+    std::set<std::string> accumNames, valueNames;
+    for (const auto &w : fleetSeries_.windows()) {
+        for (const auto &[n, v] : w.accums)
+            accumNames.insert(n);
+        for (const auto &[n, s] : w.points)
+            valueNames.insert(n);
+    }
+    for (const auto &n : accumNames)
+        scan(n, fleetSeries_.accumSeries(n));
+    for (const auto &n : valueNames)
+        scan(n + ".mean", fleetSeries_.valueMeanSeries(n));
+
+    std::sort(all.begin(), all.end(),
+              [](const Anomaly &a, const Anomaly &b) {
+                  const double za = std::abs(a.zscore);
+                  const double zb = std::abs(b.zscore);
+                  if (za != zb)
+                      return za > zb;
+                  if (a.series != b.series)
+                      return a.series < b.series;
+                  return a.windowStart < b.windowStart;
+              });
+    return all;
+}
+
+void
+FleetCollector::writeAnomaliesCsv(std::ostream &os,
+                                  const std::vector<Anomaly> &anomalies)
+{
+    os << "series,window_start_s,value,expected,z\n";
+    for (const auto &a : anomalies) {
+        os << csvField(a.series) << ','
+           << csvNumber(double(a.windowStart) / 1e9) << ','
+           << csvNumber(a.value) << ',' << csvNumber(a.expected) << ','
+           << csvNumber(a.zscore) << '\n';
+    }
+}
+
+} // namespace pc::obs

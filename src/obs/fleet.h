@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Fleet roll-up: merge per-device metric registries into one
+ * fleet-wide view, roll windowed time series, and flag drift.
+ *
+ * A thousand simulated handsets each fill a private MetricRegistry.
+ * The collector reduces them three ways:
+ *
+ *  - **Fleet registry** — every device registry folded into one via
+ *    MetricRegistry::mergeFrom (exact counter sums and Welford-merged
+ *    moments, sketch-merged quantiles), plus one registry per user
+ *    class.
+ *  - **Time series** — at each window boundary the harness calls
+ *    collect() with the device's registry; the collector diffs it
+ *    against the device's previous snapshot and records the window's
+ *    counter deltas, per-histogram sum deltas (energy, latency mass)
+ *    and derived per-device ratios (hit rate, stale/degraded share)
+ *    into the fleet series and the device's class series. Ratios are
+ *    recorded as *value* observations, so a window row carries the
+ *    distribution across devices, not just the fleet mean.
+ *  - **Anomaly scan** — an EWMA drift detector walks the fleet series
+ *    and flags windows whose value sits more than `threshold`
+ *    standard deviations from the smoothed expectation (with a
+ *    variance floor so a flat baseline cannot manufacture infinite
+ *    z-scores). An injected mid-run radio outage shows up here as a
+ *    hit-rate/energy anomaly in exactly the outage windows.
+ *
+ * The protocol is sequential by design — the harness simulates one
+ * device at a time, so only one device registry is alive at once:
+ *
+ *     collector.beginDevice("heavy");
+ *     for each window: ... simulate ...; collector.collect(t, reg);
+ *     collector.endDevice(reg);
+ *
+ * Everything is deterministic: map-ordered iteration, deterministic
+ * sketch merges, %.10g CSV formatting.
+ */
+
+#ifndef PC_OBS_FLEET_H
+#define PC_OBS_FLEET_H
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "util/types.h"
+
+namespace pc::obs {
+
+/** One flagged window of one series. */
+struct Anomaly
+{
+    std::string series;   ///< e.g. "device.hit_rate".
+    SimTime windowStart;  ///< Window the excursion landed in.
+    double value;         ///< Observed windowed value.
+    double expected;      ///< EWMA expectation before the window.
+    double zscore;        ///< Signed deviation in floored stddevs.
+};
+
+/** EWMA drift-detector knobs. */
+struct DriftConfig
+{
+    double alpha = 0.3;      ///< EWMA smoothing factor in (0, 1].
+    double threshold = 3.0;  ///< |z| at or above this flags a window.
+    double minStddev = 1e-9; ///< Variance floor (in value units).
+    std::size_t warmup = 3;  ///< Windows consumed before flagging.
+};
+
+/**
+ * EWMA z-score scan of one series. `values[i]` is the windowed value
+ * whose window starts at `starts[i]`. Returns flagged windows in
+ * order. Exposed for tests and custom series.
+ */
+std::vector<Anomaly> driftScan(const std::string &series,
+                               const std::vector<double> &values,
+                               const std::vector<SimTime> &starts,
+                               const DriftConfig &cfg = {});
+
+/** Collector configuration. */
+struct FleetConfig
+{
+    SimTime windowWidth = 0;  ///< Series window width (> 0), e.g. a month.
+    std::size_t maxWindows = TimeSeries::kDefaultMaxWindows;
+};
+
+/** The collector. See file comment for the protocol. */
+class FleetCollector
+{
+  public:
+    explicit FleetCollector(FleetConfig cfg);
+
+    /** Start a device of user class `userClass`. */
+    void beginDevice(const std::string &userClass);
+
+    /**
+     * Sample the current device's registry for the window starting at
+     * `windowStart` (deltas are against the previous collect() of
+     * this device). Call once per window, boundaries ascending.
+     */
+    void collect(SimTime windowStart, const MetricRegistry &reg);
+
+    /** Finish the current device: fold its registry into the fleet. */
+    void endDevice(const MetricRegistry &reg);
+
+    /** Devices folded in so far. */
+    std::size_t devices() const { return devices_; }
+
+    /** Devices per user class. */
+    const std::map<std::string, std::size_t> &classDevices() const
+    {
+        return classDevices_;
+    }
+
+    /** Every device registry merged. */
+    const MetricRegistry &fleetRegistry() const { return fleet_; }
+
+    /** Per-class merged registries. */
+    const std::map<std::string, MetricRegistry> &classRegistries() const
+    {
+        return classRegs_;
+    }
+
+    /** Fleet-wide windowed series. */
+    const TimeSeries &fleetSeries() const { return fleetSeries_; }
+
+    /** Per-class windowed series. */
+    const std::map<std::string, TimeSeries> &classSeries() const
+    {
+        return classSeries_;
+    }
+
+    /**
+     * Drift scan over the standard fleet series: windowed hit rate,
+     * stale/degraded share, per-window energy and the per-device
+     * value distributions' means. Sorted by |z| descending, ties by
+     * (series, window).
+     */
+    std::vector<Anomaly> scanAnomalies(const DriftConfig &cfg = {}) const;
+
+    /** Fleet series CSV (TimeSeries::writeCsv). */
+    void writeSeriesCsv(std::ostream &os) const
+    {
+        fleetSeries_.writeCsv(os);
+    }
+
+    /** Anomaly report CSV: `series,window_start_s,value,expected,z`. */
+    static void writeAnomaliesCsv(std::ostream &os,
+                                  const std::vector<Anomaly> &anomalies);
+
+  private:
+    /** Record one device-window delta into fleet + class series. */
+    void recordDelta(SimTime t, const MetricsSnapshot &snap,
+                     const MetricsSnapshot &prev);
+
+    FleetConfig cfg_;
+    MetricRegistry fleet_;
+    std::map<std::string, MetricRegistry> classRegs_;
+    TimeSeries fleetSeries_;
+    std::map<std::string, TimeSeries> classSeries_;
+    std::map<std::string, std::size_t> classDevices_;
+    std::size_t devices_ = 0;
+
+    bool inDevice_ = false;
+    std::string currentClass_;
+    MetricsSnapshot devicePrev_;
+};
+
+} // namespace pc::obs
+
+#endif // PC_OBS_FLEET_H

@@ -1,0 +1,289 @@
+#include "obs/jsonparse.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace pc::obs {
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+double
+JsonValue::numberOr(std::string_view key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->number() : fallback;
+}
+
+std::string
+JsonValue::strOr(std::string_view key, const std::string &fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->str() : fallback;
+}
+
+/** Recursive-descent parser over a string_view cursor. */
+class JsonParser
+{
+  public:
+    JsonParser(std::string_view text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing garbage after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (error_) {
+            *error_ = what + " at offset " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    eat(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{':
+            return parseObject(out);
+          case '[':
+            return parseArray(out);
+          case '"':
+            out.kind_ = JsonValue::Kind::String;
+            return parseString(out.string_);
+          case 't':
+            out.kind_ = JsonValue::Kind::Bool;
+            out.bool_ = true;
+            return literal("true") || fail("bad literal");
+          case 'f':
+            out.kind_ = JsonValue::Kind::Bool;
+            out.bool_ = false;
+            return literal("false") || fail("bad literal");
+          case 'n':
+            out.kind_ = JsonValue::Kind::Null;
+            return literal("null") || fail("bad literal");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind_ = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (eat('}'))
+            return true;
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!eat(':'))
+                return fail("expected ':'");
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.object_.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (eat(','))
+                continue;
+            if (eat('}'))
+                return true;
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind_ = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (eat(']'))
+            return true;
+        for (;;) {
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.array_.push_back(std::move(v));
+            skipWs();
+            if (eat(','))
+                continue;
+            if (eat(']'))
+                return true;
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // The writer only escapes control characters, which
+                // fit one byte; encode the rest as UTF-8 two-byte max.
+                if (code < 0x80) {
+                    out += char(code);
+                } else if (code < 0x800) {
+                    out += char(0xC0 | (code >> 6));
+                    out += char(0x80 | (code & 0x3F));
+                } else {
+                    out += char(0xE0 | (code >> 12));
+                    out += char(0x80 | ((code >> 6) & 0x3F));
+                    out += char(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected a value");
+        const std::string num(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        out.kind_ = JsonValue::Kind::Number;
+        out.number_ = std::strtod(num.c_str(), &end);
+        if (end != num.c_str() + num.size())
+            return fail("malformed number");
+        return true;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string *error_;
+};
+
+bool
+parseJson(std::string_view text, JsonValue &out, std::string *error)
+{
+    return JsonParser(text, error).parse(out);
+}
+
+bool
+parseJsonFile(const std::string &path, JsonValue &out, std::string *error)
+{
+    std::ifstream f(path);
+    if (!f) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    std::stringstream buf;
+    buf << f.rdbuf();
+    return parseJson(buf.str(), out, error);
+}
+
+} // namespace pc::obs

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal JSON parser — the read side of the observability exporters.
+ *
+ * The bench reporter writes BENCH_*.json files; the regression gate
+ * (benchdiff) has to read them back. This is a strict recursive-
+ * descent parser for exactly the JSON the JsonWriter emits (RFC 8259
+ * minus \uXXXX escapes beyond Latin-1 — the writer never produces
+ * them): no dependencies, no locale, objects preserve key order so
+ * round-trips stay deterministic.
+ */
+
+#ifndef PC_OBS_JSONPARSE_H
+#define PC_OBS_JSONPARSE_H
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pc::obs {
+
+/** A parsed JSON value (tagged union, value semantics). */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** @pre isBool(). */
+    bool boolean() const { return bool_; }
+    /** @pre isNumber(). */
+    double number() const { return number_; }
+    /** @pre isString(). */
+    const std::string &str() const { return string_; }
+    /** @pre isArray(). */
+    const std::vector<JsonValue> &array() const { return array_; }
+    /** @pre isObject(); entries in document order. */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    object() const
+    {
+        return object_;
+    }
+
+    /** Object member by key; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** find(key)->number(); `fallback` when absent or non-numeric. */
+    double numberOr(std::string_view key, double fallback) const;
+
+    /** find(key)->str(); `fallback` when absent or non-string. */
+    std::string strOr(std::string_view key,
+                      const std::string &fallback) const;
+
+  private:
+    friend class JsonParser;
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/**
+ * Parse a complete JSON document. @return False on malformed input,
+ * with a position-annotated message in `*error` when non-null.
+ */
+bool parseJson(std::string_view text, JsonValue &out,
+               std::string *error = nullptr);
+
+/** parseJson on a file's contents. */
+bool parseJsonFile(const std::string &path, JsonValue &out,
+                   std::string *error = nullptr);
+
+} // namespace pc::obs
+
+#endif // PC_OBS_JSONPARSE_H

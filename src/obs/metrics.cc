@@ -10,16 +10,45 @@ namespace pc::obs {
 double
 Histogram::quantile(double q) const
 {
-    if (cdf_.size() == 0)
-        return 0.0;
-    return cdf_.quantile(q);
+    if (exact_)
+        return cdf_.size() == 0 ? 0.0 : cdf_.quantile(q);
+    return sketch_.quantile(q);
+}
+
+const QuantileSketch &
+Histogram::sketch() const
+{
+    pc_assert(!exact_, "histogram '", name_,
+              "' is exact-mode; it has no sketch");
+    return sketch_;
+}
+
+const EmpiricalCdf &
+Histogram::cdf() const
+{
+    pc_assert(exact_, "histogram '", name_,
+              "' is sketch-mode; the full sample is not stored");
+    return cdf_;
 }
 
 void
 Histogram::mergeFrom(const Histogram &other)
 {
     stat_.merge(other.stat_);
-    cdf_.add(other.cdf_.sorted());
+    if (exact_) {
+        if (!other.exact_)
+            pc_fatal("cannot merge sketch-mode histogram '",
+                     other.name_, "' into exact-mode '", name_,
+                     "': the source samples no longer exist");
+        cdf_.add(other.cdf_.sorted());
+        return;
+    }
+    if (other.exact_) {
+        for (double x : other.cdf_.sorted())
+            sketch_.add(x);
+    } else {
+        sketch_.mergeFrom(other.sketch_);
+    }
 }
 
 u64
@@ -142,6 +171,24 @@ MetricRegistry::histogram(const std::string &name)
     auto &slot = histograms_[name];
     if (!slot)
         slot.reset(new Histogram(name));
+    if (slot->exact())
+        pc_fatal("histogram '", name,
+                 "' already registered in exact mode, requested as "
+                 "sketch mode");
+    return *slot;
+}
+
+Histogram &
+MetricRegistry::exactHistogram(const std::string &name)
+{
+    checkType(name, "histogram");
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot.reset(new Histogram(name, /*exact=*/true));
+    if (!slot->exact())
+        pc_fatal("histogram '", name,
+                 "' already registered in sketch mode, requested as "
+                 "exact mode");
     return *slot;
 }
 
@@ -200,8 +247,16 @@ MetricRegistry::mergeFrom(const MetricRegistry &other)
         counter(n).bump(c->value());
     for (const auto &[n, g] : other.gauges_)
         gauge(n).set(g->value());
-    for (const auto &[n, h] : other.histograms_)
-        histogram(n).mergeFrom(*h);
+    for (const auto &[n, h] : other.histograms_) {
+        auto it = histograms_.find(n);
+        if (it != histograms_.end()) {
+            it->second->mergeFrom(*h);
+            continue;
+        }
+        // Absent here: create in the source's mode, then fold.
+        Histogram &dst = h->exact() ? exactHistogram(n) : histogram(n);
+        dst.mergeFrom(*h);
+    }
 }
 
 void

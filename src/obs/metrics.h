@@ -10,8 +10,9 @@
  * fault-injection experiments used: a snapshot flattens every metric
  * into a deterministic, name-sorted report; deltas isolate one phase
  * of an experiment; merges fold per-shard registries (e.g. one device
- * per serving path) into a fleet-wide view with full distribution
- * fidelity (parallel Welford combine + sample union).
+ * per serving path, or a whole simulated fleet) into one view —
+ * counts and moments combine exactly (parallel Welford), quantiles
+ * via mergeable sketches within a documented error bound.
  *
  * Handles returned by the registry are stable for the registry's
  * lifetime, so hot paths bump a cached pointer instead of re-hashing
@@ -28,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/sketch.h"
 #include "util/stats.h"
 #include "util/types.h"
 
@@ -70,13 +72,20 @@ class Gauge
 };
 
 /**
- * Value distribution with exact quantiles.
+ * Value distribution with bounded-memory quantiles.
  *
- * Keeps a RunningStat for O(1) moments plus the full sample (via
- * EmpiricalCdf) so registry snapshots can report true quantiles — the
- * per-query latency/energy decompositions the paper's evaluation is
- * built on are quantile plots, and simulation scale makes storing the
- * samples cheap.
+ * Keeps a RunningStat for O(1) exact moments plus a mergeable
+ * QuantileSketch for the quantile summary, so a million-query run
+ * costs O(k) memory per metric (the sketch's documented cap) instead
+ * of one stored double per observation. Estimated quantiles stay
+ * within the sketch's epsilon() of the exact empirical quantiles —
+ * and are bit-exact until the stream outgrows the sketch's first
+ * buffer, which keeps small unit-test streams exact.
+ *
+ * Tests that need true quantiles on larger streams can opt into exact
+ * mode (MetricRegistry::exactHistogram), which stores the full sample
+ * in an EmpiricalCdf exactly as before. Exact mode is the opt-in
+ * exception, not the default: its memory is unbounded.
  */
 class Histogram
 {
@@ -86,7 +95,10 @@ class Histogram
     observe(double x)
     {
         stat_.add(x);
-        cdf_.add(x);
+        if (exact_)
+            cdf_.add(x);
+        else
+            sketch_.add(x);
     }
 
     /** Number of observations. */
@@ -99,15 +111,37 @@ class Histogram
     double max() const { return stat_.max(); }
     /** Sum of observations. */
     double sum() const { return stat_.sum(); }
-    /** q-quantile (linear interpolation); 0 when empty. */
+    /** q-quantile (exact in exact mode, else sketched); 0 when empty. */
     double quantile(double q) const;
 
     /** Moments accumulator. */
     const RunningStat &stat() const { return stat_; }
-    /** Stored sample. */
-    const EmpiricalCdf &cdf() const { return cdf_; }
 
-    /** Fold another histogram's observations into this one (exact). */
+    /** True when this histogram stores the full sample. */
+    bool exact() const { return exact_; }
+
+    /** The quantile sketch. @pre !exact(). */
+    const QuantileSketch &sketch() const;
+
+    /** Stored sample. @pre exact(). */
+    const EmpiricalCdf &cdf() const;
+
+    /**
+     * Samples/items currently stored: bounded by the sketch cap in
+     * sketch mode, equal to count() in exact mode.
+     */
+    std::size_t retained() const
+    {
+        return exact_ ? cdf_.size() : sketch_.retained();
+    }
+
+    /**
+     * Fold another histogram's observations into this one. Exact
+     * mode merges exactly (sample union); sketch mode merges sketches
+     * (and accepts an exact source by re-adding its samples). Merging
+     * a sketch-mode source into an exact-mode target is a fatal
+     * configuration error — the samples no longer exist.
+     */
     void mergeFrom(const Histogram &other);
 
     /** Registered name. */
@@ -115,9 +149,14 @@ class Histogram
 
   private:
     friend class MetricRegistry;
-    explicit Histogram(std::string name) : name_(std::move(name)) {}
+    explicit Histogram(std::string name, bool exact = false)
+        : name_(std::move(name)), exact_(exact)
+    {
+    }
     std::string name_;
+    bool exact_;
     RunningStat stat_;
+    QuantileSketch sketch_;
     EmpiricalCdf cdf_;
 };
 
@@ -180,8 +219,15 @@ class MetricRegistry
     Counter &counter(const std::string &name);
     /** Find-or-create a gauge. */
     Gauge &gauge(const std::string &name);
-    /** Find-or-create a histogram. */
+    /** Find-or-create a histogram (bounded sketch quantiles). */
     Histogram &histogram(const std::string &name);
+    /**
+     * Find-or-create a histogram that stores its full sample for
+     * exact quantiles (unbounded memory — tests and small streams
+     * only). Requesting a name already registered in sketch mode (or
+     * vice versa) is a fatal configuration error.
+     */
+    Histogram &exactHistogram(const std::string &name);
 
     /** Lookup without creating; nullptr when absent. */
     const Counter *findCounter(const std::string &name) const;
@@ -193,8 +239,9 @@ class MetricRegistry
 
     /**
      * Fold another registry in: counters add, gauges overwrite,
-     * histograms merge their full samples (exact quantiles survive).
-     * Metrics absent here are created.
+     * histograms merge (exact sample union in exact mode, sketch
+     * merge otherwise — see Histogram::mergeFrom for the mixed-mode
+     * rules). Metrics absent here are created in the source's mode.
      */
     void mergeFrom(const MetricRegistry &other);
 

@@ -5,38 +5,11 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/csvutil.h"
 #include "obs/json.h"
 #include "util/logging.h"
 
 namespace pc::obs {
-
-namespace {
-
-/** CSV field: quote when it contains a comma/quote/newline. */
-std::string
-csvField(const std::string &s)
-{
-    if (s.find_first_of(",\"\n") == std::string::npos)
-        return s;
-    std::string out = "\"";
-    for (char c : s) {
-        if (c == '"')
-            out += '"';
-        out += c;
-    }
-    out += '"';
-    return out;
-}
-
-std::string
-csvNumber(double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.10g", v);
-    return buf;
-}
-
-} // namespace
 
 BenchReport::BenchReport(std::string id, std::string title)
     : id_(std::move(id)), title_(std::move(title))

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Fixed-window sim-time series: metric roll-ups over time.
+ *
+ * A snapshot answers "what happened over the whole run"; a fleet
+ * operator asks "when did it happen" — did the hit rate dip in month
+ * three, did radio energy spike during the outage? A TimeSeries bins
+ * recordings into fixed-width simulated-time windows and keeps three
+ * roll-up kinds per window:
+ *
+ *  - **counters** — summed integer deltas ("queries served this
+ *    window");
+ *  - **accums** — summed doubles ("radio mJ spent this window");
+ *  - **values** — per-observation distributions (a RunningStat for
+ *    exact moments plus a QuantileSketch for quantiles), e.g. one
+ *    per-device hit-rate observation per window, so a window's value
+ *    row summarizes the fleet's distribution, not just its mean.
+ *
+ * Memory is bounded twice over: each window's value distributions are
+ * sketches (O(k) per name), and the number of windows is capped —
+ * when a recording would exceed maxWindows, adjacent window pairs
+ * merge and the window width doubles (classic resolution-halving
+ * downsample), so a series over an arbitrarily long run keeps at most
+ * maxWindows rows at the coarsest resolution that fits.
+ *
+ * Determinism: windows and names iterate in sorted order, CSV numbers
+ * use the shared %.10g formatting, and sketch merges are
+ * deterministic, so writeCsv output is byte-identical across runs.
+ */
+
+#ifndef PC_OBS_TIMESERIES_H
+#define PC_OBS_TIMESERIES_H
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/sketch.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace pc::obs {
+
+/** One fixed-width window of rolled-up metrics. */
+struct SeriesWindow
+{
+    SimTime start = 0; ///< Inclusive window start (sim time).
+    SimTime width = 0; ///< Window width at the time of emission.
+    std::map<std::string, u64> counters;
+    std::map<std::string, double> accums;
+    std::map<std::string, RunningStat> points;
+    std::map<std::string, QuantileSketch> sketches;
+};
+
+/**
+ * The series. Window boundaries are multiples of the current width
+ * from sim time 0; recording into any sim time t >= 0 finds or
+ * creates the window containing t.
+ */
+class TimeSeries
+{
+  public:
+    /** Default cap on retained windows before downsampling. */
+    static constexpr std::size_t kDefaultMaxWindows = 256;
+
+    /**
+     * @param windowWidth Initial window width (> 0), e.g. one
+     *   workload month.
+     * @param maxWindows Downsampling threshold (>= 2).
+     */
+    explicit TimeSeries(SimTime windowWidth,
+                        std::size_t maxWindows = kDefaultMaxWindows);
+
+    /** Add an integer delta to `name` in the window containing t. */
+    void recordCounter(SimTime t, const std::string &name, u64 delta);
+
+    /** Add a double delta to `name` in the window containing t. */
+    void recordAccum(SimTime t, const std::string &name, double delta);
+
+    /**
+     * Fold one observation of `name` into the window containing t
+     * (updates both the window's RunningStat and its sketch).
+     */
+    void recordValue(SimTime t, const std::string &name, double x);
+
+    /** Retained windows, start-ascending. */
+    const std::vector<SeriesWindow> &windows() const { return windows_; }
+
+    /** Current window width (doubles on each downsample). */
+    SimTime windowWidth() const { return width_; }
+
+    /** Window cap. */
+    std::size_t maxWindows() const { return maxWindows_; }
+
+    /** Resolution-halving downsamples performed so far. */
+    u64 downsamples() const { return downsamples_; }
+
+    /**
+     * Values of counter `name` per window (0 where absent), window
+     * order. Convenience for drift scans and tests.
+     */
+    std::vector<double> counterSeries(const std::string &name) const;
+
+    /** Same for accums. */
+    std::vector<double> accumSeries(const std::string &name) const;
+
+    /** Per-window mean of value `name` (0 where absent). */
+    std::vector<double> valueMeanSeries(const std::string &name) const;
+
+    /**
+     * Long-format CSV, one row per (window, metric):
+     * `start_s,width_s,kind,name,value,count,mean,p50,p90,p99`.
+     * Counter/accum rows carry the sum in `value`; value rows carry
+     * the distribution columns. Deterministic (sorted, %.10g).
+     */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    /** Find-or-create the window containing t; may downsample. */
+    SeriesWindow &windowFor(SimTime t);
+
+    /** Halve resolution: merge adjacent pairs, double the width. */
+    void downsample();
+
+    SimTime width_;
+    std::size_t maxWindows_;
+    u64 downsamples_ = 0;
+    std::vector<SeriesWindow> windows_;
+};
+
+} // namespace pc::obs
+
+#endif // PC_OBS_TIMESERIES_H

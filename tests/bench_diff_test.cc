@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Regression-gate tests: the JSON parser round-trips the bench
+ * reporter's output, reports flatten to comparable metrics, and
+ * diffReports passes identical reports, fails seeded regressions and
+ * missing metrics, and honours per-metric tolerance rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/benchdiff.h"
+#include "obs/jsonparse.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace pc::obs {
+namespace {
+
+/** A representative report with metrics, quantiles and a registry. */
+BenchReport
+sampleReport(double latencyShift = 0.0)
+{
+    MetricRegistry reg;
+    for (int i = 0; i < 100; ++i)
+        reg.histogram("lat_ms").observe(20.0 + double(i) + latencyShift);
+    reg.counter("served").bump(100);
+    reg.gauge("energy_mj").set(512.5);
+
+    BenchReport report("gate_unittest", "regression gate sample");
+    report.metric("speedup", 16.25, "x");
+    report.metric("hit_rate", 0.65);
+    report.quantiles(reg.histogram("lat_ms"), "ms");
+    report.attachSnapshot(reg.snapshot());
+    return report;
+}
+
+std::string
+reportJson(const BenchReport &r)
+{
+    std::ostringstream os;
+    r.writeJson(os);
+    return os.str();
+}
+
+TEST(JsonParse, RoundTripsTheWritersOutput)
+{
+    JsonValue root;
+    std::string err;
+    ASSERT_TRUE(parseJson(reportJson(sampleReport()), root, &err)) << err;
+    ASSERT_TRUE(root.isObject());
+    EXPECT_EQ(root.strOr("bench", ""), "gate_unittest");
+    const JsonValue *metrics = root.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    ASSERT_TRUE(metrics->isArray());
+    EXPECT_EQ(metrics->array().size(), 2u);
+    EXPECT_DOUBLE_EQ(metrics->array()[0].numberOr("value", 0.0), 16.25);
+    const JsonValue *reg = root.find("registry");
+    ASSERT_NE(reg, nullptr);
+    const JsonValue *counters = reg->find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_DOUBLE_EQ(counters->numberOr("served", 0.0), 100.0);
+}
+
+TEST(JsonParse, ParsesEscapesAndTypes)
+{
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson(
+        R"({"s":"a\"b\nA","n":-2.5e2,"t":true,"f":false,"z":null,)"
+        R"("a":[1,2,3]})",
+        v, &err))
+        << err;
+    EXPECT_EQ(v.find("s")->str(), "a\"b\nA");
+    EXPECT_DOUBLE_EQ(v.find("n")->number(), -250.0);
+    EXPECT_TRUE(v.find("t")->boolean());
+    EXPECT_FALSE(v.find("f")->boolean());
+    EXPECT_TRUE(v.find("z")->isNull());
+    EXPECT_EQ(v.find("a")->array().size(), 3u);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments)
+{
+    JsonValue v;
+    EXPECT_FALSE(parseJson("{\"a\":1", v));
+    EXPECT_FALSE(parseJson("{\"a\" 1}", v));
+    EXPECT_FALSE(parseJson("[1,2,]", v));
+    EXPECT_FALSE(parseJson("\"unterminated", v));
+    EXPECT_FALSE(parseJson("{} trailing", v));
+    EXPECT_FALSE(parseJson("tru", v));
+    std::string err;
+    EXPECT_FALSE(parseJson("{\"a\":}", v, &err));
+    EXPECT_NE(err.find("offset"), std::string::npos);
+}
+
+TEST(GlobMatch, Wildcards)
+{
+    EXPECT_TRUE(globMatch("*", "anything.at.all"));
+    EXPECT_TRUE(globMatch("histogram.*.p99", "histogram.lat_ms.p99"));
+    EXPECT_FALSE(globMatch("histogram.*.p99", "histogram.lat_ms.p50"));
+    EXPECT_TRUE(globMatch("counter.device.*", "counter.device.queries"));
+    EXPECT_TRUE(globMatch("exact", "exact"));
+    EXPECT_FALSE(globMatch("exact", "exactly"));
+    EXPECT_TRUE(globMatch("*p9?", "metric.p90"));
+}
+
+TEST(FlattenBenchReport, NamespacesEverySection)
+{
+    JsonValue root;
+    ASSERT_TRUE(parseJson(reportJson(sampleReport()), root));
+    BenchMetrics m;
+    std::string err;
+    ASSERT_TRUE(flattenBenchReport(root, m, &err)) << err;
+    EXPECT_EQ(m.bench, "gate_unittest");
+    EXPECT_DOUBLE_EQ(m.values.at("metric.speedup"), 16.25);
+    EXPECT_DOUBLE_EQ(m.values.at("metric.hit_rate"), 0.65);
+    EXPECT_GT(m.values.at("histogram.lat_ms.p50"), 0.0);
+    EXPECT_DOUBLE_EQ(m.values.at("histogram.lat_ms.count"), 100.0);
+    EXPECT_DOUBLE_EQ(m.values.at("counter.served"), 100.0);
+    EXPECT_DOUBLE_EQ(m.values.at("gauge.energy_mj"), 512.5);
+    EXPECT_DOUBLE_EQ(m.values.at("registry.lat_ms.count"), 100.0);
+
+    JsonValue notAReport;
+    ASSERT_TRUE(parseJson("{\"x\":1}", notAReport));
+    EXPECT_FALSE(flattenBenchReport(notAReport, m, &err));
+}
+
+/** Flatten a report straight from its JSON. */
+BenchMetrics
+flat(const BenchReport &r)
+{
+    JsonValue root;
+    EXPECT_TRUE(parseJson(reportJson(r), root));
+    BenchMetrics m;
+    EXPECT_TRUE(flattenBenchReport(root, m, nullptr));
+    return m;
+}
+
+TEST(DiffReports, IdenticalReportsPass)
+{
+    const BenchMetrics base = flat(sampleReport());
+    const DiffResult r = diffReports(base, base);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.changed, 0u);
+    EXPECT_EQ(r.missing, 0u);
+    EXPECT_GT(r.compared, 10u);
+}
+
+TEST(DiffReports, SeededRegressionFails)
+{
+    const BenchMetrics base = flat(sampleReport());
+    const BenchMetrics cur = flat(sampleReport(/*latencyShift=*/15.0));
+    const DiffResult r = diffReports(base, cur);
+    EXPECT_FALSE(r.ok());
+    EXPECT_GT(r.changed, 0u);
+    bool sawLatency = false;
+    for (const auto &e : r.entries) {
+        if (e.name == "histogram.lat_ms.p50" &&
+            e.status == DiffEntry::Status::Changed)
+            sawLatency = true;
+    }
+    EXPECT_TRUE(sawLatency);
+
+    std::ostringstream os;
+    writeDiffReport(os, r);
+    EXPECT_NE(os.str().find("DRIFT"), std::string::npos);
+    EXPECT_NE(os.str().find("drifted"), std::string::npos);
+}
+
+TEST(DiffReports, MissingMetricIsARegressionAddedIsNot)
+{
+    BenchMetrics base, cur;
+    base.bench = cur.bench = "b";
+    base.values = {{"metric.a", 1.0}, {"metric.b", 2.0}};
+    cur.values = {{"metric.a", 1.0}, {"metric.c", 3.0}};
+    const DiffResult r = diffReports(base, cur);
+    EXPECT_FALSE(r.ok()) << "a vanished metric must fail the gate";
+    EXPECT_EQ(r.missing, 1u);
+    EXPECT_EQ(r.added, 1u);
+    EXPECT_EQ(r.changed, 0u);
+}
+
+TEST(DiffReports, ToleranceRulesAreFirstMatchWins)
+{
+    BenchMetrics base, cur;
+    base.bench = cur.bench = "b";
+    base.values = {{"histogram.lat.p99", 100.0},
+                   {"counter.queries", 1000.0}};
+    cur.values = {{"histogram.lat.p99", 108.0},
+                  {"counter.queries", 1000.0}};
+
+    EXPECT_FALSE(diffReports(base, cur).ok())
+        << "default tolerance is exact";
+
+    DiffConfig cfg;
+    cfg.rules.push_back({"histogram.*.p99", 0.10, 0.0});
+    EXPECT_TRUE(diffReports(base, cur, cfg).ok())
+        << "8% p99 wobble sits inside the 10% rule";
+
+    cfg.rules.insert(cfg.rules.begin(), {"histogram.lat.*", 0.01, 0.0});
+    EXPECT_FALSE(diffReports(base, cur, cfg).ok())
+        << "an earlier, tighter rule wins";
+}
+
+TEST(DiffReports, AbsoluteToleranceCoversZeroBaselines)
+{
+    BenchMetrics base, cur;
+    base.bench = cur.bench = "b";
+    base.values = {{"metric.z", 0.0}};
+    cur.values = {{"metric.z", 1e-13}};
+    EXPECT_TRUE(diffReports(base, cur).ok())
+        << "sub-absTol noise around zero must not trip the gate";
+    cur.values["metric.z"] = 0.5;
+    EXPECT_FALSE(diffReports(base, cur).ok());
+}
+
+} // namespace
+} // namespace pc::obs

@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -199,6 +201,80 @@ TEST(MetricRegistry, MergePreservesExactQuantiles)
     EXPECT_DOUBLE_EQ(h.max(), 5.0);
 }
 
+TEST(Histogram, MemoryStaysBoundedOnLongStreams)
+{
+    // The unbounded per-sample vector is gone: a 200k-observation
+    // histogram retains at most the sketch's documented cap, and its
+    // quantiles stay within the sketch's rank-error bound.
+    MetricRegistry reg;
+    Histogram &h = reg.histogram("lat");
+    std::vector<double> sample;
+    sample.reserve(200'000);
+    for (int i = 0; i < 200'000; ++i) {
+        const double x = double((i * 7919) % 100'000);
+        h.observe(x);
+        sample.push_back(x);
+    }
+    EXPECT_FALSE(h.exact());
+    EXPECT_LE(h.retained(), h.sketch().maxRetained());
+    EXPECT_EQ(h.count(), 200'000u);
+
+    std::sort(sample.begin(), sample.end());
+    for (double q : {0.25, 0.50, 0.90, 0.99}) {
+        const double v = h.quantile(q);
+        const auto it =
+            std::upper_bound(sample.begin(), sample.end(), v);
+        const double rank =
+            double(it - sample.begin()) / double(sample.size());
+        EXPECT_NEAR(rank, q, h.sketch().epsilon()) << "q=" << q;
+    }
+}
+
+TEST(Histogram, ExactModeStoresFullSample)
+{
+    MetricRegistry reg;
+    Histogram &h = reg.exactHistogram("lat");
+    for (int i = 0; i < 1000; ++i)
+        h.observe(double(i));
+    EXPECT_TRUE(h.exact());
+    EXPECT_EQ(h.retained(), 1000u) << "exact mode keeps every sample";
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), h.cdf().quantile(0.5));
+    EXPECT_EQ(&reg.exactHistogram("lat"), &h)
+        << "same name, same mode returns the same handle";
+}
+
+TEST(Histogram, MergeExactSourceIntoSketchTarget)
+{
+    // A sketch-mode target accepts an exact-mode source by re-adding
+    // its stored samples — the registry merge relies on this when
+    // shards were created with different modes.
+    MetricRegistry sk, ex;
+    for (double x : {1.0, 2.0, 3.0})
+        sk.histogram("h").observe(x);
+    for (double x : {4.0, 5.0})
+        ex.exactHistogram("h").observe(x);
+
+    sk.mergeFrom(ex);
+    const Histogram &h = sk.histogram("h");
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0)
+        << "still exact: 5 < k items means no compaction yet";
+    EXPECT_FALSE(h.exact()) << "target keeps its own mode";
+}
+
+TEST(Histogram, RegistryMergeCreatesAbsentInSourceMode)
+{
+    MetricRegistry src, dst;
+    src.histogram("sketchy").observe(1.0);
+    src.exactHistogram("precise").observe(2.0);
+    dst.mergeFrom(src);
+    EXPECT_FALSE(dst.histogram("sketchy").exact());
+    EXPECT_TRUE(dst.exactHistogram("precise").exact());
+    EXPECT_EQ(dst.histogram("sketchy").count(), 1u);
+    EXPECT_EQ(dst.exactHistogram("precise").count(), 1u);
+}
+
 TEST(MetricRegistry, ImportCountersBumpsWithPrefix)
 {
     CounterBag bag;
@@ -316,7 +392,7 @@ TEST(BenchReport, WriteFilesRoundTrip)
     BenchReport report("obs_unittest", "file round trip");
     report.metric("answer", 42.0);
 
-    const std::string dir = "obs_test_out";
+    const std::string dir = std::string(PC_TEST_OUT_DIR) + "/obs";
     const auto paths = report.writeFiles(dir);
     ASSERT_EQ(paths.size(), 2u);
     EXPECT_EQ(paths[0], dir + "/BENCH_obs_unittest.json");

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * QuantileSketch contract tests: exactness before compaction, the
+ * documented rank-error bound on 1M-sample streams, the hard memory
+ * cap, merge (union, associativity/commutativity up to epsilon) and
+ * determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/sketch.h"
+#include "util/stats.h"
+
+namespace pc {
+namespace {
+
+/** Exact rank of x in a sorted sample (share of items <= x). */
+double
+exactRank(const std::vector<double> &sorted, double x)
+{
+    const auto it =
+        std::upper_bound(sorted.begin(), sorted.end(), x);
+    return double(it - sorted.begin()) / double(sorted.size());
+}
+
+const double kProbes[] = {0.01, 0.05, 0.25, 0.50, 0.75, 0.90,
+                          0.95, 0.99};
+
+TEST(QuantileSketch, EmptyAndSingle)
+{
+    QuantileSketch s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(s.rank(1.0), 0.0);
+
+    s.add(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 42.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(QuantileSketch, ExactBeforeFirstCompaction)
+{
+    // Until the first compaction every item has weight 1 and the
+    // sketch must reproduce the exact empirical quantiles bit for bit
+    // — this is what keeps small-stream unit tests exact after the
+    // registry's histograms switched to sketches.
+    QuantileSketch s;
+    EmpiricalCdf cdf;
+    Rng rng(7);
+    for (int i = 0; i < 250; ++i) {
+        const double x = rng.uniform(-50.0, 150.0);
+        s.add(x);
+        cdf.add(x);
+    }
+    ASSERT_EQ(s.compactions(), 0u)
+        << "250 < k items must not trigger compaction";
+    for (double q : kProbes)
+        EXPECT_DOUBLE_EQ(s.quantile(q), cdf.quantile(q)) << "q=" << q;
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), cdf.quantile(0.0));
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), cdf.quantile(1.0));
+}
+
+TEST(QuantileSketch, ErrorBoundOnMillionSamples)
+{
+    // The documented contract: on a 1M-sample stream, the estimated
+    // q-quantile's exact rank is within epsilon() of q.
+    struct Dist
+    {
+        const char *name;
+        double (*draw)(Rng &);
+    };
+    const Dist dists[] = {
+        {"uniform", [](Rng &r) { return r.uniform(0.0, 1000.0); }},
+        {"lognormal", [](Rng &r) { return r.logNormal(3.0, 1.2); }},
+    };
+
+    for (const auto &d : dists) {
+        QuantileSketch s;
+        std::vector<double> sample;
+        sample.reserve(1'000'000);
+        Rng rng(2011);
+        for (int i = 0; i < 1'000'000; ++i) {
+            const double x = d.draw(rng);
+            s.add(x);
+            sample.push_back(x);
+        }
+        std::sort(sample.begin(), sample.end());
+        ASSERT_GT(s.compactions(), 0u);
+        for (double q : kProbes) {
+            const double v = s.quantile(q);
+            EXPECT_NEAR(exactRank(sample, v), q, s.epsilon())
+                << d.name << " q=" << q;
+        }
+        // Extremes are tracked exactly.
+        EXPECT_DOUBLE_EQ(s.quantile(0.0), sample.front());
+        EXPECT_DOUBLE_EQ(s.quantile(1.0), sample.back());
+    }
+}
+
+TEST(QuantileSketch, SortedAdversarialStream)
+{
+    // Monotone input is the classic failure mode of naive samplers.
+    QuantileSketch s;
+    const int n = 300'000;
+    for (int i = 0; i < n; ++i)
+        s.add(double(i));
+    for (double q : kProbes) {
+        const double v = s.quantile(q);
+        EXPECT_NEAR(v / double(n - 1), q, s.epsilon()) << "q=" << q;
+    }
+}
+
+TEST(QuantileSketch, MemoryStaysBounded)
+{
+    QuantileSketch s;
+    Rng rng(3);
+    for (int i = 0; i < 1'000'000; ++i) {
+        s.add(rng.uniform());
+        if (i % 100'000 == 0) {
+            ASSERT_LE(s.retained(), s.maxRetained());
+        }
+    }
+    EXPECT_LE(s.retained(), s.maxRetained());
+    EXPECT_LE(s.maxRetained(), std::size_t(3) * s.k() + 129)
+        << "documented O(k) cap";
+    EXPECT_EQ(s.count(), 1'000'000u);
+}
+
+TEST(QuantileSketch, WeightConservation)
+{
+    QuantileSketch s;
+    Rng rng(11);
+    for (int i = 0; i < 123'457; ++i)
+        s.add(rng.uniform());
+    u64 weight = 0;
+    for (const auto &[v, w] : s.weightedItems()) {
+        (void)v;
+        weight += w;
+    }
+    EXPECT_EQ(weight, s.count())
+        << "compaction must neither create nor destroy mass";
+}
+
+TEST(QuantileSketch, MergeMatchesUnion)
+{
+    QuantileSketch a, b, merged;
+    std::vector<double> all;
+    Rng rng(17);
+    for (int i = 0; i < 200'000; ++i) {
+        const double x = rng.logNormal(1.0, 0.8);
+        (i % 2 ? a : b).add(x);
+        all.push_back(x);
+    }
+    merged.mergeFrom(a);
+    merged.mergeFrom(b);
+    EXPECT_EQ(merged.count(), 200'000u);
+    std::sort(all.begin(), all.end());
+    // Merging two sketches degrades the bound only additively.
+    for (double q : kProbes) {
+        EXPECT_NEAR(exactRank(all, merged.quantile(q)), q,
+                    2.0 * merged.epsilon())
+            << "q=" << q;
+    }
+    EXPECT_DOUBLE_EQ(merged.min(), all.front());
+    EXPECT_DOUBLE_EQ(merged.max(), all.back());
+}
+
+TEST(QuantileSketch, MergeOrderInvariantUpToEpsilon)
+{
+    // Associativity/commutativity: different merge orders summarize
+    // the same union, so their quantile estimates must agree within
+    // the (merged) error bound even though internal layouts differ.
+    const int parts = 5;
+    std::vector<QuantileSketch> shards(parts);
+    std::vector<double> all;
+    Rng rng(23);
+    for (int i = 0; i < 150'000; ++i) {
+        const double x = rng.uniform(0.0, 1.0);
+        shards[i % parts].add(x);
+        all.push_back(x);
+    }
+    std::sort(all.begin(), all.end());
+
+    QuantileSketch fwd, rev, pairwise;
+    for (int i = 0; i < parts; ++i)
+        fwd.mergeFrom(shards[i]);
+    for (int i = parts - 1; i >= 0; --i)
+        rev.mergeFrom(shards[i]);
+    // ((0+1) + (2+3)) + 4 — a different association.
+    QuantileSketch left, right;
+    left.mergeFrom(shards[0]);
+    left.mergeFrom(shards[1]);
+    right.mergeFrom(shards[2]);
+    right.mergeFrom(shards[3]);
+    pairwise.mergeFrom(left);
+    pairwise.mergeFrom(right);
+    pairwise.mergeFrom(shards[4]);
+
+    EXPECT_EQ(fwd.count(), rev.count());
+    EXPECT_EQ(fwd.count(), pairwise.count());
+    const double eps = 3.0 * fwd.epsilon();
+    for (double q : kProbes) {
+        const double exact = all[std::size_t(q * double(all.size() - 1))];
+        (void)exact;
+        EXPECT_NEAR(exactRank(all, fwd.quantile(q)), q, eps);
+        EXPECT_NEAR(exactRank(all, rev.quantile(q)), q, eps);
+        EXPECT_NEAR(exactRank(all, pairwise.quantile(q)), q, eps);
+    }
+}
+
+TEST(QuantileSketch, DeterministicAcrossRuns)
+{
+    // Identical call sequences produce identical sketches — the
+    // byte-identical bench-output contract depends on it.
+    auto build = [] {
+        QuantileSketch s;
+        Rng rng(29);
+        for (int i = 0; i < 400'000; ++i)
+            s.add(rng.uniform());
+        return s;
+    };
+    const QuantileSketch a = build();
+    const QuantileSketch b = build();
+    ASSERT_EQ(a.retained(), b.retained());
+    EXPECT_EQ(a.weightedItems(), b.weightedItems());
+    for (double q : kProbes)
+        EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q));
+}
+
+TEST(QuantileSketch, RankTracksExactCdf)
+{
+    QuantileSketch s;
+    EmpiricalCdf cdf;
+    Rng rng(31);
+    for (int i = 0; i < 500'000; ++i) {
+        const double x = rng.uniform(0.0, 100.0);
+        s.add(x);
+        cdf.add(x);
+    }
+    for (double x : {1.0, 10.0, 25.0, 50.0, 90.0, 99.0})
+        EXPECT_NEAR(s.rank(x), cdf.at(x), s.epsilon()) << "x=" << x;
+}
+
+} // namespace
+} // namespace pc

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * bench_diff — the perf-regression gate CLI.
+ *
+ * Compares two BENCH_*.json files, or two directories of them (the
+ * committed baseline tree vs a fresh bench run), using the benchdiff
+ * library. Exit status is the gate:
+ *
+ *   0  everything within tolerance
+ *   1  regression (drift beyond tolerance, or a metric/report gone)
+ *   2  usage or I/O error
+ *
+ * Usage:
+ *   bench_diff [options] <baseline> <current>
+ *
+ * Options:
+ *   --rel-tol <frac>        default relative tolerance (default 0)
+ *   --abs-tol <x>           default absolute tolerance (default 1e-12)
+ *   --rule <glob=rel[,abs]> per-metric override, first match wins
+ *                           (repeatable), e.g. --rule 'histogram.*.p99=0.1'
+ *   --verbose               also print in-tolerance metrics
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/benchdiff.h"
+#include "obs/jsonparse.h"
+
+using namespace pc::obs;
+namespace fs = std::filesystem;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--rel-tol F] [--abs-tol X] [--rule GLOB=REL[,ABS]]"
+        " [--verbose] <baseline> <current>\n"
+        "  <baseline>/<current>: BENCH_*.json files or directories of"
+        " them\n",
+        argv0);
+    return 2;
+}
+
+enum class Load { Ok, NotAReport, Error };
+
+/**
+ * Load + flatten one report file. NotAReport means valid JSON without
+ * a "bench" key — benches drop other artifacts (trace dumps) next to
+ * their reports, and directory scans must step over those.
+ */
+Load
+loadReport(const std::string &path, BenchMetrics &out)
+{
+    JsonValue root;
+    std::string err;
+    if (!parseJsonFile(path, root, &err)) {
+        std::fprintf(stderr, "bench_diff: %s: %s\n", path.c_str(),
+                     err.c_str());
+        return Load::Error;
+    }
+    if (root.isObject() && !root.find("bench"))
+        return Load::NotAReport;
+    if (!flattenBenchReport(root, out, &err)) {
+        std::fprintf(stderr, "bench_diff: %s: %s\n", path.c_str(),
+                     err.c_str());
+        return Load::Error;
+    }
+    return Load::Ok;
+}
+
+/** BENCH_*.json files directly inside `dir`, name-sorted. */
+std::vector<std::string>
+reportFiles(const std::string &dir)
+{
+    std::vector<std::string> names;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) == 0 &&
+            name.size() > 5 &&
+            name.substr(name.size() - 5) == ".json")
+            names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+bool
+parseRule(const std::string &spec, DiffRule &rule)
+{
+    const auto eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return false;
+    rule.pattern = spec.substr(0, eq);
+    const std::string tols = spec.substr(eq + 1);
+    char *end = nullptr;
+    rule.relTol = std::strtod(tols.c_str(), &end);
+    if (end == tols.c_str())
+        return false;
+    if (*end == ',') {
+        const char *absStart = end + 1;
+        rule.absTol = std::strtod(absStart, &end);
+        if (end == absStart)
+            return false;
+    }
+    return *end == '\0';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    DiffConfig cfg;
+    bool verbose = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto needValue = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--rel-tol") {
+            const char *v = needValue();
+            if (!v)
+                return usage(argv[0]);
+            cfg.defaultRelTol = std::atof(v);
+        } else if (arg == "--abs-tol") {
+            const char *v = needValue();
+            if (!v)
+                return usage(argv[0]);
+            cfg.defaultAbsTol = std::atof(v);
+        } else if (arg == "--rule") {
+            const char *v = needValue();
+            DiffRule rule;
+            if (!v || !parseRule(v, rule)) {
+                std::fprintf(stderr,
+                             "bench_diff: bad --rule (want"
+                             " GLOB=REL[,ABS])\n");
+                return 2;
+            }
+            cfg.rules.push_back(std::move(rule));
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 2)
+        return usage(argv[0]);
+    const std::string &basePath = paths[0];
+    const std::string &curPath = paths[1];
+
+    std::error_code ec;
+    const bool baseIsDir = fs::is_directory(basePath, ec);
+    const bool curIsDir = fs::is_directory(curPath, ec);
+    if (baseIsDir != curIsDir) {
+        std::fprintf(stderr, "bench_diff: cannot compare a directory"
+                             " against a file\n");
+        return 2;
+    }
+
+    DiffResult total;
+    if (!baseIsDir) {
+        BenchMetrics base, cur;
+        if (loadReport(basePath, base) != Load::Ok ||
+            loadReport(curPath, cur) != Load::Ok) {
+            // For explicit file arguments a non-report is an error too.
+            std::fprintf(stderr, "bench_diff: not a comparable pair of"
+                                 " bench reports\n");
+            return 2;
+        }
+        total = diffReports(base, cur, cfg);
+    } else {
+        const auto baseline = reportFiles(basePath);
+        if (baseline.empty()) {
+            std::fprintf(stderr, "bench_diff: no BENCH_*.json under"
+                                 " %s\n",
+                         basePath.c_str());
+            return 2;
+        }
+        bool ioError = false;
+        for (const auto &name : baseline) {
+            BenchMetrics base, cur;
+            const Load got = loadReport(basePath + "/" + name, base);
+            if (got == Load::NotAReport)
+                continue; // e.g. a trace dump next to the report
+            if (got == Load::Error) {
+                ioError = true;
+                continue;
+            }
+            const std::string curFile = curPath + "/" + name;
+            if (!fs::exists(curFile, ec)) {
+                // A baseline report with no current counterpart is a
+                // regression: the bench silently stopped running.
+                std::printf(" GONE  %s (entire report missing)\n",
+                            name.c_str());
+                ++total.missing;
+                continue;
+            }
+            if (loadReport(curFile, cur) != Load::Ok) {
+                ioError = true;
+                continue;
+            }
+            total.mergeFrom(diffReports(base, cur, cfg));
+        }
+        if (ioError)
+            return 2;
+    }
+
+    writeDiffReport(std::cout, total, verbose);
+    if (!total.ok()) {
+        std::printf("REGRESSION: bench output drifted from baseline\n");
+        return 1;
+    }
+    std::printf("OK: within tolerance\n");
+    return 0;
+}

@@ -14,6 +14,9 @@
  *                     its trace spans (optionally export Chrome JSON)
  *   update            run the nightly Figure 14 sync against fresh logs
  *   seed <n>          jump to the n-th most popular community query
+ *   fleet [n] [m]     simulate a fleet of n devices for m months (with
+ *                     an injected outage) and print the telemetry
+ *                     roll-up + drift-scan anomalies
  *   help / quit
  *
  * Also usable non-interactively:  echo "search foo" | pocket_shell
@@ -26,10 +29,13 @@
 
 #include "core/cache_manager.h"
 #include "device/mobile_device.h"
+#include "harness/fleet.h"
 #include "harness/workbench.h"
+#include "obs/fleet.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/strings.h"
+#include "util/table.h"
 
 using namespace pc;
 
@@ -48,7 +54,80 @@ help()
         "  trace <n> [f]   serve cached pair #n and print its spans\n"
         "                  (write Chrome trace JSON to file f if given)\n"
         "  update          nightly community sync (Figure 14)\n"
+        "  fleet [n] [m]   telemetry roll-up of an n-device fleet over\n"
+        "                  m months, with an injected outage\n"
         "  help, quit\n");
+}
+
+/**
+ * The `fleet` command: simulate a small fleet against the already
+ * built workbench world, with an outage injected halfway, and print
+ * the monthly roll-up plus what the drift scan flags.
+ */
+void
+runFleetCommand(const harness::Workbench &wb, std::size_t devices,
+                u32 months)
+{
+    harness::FleetRunConfig cfg;
+    cfg.devices = devices;
+    cfg.months = months;
+    cfg.outageStartMonth = months / 2;
+    cfg.outageMonths = 1;
+
+    obs::FleetConfig fc;
+    fc.windowWidth = workload::kMonth;
+    obs::FleetCollector collector(fc);
+    std::printf("simulating %zu devices x %u months (outage in month "
+                "%u)...\n",
+                devices, months, cfg.outageStartMonth);
+    const auto run = harness::runFleet(wb, cfg, collector);
+    std::printf("served %llu queries across %zu devices\n",
+                (unsigned long long)run.queries, run.devices);
+
+    const auto queries =
+        collector.fleetSeries().counterSeries("device.queries");
+    const auto hits =
+        collector.fleetSeries().counterSeries("device.cache_hits");
+    const auto stale =
+        collector.fleetSeries().counterSeries("device.degraded.stale");
+    const auto degraded = collector.fleetSeries().counterSeries(
+        "device.degraded.serves");
+    AsciiTable monthly("fleet by month");
+    monthly.header(
+        {"month", "queries", "hit rate", "degraded", "stale"});
+    for (std::size_t m = 0; m < queries.size(); ++m) {
+        const double hr = queries[m] > 0 ? hits[m] / queries[m] : 0.0;
+        monthly.row({strformat("%zu", m), strformat("%.0f", queries[m]),
+                     strformat("%.1f%%", 100 * hr),
+                     strformat("%.0f", degraded[m]),
+                     strformat("%.0f", stale[m])});
+    }
+    monthly.print();
+
+    obs::DriftConfig dc;
+    dc.warmup = months > 4 ? 3u : 2u;
+    const auto anomalies = collector.scanAnomalies(dc);
+    if (anomalies.empty()) {
+        std::printf("drift scan: nothing flagged\n");
+        return;
+    }
+    AsciiTable at("top anomalies (EWMA z-score)");
+    at.header({"series", "month", "value", "expected", "z"});
+    std::size_t shown = 0;
+    for (const auto &a : anomalies) {
+        if (++shown > 5)
+            break;
+        at.row({a.series,
+                strformat("%lld",
+                          (long long)(a.windowStart / workload::kMonth)),
+                strformat("%.4g", a.value), strformat("%.4g", a.expected),
+                strformat("%+.1f", a.zscore)});
+    }
+    at.print();
+    std::printf("devices by class:");
+    for (const auto &[cls, n] : collector.classDevices())
+        std::printf(" %s=%zu", cls.c_str(), n);
+    std::printf("\n");
 }
 
 } // namespace
@@ -189,6 +268,20 @@ main()
                 if (tracer.writeChromeTraceFile(out_file))
                     std::printf("wrote %s\n", out_file.c_str());
             }
+        } else if (cmd == "fleet") {
+            std::size_t n = 24;
+            u32 months = 4;
+            iss >> n >> months;
+            if (n == 0 || months == 0) {
+                std::printf("need at least 1 device and 1 month\n");
+                continue;
+            }
+            if (n > 5000 || months > 24) {
+                std::printf("keeping it interactive: max 5000 devices,"
+                            " 24 months\n");
+                continue;
+            }
+            runFleetCommand(wb, n, months);
         } else if (cmd == "update") {
             const auto fresh_log = wb.nextCommunityMonth();
             const auto fresh =
