@@ -8,6 +8,8 @@
 #define PC_BENCH_BENCH_COMMON_H
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "obs/report.h"
@@ -15,6 +17,29 @@
 #include "util/table.h"
 
 namespace pc::bench {
+
+/**
+ * Shared thread-count knob for benches that scale over a worker pool:
+ * `--threads=N` or `--threads N` on the command line wins, then the
+ * PC_THREADS environment variable, then `def`. Values < 1 fall back
+ * to `def`.
+ */
+inline unsigned
+threadsKnob(int argc, char **argv, unsigned def)
+{
+    long v = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--threads=", 10) == 0)
+            v = std::atol(argv[i] + 10);
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            v = std::atol(argv[i + 1]);
+    }
+    if (v < 1) {
+        if (const char *env = std::getenv("PC_THREADS"))
+            v = std::atol(env);
+    }
+    return v >= 1 ? unsigned(v) : def;
+}
 
 /** Print the standard experiment banner. */
 inline void

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/delta.h"
 #include "core/pocket_search.h"
 #include "core/table_codec.h"
 #include "logs/triplets.h"
@@ -84,6 +85,17 @@ class CacheManager
      */
     UpdateStats update(PocketSearch &ps, const logs::TripletTable &fresh,
                        const UpdatePolicy &policy, SimTime &time) const;
+
+    /**
+     * Apply an incremental community delta instead of a full rebuild
+     * (the cloud update service's sync path — see core/delta.h).
+     */
+    static DeltaApplyStats applyDelta(PocketSearch &ps,
+                                      const CommunityDelta &delta,
+                                      SimTime &time)
+    {
+        return applyCommunityDelta(ps, delta, time);
+    }
 
   private:
     /** Pair + retained state read back from the device table. */

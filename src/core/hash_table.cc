@@ -85,6 +85,16 @@ QueryHashTable::containsPair(std::string_view query, u64 url_hash) const
     return locate(query, url_hash, key, idx);
 }
 
+std::optional<ResultRef>
+QueryHashTable::findPair(std::string_view query, u64 url_hash) const
+{
+    u64 key;
+    u32 idx;
+    if (!locate(query, url_hash, key, idx))
+        return std::nullopt;
+    return table_.at(key).sr[idx];
+}
+
 bool
 QueryHashTable::insert(std::string_view query, u64 url_hash, double score,
                        bool user_accessed)

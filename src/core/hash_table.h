@@ -17,6 +17,7 @@
 #ifndef PC_CORE_HASH_TABLE_H
 #define PC_CORE_HASH_TABLE_H
 
+#include <optional>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -55,6 +56,14 @@ class QueryHashTable
 
     /** True if the (query, result) pair is cached. */
     bool containsPair(std::string_view query, u64 url_hash) const;
+
+    /**
+     * The cached state of one pair (score + accessed flag), or nullopt
+     * if it is not cached. Delta application reads this to decide
+     * between install, conflict-merge and eviction-skip.
+     */
+    std::optional<ResultRef> findPair(std::string_view query,
+                                      u64 url_hash) const;
 
     /**
      * Insert a pair; no-op if already present (score left untouched).

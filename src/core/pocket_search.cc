@@ -92,6 +92,47 @@ PocketSearch::restorePair(const std::string &query, u64 url_hash,
         suggest_.insert(query, score);
 }
 
+std::optional<ResultRef>
+PocketSearch::findPair(const workload::PairRef &p) const
+{
+    const auto &q = universe_.query(p.query);
+    const auto &r = universe_.result(p.result);
+    return table_.findPair(q.text, urlHash(r.url));
+}
+
+void
+PocketSearch::resyncSuggest(const std::string &query_text)
+{
+    if (!cfg_.enableSuggest)
+        return;
+    suggest_.erase(query_text);
+    const auto refs = table_.lookup(query_text);
+    if (!refs.empty())
+        suggest_.insert(query_text, refs.front().score);
+}
+
+bool
+PocketSearch::evictPair(const workload::PairRef &p)
+{
+    const auto &q = universe_.query(p.query);
+    const auto &r = universe_.result(p.result);
+    if (!table_.erasePair(q.text, urlHash(r.url)))
+        return false;
+    resyncSuggest(q.text);
+    return true;
+}
+
+bool
+PocketSearch::setPairScore(const workload::PairRef &p, double score)
+{
+    const auto &q = universe_.query(p.query);
+    const auto &r = universe_.result(p.result);
+    if (!table_.setScore(q.text, urlHash(r.url), score))
+        return false;
+    resyncSuggest(q.text);
+    return true;
+}
+
 SuggestOutcome
 PocketSearch::suggestWithResults(std::string_view prefix,
                                  u32 max_suggestions,

@@ -12,6 +12,7 @@
 #ifndef PC_CORE_POCKET_SEARCH_H
 #define PC_CORE_POCKET_SEARCH_H
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -166,6 +167,24 @@ class PocketSearch
     void restorePair(const std::string &query, u64 url_hash,
                      double score, bool user_accessed);
 
+    /** Cached state of a pair (score, accessed), or nullopt. */
+    std::optional<ResultRef> findPair(const workload::PairRef &p) const;
+
+    /**
+     * Remove one pair from the index (delta eviction). The flash
+     * record stays — other queries may reference it, and the database
+     * is append-mostly anyway. Keeps auto-suggest in sync.
+     * @return True if the pair was cached.
+     */
+    bool evictPair(const workload::PairRef &p);
+
+    /**
+     * Overwrite one pair's ranking score (delta rerank / conflict
+     * resolution), resyncing the auto-suggest entry to the query's new
+     * best score. @return True if the pair was cached.
+     */
+    bool setPairScore(const workload::PairRef &p, double score);
+
     /**
      * Figure 1: auto-suggest with instant results. For each of the
      * top `max_suggestions` cached queries completing `prefix`, fetch
@@ -241,6 +260,14 @@ class PocketSearch
         obs::Counter *pairsLearned = nullptr;
         obs::Counter *recordsLearned = nullptr;
     };
+
+    /**
+     * Re-derive a query's auto-suggest score after an evict/rerank.
+     * SuggestIndex::insert only ratchets scores upward, so the entry is
+     * erased and reinserted at the query's current best table score —
+     * exactly the state a fresh install of the same contents produces.
+     */
+    void resyncSuggest(const std::string &query_text);
 
     const QueryUniverse &universe_;
     pc::simfs::FlashStore &store_;

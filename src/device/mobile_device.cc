@@ -455,6 +455,77 @@ MobileDevice::syncMissQueue(ServePath path)
     return res;
 }
 
+MobileDevice::CommunitySyncResult
+MobileDevice::syncCommunityUpdate(const core::CommunityDelta &delta,
+                                  ServePath path)
+{
+    pc_assert(path != ServePath::PocketSearch,
+              "community sync needs a radio path");
+    CommunitySyncResult res;
+    res.fromVersion = communityVersion_;
+    res.toVersion = communityVersion_;
+    res.deltaBytes = core::deltaWireBytes(delta, ps_->universe());
+
+    radio::RadioLink &radio = link(path);
+    fault::FaultyLink flink(radio, faults_);
+    const RetryPolicy &rp = cfg_.retry;
+    SimTime elapsed = 0;
+    for (u32 attempt = 1;; ++attempt) {
+        ++res.attempts;
+        ++resilience_.radioAttempts;
+        bumpCtr(metrics_.attempts);
+        if (attempt > 1) {
+            ++resilience_.retries;
+            bumpCtr(metrics_.retries);
+        }
+        const auto oc =
+            flink.attempt(now_ + elapsed, cfg_.syncRequestBytes,
+                          res.deltaBytes, cfg_.serverTime);
+        res.time += oc.xfer.latency;
+        res.energy += oc.xfer.radioEnergy;
+        elapsed += oc.xfer.latency;
+        if (oc.ok) {
+            if (oc.latencySpike) {
+                ++resilience_.latencySpikes;
+                bumpCtr(metrics_.spikes);
+            }
+            res.ok = true;
+            break;
+        }
+        if (oc.noCoverage) {
+            ++resilience_.noCoverageAttempts;
+            bumpCtr(metrics_.noCoverage);
+        }
+        if (oc.failed) {
+            ++resilience_.failedAttempts;
+            bumpCtr(metrics_.failed);
+        }
+        if (attempt >= rp.maxAttempts || elapsed >= rp.queryBudget)
+            break;
+
+        // Same deterministic backoff timeline as a query retry.
+        SimTime backoff = SimTime(std::llround(
+            double(rp.baseBackoff) *
+            std::pow(rp.backoffFactor, double(attempt - 1))));
+        backoff = std::min(backoff, rp.maxBackoff);
+        if (faults_)
+            backoff = SimTime(std::llround(double(backoff) *
+                                           faults_->jitter(rp.jitter)));
+        elapsed += backoff;
+    }
+    now_ += elapsed;
+    if (!res.ok)
+        return res;
+
+    SimTime apply = 0;
+    res.apply = core::applyCommunityDelta(*ps_, delta, apply);
+    res.time += apply;
+    now_ += apply;
+    communityVersion_ = delta.toVersion;
+    res.toVersion = delta.toVersion;
+    return res;
+}
+
 SimTime
 MobileDevice::navigationLatency(const QueryOutcome &q, PageWeight w) const
 {

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/delta.h"
 #include "core/pocket_search.h"
 #include "device/browser.h"
 #include "fault/faulty_link.h"
@@ -79,6 +80,8 @@ struct DeviceConfig
     Bytes flashCapacity = 1 * kGiB;
     /** Search request payload (query + headers). */
     Bytes requestBytes = 1 * kKiB;
+    /** Community-sync request payload (device id + version). */
+    Bytes syncRequestBytes = 256;
     /** Search response payload (results page). */
     Bytes responseBytes = 100 * kKiB;
     /** Server-side processing time per query. */
@@ -238,6 +241,38 @@ class MobileDevice
      */
     SyncResult syncMissQueue(ServePath path = ServePath::ThreeG);
 
+    /** Everything measured about one community-model sync. */
+    struct CommunitySyncResult
+    {
+        bool ok = false;     ///< Delta downloaded and applied.
+        u64 fromVersion = 0; ///< Device model version before the sync.
+        u64 toVersion = 0;   ///< Version after (== from on failure).
+        u32 attempts = 0;    ///< Radio attempts made.
+        Bytes deltaBytes = 0;  ///< Downlink payload (delta wire size).
+        SimTime time = 0;      ///< Radio + backoff + apply time.
+        MicroJoules energy = 0; ///< Radio energy spent.
+        core::DeltaApplyStats apply{}; ///< Application accounting.
+    };
+
+    /**
+     * Download and apply one community-model delta from the cloud
+     * update service over a radio path, with the same retry/backoff
+     * machinery (and fault plan) a query miss uses. On success the
+     * delta is applied to PocketSearch (core/delta.h rules) and the
+     * device's community version advances to delta.toVersion; on
+     * failure the cache and version are untouched and the service can
+     * retry next sync window.
+     */
+    CommunitySyncResult
+    syncCommunityUpdate(const core::CommunityDelta &delta,
+                        ServePath path = ServePath::ThreeG);
+
+    /** Community-model version last synced (0 = never synced). */
+    u64 communityVersion() const { return communityVersion_; }
+
+    /** Pin the community version (tests / snapshot restore). */
+    void setCommunityVersion(u64 v) { communityVersion_ = v; }
+
     /** Simulated now (advances as queries are served). */
     SimTime now() const { return now_; }
 
@@ -310,6 +345,7 @@ class MobileDevice
     radio::RadioLink edge_;
     radio::RadioLink wifi_;
     SimTime now_ = 0;
+    u64 communityVersion_ = 0;
     fault::FaultPlan *faults_ = nullptr;
     ResilienceStats resilience_;
     std::vector<workload::PairRef> missQueue_;

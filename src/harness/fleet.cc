@@ -42,7 +42,8 @@ runFleet(const Workbench &wb, const FleetRunConfig &cfg,
         const workload::UserProfile &profile = profiles[i];
 
         device::MobileDevice dev(wb.universe(), cfg.device);
-        dev.installCommunityCache(wb.communityCache());
+        if (!cfg.cloud)
+            dev.installCommunityCache(wb.communityCache());
         obs::MetricRegistry reg;
         dev.attachMetrics(&reg);
 
@@ -62,6 +63,19 @@ runFleet(const Workbench &wb, const FleetRunConfig &cfg,
                                   m < cfg.outageStartMonth +
                                           cfg.outageMonths;
             dev.attachFaults(inOutage ? &faults : nullptr);
+
+            // Monthly model sync through the cloud service, under the
+            // month's fault plan: first contact is a full install,
+            // later months download deltas. A failed sync (outage)
+            // leaves the device serving from its stale model.
+            if (cfg.cloud &&
+                cfg.cloud->latestVersion() > dev.communityVersion()) {
+                const auto sres = cfg.cloud->syncDevice(dev);
+                if (sres.ok)
+                    ++result.cloudSyncs;
+                else
+                    ++result.cloudSyncFailures;
+            }
 
             stream.setEpoch(m);
             for (const auto &ev : stream.month(windowStart)) {
@@ -87,6 +101,8 @@ runFleet(const Workbench &wb, const FleetRunConfig &cfg,
             snap.counterValue("device.degraded.serves");
         ++result.devices;
     }
+    if (cfg.cloud)
+        collector.mergeCloud(cfg.cloud->metrics());
     return result;
 }
 

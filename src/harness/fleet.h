@@ -23,6 +23,7 @@
 #include "fault/fault_plan.h"
 #include "harness/workbench.h"
 #include "obs/fleet.h"
+#include "server/service.h"
 #include "workload/stream.h"
 
 namespace pc::harness {
@@ -50,6 +51,19 @@ struct FleetRunConfig
     fault::FaultConfig outageFaults = defaultOutageFaults();
 
     device::DeviceConfig device{}; ///< Per-device constants.
+
+    /**
+     * Optional cloud update service. When set, devices do NOT get the
+     * workbench's one-shot community push; instead each device syncs
+     * to the service's latest model version at the start of every
+     * month over 3G — full install on first contact, deltas after —
+     * under whatever fault plan the month carries (a sync that fails
+     * in an outage month leaves the device on its stale model), and
+     * the service's "server.*" metrics fold into the collector's
+     * fleet registry after the run. nullptr (the default) preserves
+     * the original behaviour byte for byte.
+     */
+    server::CloudUpdateService *cloud = nullptr;
 };
 
 /** Scalar outcome of a fleet run (series live in the collector). */
@@ -59,6 +73,8 @@ struct FleetRunResult
     u64 queries = 0;
     u64 cacheHits = 0;
     u64 degradedServes = 0;
+    u64 cloudSyncs = 0;        ///< Successful community syncs (cloud set).
+    u64 cloudSyncFailures = 0; ///< Syncs that exhausted their retries.
 };
 
 /**

@@ -18,6 +18,15 @@ pairKey(const PairRef &p)
 
 } // namespace
 
+bool
+TripletTable::rowOrder(const Triplet &a, const Triplet &b)
+{
+    if (a.volume != b.volume)
+        return a.volume > b.volume;
+    // Deterministic tie-break for reproducibility.
+    return pairKey(a.pair) < pairKey(b.pair);
+}
+
 TripletTable
 TripletTable::fromLog(const SearchLog &log)
 {
@@ -26,22 +35,28 @@ TripletTable::fromLog(const SearchLog &log)
     for (const auto &rec : log.records())
         ++counts[pairKey(rec.pair)];
 
-    TripletTable t;
-    t.rows_.reserve(counts.size());
+    std::vector<Triplet> rows;
+    rows.reserve(counts.size());
     for (const auto &[key, volume] : counts) {
         Triplet row;
         row.pair = PairRef{u32(key >> 32), u32(key & 0xffffffffu)};
         row.volume = volume;
-        t.rows_.push_back(row);
+        rows.push_back(row);
     }
-    std::sort(t.rows_.begin(), t.rows_.end(),
-              [](const Triplet &a, const Triplet &b) {
-                  if (a.volume != b.volume)
-                      return a.volume > b.volume;
-                  // Deterministic tie-break for reproducibility.
-                  return pairKey(a.pair) < pairKey(b.pair);
-              });
+    std::sort(rows.begin(), rows.end(), rowOrder);
+    return fromSortedRows(std::move(rows));
+}
 
+TripletTable
+TripletTable::fromSortedRows(std::vector<Triplet> rows)
+{
+#ifndef NDEBUG
+    for (std::size_t i = 1; i < rows.size(); ++i)
+        pc_assert(rowOrder(rows[i - 1], rows[i]),
+                  "fromSortedRows: rows not in rowOrder");
+#endif
+    TripletTable t;
+    t.rows_ = std::move(rows);
     t.cumulative_.reserve(t.rows_.size());
     u64 acc = 0;
     for (const auto &row : t.rows_) {

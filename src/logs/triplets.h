@@ -35,6 +35,21 @@ class TripletTable
     /** Aggregate and sort a log's records. */
     static TripletTable fromLog(const SearchLog &log);
 
+    /**
+     * Build from pre-aggregated rows already sorted by rowOrder().
+     * The sharded server builder merges per-shard sorted runs and
+     * hands the result here; order is asserted in debug builds.
+     */
+    static TripletTable fromSortedRows(std::vector<Triplet> rows);
+
+    /**
+     * The strict total order fromLog() sorts with: volume descending,
+     * ties by packed (query, result) id ascending. Exposed so the
+     * sharded builder sorts its shards with the *same* order and the
+     * shard merge reproduces the sequential row sequence exactly.
+     */
+    static bool rowOrder(const Triplet &a, const Triplet &b);
+
     /** Rows, descending by volume (ties broken deterministically). */
     const std::vector<Triplet> &rows() const { return rows_; }
 

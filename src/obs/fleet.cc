@@ -138,6 +138,14 @@ FleetCollector::endDevice(const MetricRegistry &reg)
     currentClass_.clear();
 }
 
+void
+FleetCollector::mergeCloud(const MetricRegistry &reg)
+{
+    pc_assert(!inDevice_,
+              "FleetCollector: mergeCloud inside a device");
+    fleet_.mergeFrom(reg);
+}
+
 std::vector<Anomaly>
 FleetCollector::scanAnomalies(const DriftConfig &cfg) const
 {

@@ -105,6 +105,15 @@ class FleetCollector
     /** Finish the current device: fold its registry into the fleet. */
     void endDevice(const MetricRegistry &reg);
 
+    /**
+     * Fold a cloud-side registry ("server.*" from the update service)
+     * into the fleet registry, so one snapshot carries cloud metrics
+     * (queue depths, delta sizes, sync outcomes) next to the devices'.
+     * Call outside the begin/end-device protocol, typically once after
+     * the run. Does not count as a device.
+     */
+    void mergeCloud(const MetricRegistry &reg);
+
     /** Devices folded in so far. */
     std::size_t devices() const { return devices_; }
 

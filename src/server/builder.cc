@@ -1,0 +1,213 @@
+#include "server/builder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "server/work_queue.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace pc::server {
+
+namespace {
+
+/** Pack a PairRef into a 64-bit map key (matches TripletTable). */
+constexpr u64
+pairKey(const workload::PairRef &p)
+{
+    return (u64(p.query) << 32) | p.result;
+}
+
+/** One work item: a contiguous slice of the log's record array. */
+struct Batch
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+};
+
+/** Per-worker private aggregation state (no locks on the hot path). */
+struct WorkerState
+{
+    /** counts[shard][pairKey] -> volume. */
+    std::vector<std::unordered_map<u64, u64>> counts;
+    /** Records routed to each shard by this worker. */
+    std::vector<u64> shardRecords;
+};
+
+} // namespace
+
+CommunityModelBuilder::CommunityModelBuilder(
+    const workload::QueryUniverse &universe, const BuildConfig &cfg)
+    : universe_(universe), cfg_(cfg)
+{
+    pc_assert(cfg_.shards >= 1, "builder needs at least one shard");
+    pc_assert(cfg_.threads >= 1, "builder needs at least one worker");
+    pc_assert(cfg_.batchRecords >= 1, "batch size must be positive");
+    pc_assert(cfg_.queueCapacity >= 1, "queue capacity must be positive");
+}
+
+u32
+CommunityModelBuilder::shardOf(u32 query_id) const
+{
+    // Query-*hash* partitioning: the same fnv1a the device hash table
+    // keys on, so a real server could shard raw log lines without the
+    // id space the simulation enjoys.
+    return u32(fnv1a(universe_.query(query_id).text) % cfg_.shards);
+}
+
+CommunityModel
+CommunityModelBuilder::build(const workload::SearchLog &log, u64 version,
+                             const core::ContentPolicy &policy) const
+{
+    const auto wallStart = std::chrono::steady_clock::now();
+    const auto &records = log.records();
+    const u32 nShards = cfg_.shards;
+    const u32 nThreads = cfg_.threads;
+
+    CommunityModel model;
+    model.version = version;
+    model.stats.shards = nShards;
+    model.stats.threads = nThreads;
+    model.stats.records = records.size();
+    model.stats.shardStats.resize(nShards);
+
+    // ---- Stage 1: batched ingest through the bounded queue. -------------
+    std::vector<WorkerState> workers(nThreads);
+    for (auto &w : workers) {
+        w.counts.resize(nShards);
+        w.shardRecords.assign(nShards, 0);
+    }
+
+    WorkQueue<Batch> queue(cfg_.queueCapacity);
+    {
+        std::vector<std::thread> pool;
+        pool.reserve(nThreads);
+        for (u32 t = 0; t < nThreads; ++t) {
+            pool.emplace_back([&, t] {
+                WorkerState &w = workers[t];
+                Batch b;
+                while (queue.pop(b)) {
+                    for (std::size_t i = b.begin; i < b.end; ++i) {
+                        const auto &pair = records[i].pair;
+                        const u32 s = shardOf(pair.query);
+                        ++w.counts[s][pairKey(pair)];
+                        ++w.shardRecords[s];
+                    }
+                }
+            });
+        }
+
+        // Producer: slice the log; push() blocks when workers lag
+        // (backpressure), so at most queueCapacity batches are in
+        // flight no matter how large the month is.
+        for (std::size_t at = 0; at < records.size();
+             at += cfg_.batchRecords) {
+            Batch b{at, std::min(records.size(),
+                                 at + std::size_t(cfg_.batchRecords))};
+            queue.push(b);
+            ++model.stats.batches;
+        }
+        queue.close();
+        for (auto &th : pool)
+            th.join();
+    }
+    model.stats.maxQueueDepth = queue.maxDepth();
+    model.stats.meanQueueDepth = queue.meanDepth();
+
+    // ---- Stage 2: merge worker counts per shard (u64 sums — exact,
+    // order-independent), then sort each shard in rowOrder. Shards are
+    // independent, so the sort fans out over the same thread budget.
+    std::vector<std::vector<logs::Triplet>> shardRows(nShards);
+    {
+        std::vector<std::thread> pool;
+        const u32 sortThreads = std::min(nThreads, nShards);
+        pool.reserve(sortThreads);
+        for (u32 t = 0; t < sortThreads; ++t) {
+            pool.emplace_back([&, t] {
+                for (u32 s = t; s < nShards; s += sortThreads) {
+                    std::unordered_map<u64, u64> merged;
+                    for (const auto &w : workers)
+                        for (const auto &[key, vol] : w.counts[s])
+                            merged[key] += vol;
+                    auto &rows = shardRows[s];
+                    rows.reserve(merged.size());
+                    for (const auto &[key, vol] : merged) {
+                        logs::Triplet row;
+                        row.pair = workload::PairRef{
+                            u32(key >> 32), u32(key & 0xffffffffu)};
+                        row.volume = vol;
+                        rows.push_back(row);
+                    }
+                    std::sort(rows.begin(), rows.end(),
+                              logs::TripletTable::rowOrder);
+                }
+            });
+        }
+        for (auto &th : pool)
+            th.join();
+    }
+
+    for (u32 s = 0; s < nShards; ++s) {
+        auto &st = model.stats.shardStats[s];
+        st.rows = shardRows[s].size();
+        for (const auto &w : workers)
+            st.records += w.shardRecords[s];
+    }
+
+    // ---- Stage 3: deterministic k-way shard merge. Shards partition
+    // the pair space and rowOrder is a strict total order, so merging
+    // the sorted runs in that order reproduces the global sort of the
+    // sequential build exactly.
+    std::vector<logs::Triplet> rows;
+    {
+        std::size_t total = 0;
+        for (const auto &sr : shardRows)
+            total += sr.size();
+        rows.reserve(total);
+
+        // Heap entry: (next row of shard s). Shard index breaks no
+        // ties — rowOrder cannot compare equal across shards.
+        struct Head
+        {
+            u32 shard;
+            std::size_t at;
+        };
+        auto headGreater = [&](const Head &a, const Head &b) {
+            // priority_queue is a max-heap; invert rowOrder.
+            return logs::TripletTable::rowOrder(shardRows[b.shard][b.at],
+                                                shardRows[a.shard][a.at]);
+        };
+        std::priority_queue<Head, std::vector<Head>,
+                            decltype(headGreater)>
+            heap(headGreater);
+        for (u32 s = 0; s < nShards; ++s)
+            if (!shardRows[s].empty())
+                heap.push(Head{s, 0});
+        while (!heap.empty()) {
+            const Head h = heap.top();
+            heap.pop();
+            rows.push_back(shardRows[h.shard][h.at]);
+            if (h.at + 1 < shardRows[h.shard].size())
+                heap.push(Head{h.shard, h.at + 1});
+        }
+    }
+    model.stats.distinctPairs = rows.size();
+    model.table = logs::TripletTable::fromSortedRows(std::move(rows));
+
+    // ---- Stage 4: content selection (identical to the sequential
+    // path — same builder, same policy, same table).
+    core::CacheContentBuilder contentBuilder(universe_);
+    model.contents = contentBuilder.build(model.table, policy);
+
+    model.stats.wallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wallStart)
+            .count();
+    return model;
+}
+
+} // namespace pc::server

@@ -1,0 +1,49 @@
+#include "server/model.h"
+
+#include <cstring>
+
+namespace pc::server {
+
+namespace {
+
+template <typename T>
+void
+put(std::string &out, T v)
+{
+    char buf[sizeof(T)];
+    std::memcpy(buf, &v, sizeof(T));
+    out.append(buf, sizeof(T));
+}
+
+} // namespace
+
+std::string
+CommunityModel::encode() const
+{
+    const auto &rows = table.rows();
+    const auto &pairs = contents.pairs;
+    std::string out;
+    out.reserve(8 + 16 + rows.size() * 16 + pairs.size() * 24 + 64);
+    out.append("PCMD", 4);
+    put<u64>(out, version);
+    put<u64>(out, u64(rows.size()));
+    for (const auto &row : rows) {
+        put<u32>(out, row.pair.query);
+        put<u32>(out, row.pair.result);
+        put<u64>(out, row.volume);
+    }
+    put<u64>(out, u64(pairs.size()));
+    for (const auto &sp : pairs) {
+        put<u32>(out, sp.pair.query);
+        put<u32>(out, sp.pair.result);
+        put<double>(out, sp.score);
+        put<u64>(out, sp.volume);
+    }
+    put<u64>(out, u64(contents.uniqueResults));
+    put<u64>(out, contents.flashBytes);
+    put<u64>(out, contents.dramBytes);
+    put<double>(out, contents.cumulativeShare);
+    return out;
+}
+
+} // namespace pc::server

@@ -1,0 +1,113 @@
+#include "server/service.h"
+
+#include "util/logging.h"
+
+namespace pc::server {
+
+CloudUpdateService::CloudUpdateService(
+    const workload::QueryUniverse &universe, const ServiceConfig &cfg)
+    : universe_(universe), cfg_(cfg), builder_(universe, cfg.build)
+{
+    pc_assert(cfg_.maxVersions >= 1, "history needs at least one slot");
+}
+
+const CommunityModel &
+CloudUpdateService::ingest(const workload::SearchLog &log)
+{
+    const u64 version = latest_ + 1;
+    CommunityModel m = builder_.build(log, version, cfg_.policy);
+    auto [it, inserted] = history_.emplace(version, std::move(m));
+    pc_assert(inserted, "model version already published");
+    latest_ = version;
+    while (history_.size() > cfg_.maxVersions)
+        history_.erase(history_.begin());
+    publishBuildMetrics(it->second);
+    return it->second;
+}
+
+const CommunityModel &
+CloudUpdateService::model(u64 version) const
+{
+    const auto it = history_.find(version);
+    pc_assert(it != history_.end(), "model version not in history");
+    return it->second;
+}
+
+core::CommunityDelta
+CloudUpdateService::makeDelta(u64 from_version, u64 to_version) const
+{
+    if (to_version == 0)
+        to_version = latest_;
+    const CommunityModel &to = model(to_version);
+    if (from_version == to_version) {
+        core::CommunityDelta d;
+        d.fromVersion = from_version;
+        d.toVersion = to_version;
+        return d;
+    }
+    if (from_version == 0 || !hasVersion(from_version)) {
+        // Never synced, or the device's version fell off the history
+        // window: full install (diff against the empty model).
+        const core::CacheContents empty;
+        return core::diffContents(empty, to.contents, 0, to_version);
+    }
+    return core::diffContents(model(from_version).contents, to.contents,
+                              from_version, to_version);
+}
+
+device::MobileDevice::CommunitySyncResult
+CloudUpdateService::syncDevice(device::MobileDevice &dev,
+                               u64 target_version, device::ServePath path)
+{
+    if (target_version == 0)
+        target_version = latest_;
+    const core::CommunityDelta delta =
+        makeDelta(dev.communityVersion(), target_version);
+    const auto res = dev.syncCommunityUpdate(delta, path);
+    if (res.ok) {
+        registry_.counter("server.syncs.ok").bump();
+        registry_.counter("server.deltas.served").bump();
+        registry_.counter("server.deltas.adds").bump(delta.adds.size());
+        registry_.counter("server.deltas.evicts")
+            .bump(delta.evicts.size());
+        registry_.counter("server.deltas.reranks")
+            .bump(delta.reranks.size());
+        registry_.counter("server.deltas.bytes").bump(res.deltaBytes);
+        registry_.histogram("server.delta.bytes")
+            .observe(double(res.deltaBytes));
+        if (delta.fromVersion == 0)
+            registry_.counter("server.deltas.full_installs").bump();
+    } else {
+        registry_.counter("server.syncs.failed").bump();
+    }
+    return res;
+}
+
+void
+CloudUpdateService::publishBuildMetrics(const CommunityModel &m)
+{
+    const BuildStats &st = m.stats;
+    registry_.counter("server.ingest.builds").bump();
+    registry_.counter("server.ingest.records").bump(st.records);
+    registry_.counter("server.ingest.batches").bump(st.batches);
+    registry_.gauge("server.model.version").set(double(m.version));
+    registry_.gauge("server.model.pairs").set(double(st.distinctPairs));
+    registry_.gauge("server.model.cached_pairs")
+        .set(double(m.contents.pairs.size()));
+    registry_.gauge("server.build.shards").set(double(st.shards));
+    registry_.gauge("server.build.threads").set(double(st.threads));
+    // Queue depths and wall time depend on thread scheduling — useful
+    // operator signals, but never part of a byte-gated artifact.
+    registry_.gauge("server.queue.max_depth")
+        .set(double(st.maxQueueDepth));
+    registry_.gauge("server.queue.mean_depth").set(st.meanQueueDepth);
+    registry_.gauge("server.build.wall_ms").set(st.wallMs);
+    if (st.wallMs > 0.0)
+        registry_.gauge("server.ingest.records_per_s")
+            .set(double(st.records) / (st.wallMs / 1e3));
+    auto &shardRows = registry_.histogram("server.ingest.shard_rows");
+    for (const auto &ss : st.shardStats)
+        shardRows.observe(double(ss.rows));
+}
+
+} // namespace pc::server

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * CloudUpdateService — the cloud half of the update protocol.
+ *
+ * Owns the sharded CommunityModelBuilder, a bounded history of
+ * versioned community models, and the delta generator devices sync
+ * against. One service instance stands in for the paper's server-side
+ * log-analysis pipeline (Section 5.4): each call to ingest() turns one
+ * log window into the next model version; each device sync computes
+ * the add/evict/re-rank lists between the device's last-synced version
+ * and the target version and ships them over a (faulty) radio link
+ * with the device's own retry machinery.
+ *
+ * A device whose version fell off the bounded history — or that never
+ * synced (version 0) — receives a full install: a delta from the empty
+ * model, which applyCommunityDelta handles identically.
+ *
+ * The service keeps its own obs::MetricRegistry ("server.*": ingest
+ * volume, queue depths, delta sizes and op counts, sync outcomes) so a
+ * fleet run can fold cloud-side metrics into the same snapshot as the
+ * devices' (FleetCollector::mergeCloud).
+ */
+
+#ifndef PC_SERVER_SERVICE_H
+#define PC_SERVER_SERVICE_H
+
+#include <map>
+
+#include "core/delta.h"
+#include "device/mobile_device.h"
+#include "obs/metrics.h"
+#include "server/builder.h"
+#include "server/model.h"
+
+namespace pc::server {
+
+/** Service configuration. */
+struct ServiceConfig
+{
+    /** Sharding/threading of the model builder. */
+    BuildConfig build{};
+    /** Content selection applied to every model version. */
+    core::ContentPolicy policy{};
+    /**
+     * Model versions kept for delta generation. Devices older than the
+     * window get a full install instead of a delta.
+     */
+    std::size_t maxVersions = 16;
+};
+
+/**
+ * The cloud update service.
+ */
+class CloudUpdateService
+{
+  public:
+    /** @param universe Shared world model (also the builder's). */
+    explicit CloudUpdateService(const workload::QueryUniverse &universe,
+                                const ServiceConfig &cfg = {});
+
+    /**
+     * Ingest one log window and publish the next model version
+     * (1, 2, ...). The sharded multi-threaded build is byte-identical
+     * to a sequential build of the same log (see builder.h).
+     * @return The freshly published model.
+     */
+    const CommunityModel &ingest(const workload::SearchLog &log);
+
+    /** Latest published version; 0 before the first ingest. */
+    u64 latestVersion() const { return latest_; }
+
+    /** True if `version` is still in the history window. */
+    bool
+    hasVersion(u64 version) const
+    {
+        return history_.count(version) != 0;
+    }
+
+    /** A model by version. @pre hasVersion(version). */
+    const CommunityModel &model(u64 version) const;
+
+    /** The latest model. @pre latestVersion() != 0. */
+    const CommunityModel &latest() const { return model(latest_); }
+
+    /**
+     * Delta from `from_version` to `to_version` (0 = latest). A
+     * from-version of 0 or one that fell off the history produces a
+     * full install (delta against the empty model, fromVersion 0).
+     * Deterministic: the same two versions always yield byte-identical
+     * deltas (encodeDelta).
+     */
+    core::CommunityDelta makeDelta(u64 from_version,
+                                   u64 to_version = 0) const;
+
+    /**
+     * Sync one device to `target_version` (0 = latest) over `path`:
+     * generate the delta against the device's current version, let the
+     * device download and apply it (retry/backoff under its fault
+     * plan), and account the outcome in the service metrics.
+     */
+    device::MobileDevice::CommunitySyncResult
+    syncDevice(device::MobileDevice &dev, u64 target_version = 0,
+               device::ServePath path = device::ServePath::ThreeG);
+
+    /** Cloud-side metrics ("server.*"). */
+    obs::MetricRegistry &metrics() { return registry_; }
+    /** Cloud-side metrics ("server.*"). */
+    const obs::MetricRegistry &metrics() const { return registry_; }
+
+    /** Configuration in use. */
+    const ServiceConfig &config() const { return cfg_; }
+
+  private:
+    /** Fold one build's stats into the registry (single-threaded). */
+    void publishBuildMetrics(const CommunityModel &m);
+
+    const workload::QueryUniverse &universe_;
+    ServiceConfig cfg_;
+    CommunityModelBuilder builder_;
+    /** version -> model; ordered so eviction drops the oldest. */
+    std::map<u64, CommunityModel> history_;
+    u64 latest_ = 0;
+    obs::MetricRegistry registry_;
+};
+
+} // namespace pc::server
+
+#endif // PC_SERVER_SERVICE_H

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Sharded-builder determinism properties: for every (shards, threads)
+ * combination the built community model must be byte-identical to the
+ * sequential build (TripletTable::fromLog + CacheContentBuilder),
+ * including the 1-shard, shards >> queries, and empty-log edge cases —
+ * and the deltas a service generates must not depend on the pipeline
+ * shape that built the models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/cache_content.h"
+#include "harness/workbench.h"
+#include "logs/triplets.h"
+#include "server/builder.h"
+#include "server/service.h"
+
+namespace pc::server {
+namespace {
+
+using harness::smallWorkbenchConfig;
+using harness::Workbench;
+
+/** One shared small world: Workbench construction dominates runtime. */
+const Workbench &
+sharedWorkbench()
+{
+    static const Workbench wb(smallWorkbenchConfig());
+    return wb;
+}
+
+/** A slice of the build month, to keep the config grid fast. */
+workload::SearchLog
+slicedLog(const Workbench &wb, std::size_t n)
+{
+    workload::SearchLog log(wb.universe());
+    const auto &records = wb.buildLog().records();
+    log.reserve(std::min(n, records.size()));
+    for (std::size_t i = 0; i < records.size() && i < n; ++i)
+        log.add(records[i]);
+    return log;
+}
+
+/** The sequential reference build the pipeline must reproduce. */
+CommunityModel
+sequentialBuild(const workload::QueryUniverse &u,
+                const workload::SearchLog &log, u64 version,
+                const core::ContentPolicy &policy)
+{
+    CommunityModel m;
+    m.version = version;
+    m.table = logs::TripletTable::fromLog(log);
+    core::CacheContentBuilder builder(u);
+    m.contents = builder.build(m.table, policy);
+    return m;
+}
+
+TEST(CommunityModelBuilder, ShardThreadGridMatchesSequentialBuild)
+{
+    const Workbench &wb = sharedWorkbench();
+    const auto log = slicedLog(wb, 20'000);
+    const core::ContentPolicy policy{};
+    const std::string want =
+        sequentialBuild(wb.universe(), log, 1, policy).encode();
+
+    for (u32 shards : {1u, 2u, 3u, 8u}) {
+        for (u32 threads : {1u, 2u, 4u}) {
+            BuildConfig cfg;
+            cfg.shards = shards;
+            cfg.threads = threads;
+            cfg.batchRecords = 1024;
+            cfg.queueCapacity = 4;
+            CommunityModelBuilder b(wb.universe(), cfg);
+            const CommunityModel m = b.build(log, 1, policy);
+            EXPECT_EQ(m.encode(), want)
+                << "shards=" << shards << " threads=" << threads;
+            EXPECT_EQ(m.stats.shards, shards);
+            EXPECT_EQ(m.stats.threads, threads);
+            EXPECT_EQ(m.stats.records, log.size());
+
+            // Shard accounting must cover the whole log exactly.
+            u64 records = 0, rows = 0;
+            ASSERT_EQ(m.stats.shardStats.size(), shards);
+            for (const auto &ss : m.stats.shardStats) {
+                records += ss.records;
+                rows += ss.rows;
+            }
+            EXPECT_EQ(records, log.size());
+            EXPECT_EQ(rows, m.stats.distinctPairs);
+        }
+    }
+}
+
+TEST(CommunityModelBuilder, RepeatBuildsAreByteIdentical)
+{
+    const Workbench &wb = sharedWorkbench();
+    const auto log = slicedLog(wb, 20'000);
+    BuildConfig cfg;
+    cfg.shards = 4;
+    cfg.threads = 4;
+    cfg.batchRecords = 512;
+    cfg.queueCapacity = 2;
+    CommunityModelBuilder b(wb.universe(), cfg);
+    const core::ContentPolicy policy{};
+    EXPECT_EQ(b.build(log, 3, policy).encode(),
+              b.build(log, 3, policy).encode());
+}
+
+TEST(CommunityModelBuilder, EmptyLogBuildsEmptyModel)
+{
+    const Workbench &wb = sharedWorkbench();
+    const workload::SearchLog empty(wb.universe());
+    const core::ContentPolicy policy{};
+    const std::string want =
+        sequentialBuild(wb.universe(), empty, 1, policy).encode();
+    for (u32 shards : {1u, 8u}) {
+        BuildConfig cfg;
+        cfg.shards = shards;
+        cfg.threads = 4;
+        CommunityModelBuilder b(wb.universe(), cfg);
+        const CommunityModel m = b.build(empty, 1, policy);
+        EXPECT_EQ(m.encode(), want);
+        EXPECT_EQ(m.stats.distinctPairs, 0u);
+        EXPECT_EQ(m.table.rows().size(), 0u);
+        EXPECT_TRUE(m.contents.pairs.empty());
+    }
+}
+
+TEST(CommunityModelBuilder, ManyMoreShardsThanQueriesStillMatches)
+{
+    const Workbench &wb = sharedWorkbench();
+    // A tiny log touching a handful of queries, against 64 shards:
+    // most shards stay empty and the merge must still be exact.
+    const auto log = slicedLog(wb, 50);
+    const core::ContentPolicy policy{};
+    const std::string want =
+        sequentialBuild(wb.universe(), log, 1, policy).encode();
+    BuildConfig cfg;
+    cfg.shards = 64;
+    cfg.threads = 3;
+    cfg.batchRecords = 7;
+    cfg.queueCapacity = 2;
+    CommunityModelBuilder b(wb.universe(), cfg);
+    EXPECT_EQ(b.build(log, 1, policy).encode(), want);
+}
+
+TEST(CommunityModelBuilder, ShardOfPartitionsByQueryHash)
+{
+    const Workbench &wb = sharedWorkbench();
+    BuildConfig cfg;
+    cfg.shards = 5;
+    CommunityModelBuilder b(wb.universe(), cfg);
+    for (u32 q = 0; q < 100; ++q) {
+        EXPECT_LT(b.shardOf(q), cfg.shards);
+        EXPECT_EQ(b.shardOf(q), b.shardOf(q)) << "stable";
+    }
+}
+
+TEST(CloudUpdateService, DeltasIndependentOfPipelineShape)
+{
+    const Workbench &wb = sharedWorkbench();
+    const auto logA = slicedLog(wb, 15'000);
+    const auto logB = slicedLog(wb, 30'000);
+
+    const auto deltasFor = [&](u32 shards, u32 threads) {
+        ServiceConfig cfg;
+        cfg.build.shards = shards;
+        cfg.build.threads = threads;
+        cfg.build.batchRecords = 2048;
+        CloudUpdateService svc(wb.universe(), cfg);
+        svc.ingest(logA);
+        svc.ingest(logB);
+        // Full install to v2 plus incremental v1 -> v2.
+        return std::vector<std::string>{
+            core::encodeDelta(svc.makeDelta(0, 2)),
+            core::encodeDelta(svc.makeDelta(1, 2)),
+        };
+    };
+
+    const auto want = deltasFor(1, 1);
+    EXPECT_EQ(deltasFor(4, 2), want);
+    EXPECT_EQ(deltasFor(8, 4), want);
+}
+
+TEST(CloudUpdateService, HistoryWindowEvictsOldVersions)
+{
+    const Workbench &wb = sharedWorkbench();
+    ServiceConfig cfg;
+    cfg.maxVersions = 2;
+    cfg.build.shards = 2;
+    cfg.build.threads = 2;
+    CloudUpdateService svc(wb.universe(), cfg);
+    const auto log = slicedLog(wb, 2'000);
+    svc.ingest(log);
+    svc.ingest(log);
+    svc.ingest(log);
+    EXPECT_EQ(svc.latestVersion(), 3u);
+    EXPECT_FALSE(svc.hasVersion(1)) << "evicted by the window";
+    EXPECT_TRUE(svc.hasVersion(2));
+    EXPECT_TRUE(svc.hasVersion(3));
+
+    // A device stuck on the evicted version gets a full install.
+    const auto d = svc.makeDelta(1, 3);
+    EXPECT_EQ(d.fromVersion, 0u);
+    EXPECT_EQ(d.toVersion, 3u);
+    EXPECT_TRUE(d.evicts.empty());
+    EXPECT_TRUE(d.reranks.empty());
+}
+
+} // namespace
+} // namespace pc::server

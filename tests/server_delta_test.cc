@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Delta-sync tests: diffContents list construction, the core equality
+ * "apply delta to a clean device == fresh install of the target
+ * version", personalization retention across syncs, the full-install
+ * fallback, sync failure under a dead radio, and a fleet run wired
+ * through the cloud service whose snapshot must carry "server.*"
+ * metrics next to the device ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/delta.h"
+#include "core/table_codec.h"
+#include "device/mobile_device.h"
+#include "fault/fault_plan.h"
+#include "harness/fleet.h"
+#include "harness/workbench.h"
+#include "server/service.h"
+
+namespace pc::server {
+namespace {
+
+using harness::smallWorkbenchConfig;
+using harness::Workbench;
+
+const Workbench &
+sharedWorkbench()
+{
+    static const Workbench wb(smallWorkbenchConfig());
+    return wb;
+}
+
+workload::SearchLog
+slicedLog(const Workbench &wb, std::size_t n)
+{
+    workload::SearchLog log(wb.universe());
+    const auto &records = wb.buildLog().records();
+    log.reserve(std::min(n, records.size()));
+    for (std::size_t i = 0; i < records.size() && i < n; ++i)
+        log.add(records[i]);
+    return log;
+}
+
+/**
+ * Canonical view of a device table: decoded wire pairs, sorted. Two
+ * tables hold the same pairs/scores/flags iff these compare equal
+ * (encodeTable itself iterates an unordered_map, so raw blobs of
+ * equal tables may differ).
+ */
+std::vector<core::WirePair>
+canonicalTable(const core::PocketSearch &ps)
+{
+    const auto decoded = core::decodeTable(core::encodeTable(ps.table()));
+    EXPECT_TRUE(decoded.has_value());
+    auto pairs = *decoded;
+    std::sort(pairs.begin(), pairs.end(),
+              [](const core::WirePair &a, const core::WirePair &b) {
+                  if (a.queryFnv != b.queryFnv)
+                      return a.queryFnv < b.queryFnv;
+                  return a.urlHash < b.urlHash;
+              });
+    return pairs;
+}
+
+/** A service with versions 1 (partial month) and 2 (full month). */
+CloudUpdateService &
+sharedService()
+{
+    static CloudUpdateService *svc = [] {
+        const Workbench &wb = sharedWorkbench();
+        ServiceConfig cfg;
+        cfg.build.shards = 4;
+        cfg.build.threads = 2;
+        auto *s = new CloudUpdateService(wb.universe(), cfg);
+        s->ingest(slicedLog(wb, wb.buildLog().size() / 2));
+        s->ingest(wb.buildLog());
+        return s;
+    }();
+    return *svc;
+}
+
+TEST(DiffContents, BuildsAddEvictRerankLists)
+{
+    core::CacheContents from;
+    from.pairs = {{{1, 10}, 0.9, 90}, // survives unchanged
+                  {{2, 20}, 0.8, 80}, // re-ranked
+                  {{3, 30}, 0.7, 70}}; // evicted
+    core::CacheContents to;
+    to.pairs = {{{1, 10}, 0.9, 90},
+                {{2, 20}, 0.5, 50},
+                {{4, 40}, 0.6, 60}}; // added
+
+    const auto d = core::diffContents(from, to, 1, 2);
+    EXPECT_EQ(d.fromVersion, 1u);
+    EXPECT_EQ(d.toVersion, 2u);
+    ASSERT_EQ(d.adds.size(), 1u);
+    EXPECT_EQ(d.adds[0].pair.query, 4u);
+    EXPECT_DOUBLE_EQ(d.adds[0].score, 0.6);
+    ASSERT_EQ(d.evicts.size(), 1u);
+    EXPECT_EQ(d.evicts[0].query, 3u);
+    ASSERT_EQ(d.reranks.size(), 1u);
+    EXPECT_EQ(d.reranks[0].pair.query, 2u);
+    EXPECT_DOUBLE_EQ(d.reranks[0].score, 0.5);
+    EXPECT_EQ(d.ops(), 3u);
+    EXPECT_FALSE(d.empty());
+
+    const auto same = core::diffContents(to, to, 2, 2);
+    EXPECT_TRUE(same.empty());
+    EXPECT_GT(core::deltaWireBytes(d, sharedWorkbench().universe()),
+              core::deltaWireBytes(same, sharedWorkbench().universe()));
+}
+
+TEST(DeltaSync, ApplyEqualsFreshInstall)
+{
+    const Workbench &wb = sharedWorkbench();
+    CloudUpdateService &svc = sharedService();
+
+    // Device A: full install of v1, then the v1 -> v2 delta.
+    device::MobileDevice devA(wb.universe());
+    auto r1 = svc.syncDevice(devA, 1);
+    ASSERT_TRUE(r1.ok);
+    EXPECT_EQ(devA.communityVersion(), 1u);
+    EXPECT_EQ(r1.apply.added, svc.model(1).contents.pairs.size());
+    auto r2 = svc.syncDevice(devA, 2);
+    ASSERT_TRUE(r2.ok);
+    EXPECT_EQ(devA.communityVersion(), 2u);
+    EXPECT_GT(r2.apply.added + r2.apply.evicted + r2.apply.reranked, 0u)
+        << "the two versions must actually differ";
+
+    // Device B: straight to v2 (full install).
+    device::MobileDevice devB(wb.universe());
+    ASSERT_TRUE(svc.syncDevice(devB, 2).ok);
+
+    EXPECT_EQ(canonicalTable(devA.pocketSearch()),
+              canonicalTable(devB.pocketSearch()))
+        << "delta path must land on the fresh-install table";
+    EXPECT_EQ(devA.pocketSearch().pairs(), devB.pocketSearch().pairs());
+
+    // The incremental delta must be smaller than a full install.
+    EXPECT_LT(r2.deltaBytes,
+              core::deltaWireBytes(svc.makeDelta(0, 2), wb.universe()));
+}
+
+TEST(DeltaSync, PersonalizationSurvivesSync)
+{
+    const Workbench &wb = sharedWorkbench();
+    CloudUpdateService &svc = sharedService();
+    const auto delta = svc.makeDelta(1, 2);
+    ASSERT_FALSE(delta.evicts.empty())
+        << "need an evicted pair to exercise retention";
+
+    device::MobileDevice dev(wb.universe());
+    ASSERT_TRUE(svc.syncDevice(dev, 1).ok);
+
+    // The user clicks a pair v2 would evict: it must survive the sync.
+    const workload::PairRef kept = delta.evicts.front();
+    SimTime t = 0;
+    dev.pocketSearch().recordClick(kept, t);
+
+    const auto res = svc.syncDevice(dev, 2);
+    ASSERT_TRUE(res.ok);
+    EXPECT_GE(res.apply.keptAccessed, 1u);
+    const auto state = dev.pocketSearch().findPair(kept);
+    ASSERT_TRUE(state.has_value()) << "user pair evicted by the delta";
+    EXPECT_TRUE(state->userAccessed);
+
+    // And an accessed re-ranked pair only ratchets up, never down.
+    if (!delta.reranks.empty()) {
+        device::MobileDevice dev2(wb.universe());
+        ASSERT_TRUE(svc.syncDevice(dev2, 1).ok);
+        const auto &rr = delta.reranks.front();
+        SimTime t2 = 0;
+        dev2.pocketSearch().recordClick(rr.pair, t2);
+        const double before =
+            dev2.pocketSearch().findPair(rr.pair)->score;
+        ASSERT_TRUE(svc.syncDevice(dev2, 2).ok);
+        const double after =
+            dev2.pocketSearch().findPair(rr.pair)->score;
+        EXPECT_DOUBLE_EQ(after, std::max(before, rr.score));
+    }
+}
+
+TEST(DeltaSync, FailedSyncLeavesDeviceUntouched)
+{
+    const Workbench &wb = sharedWorkbench();
+    CloudUpdateService &svc = sharedService();
+
+    device::MobileDevice dev(wb.universe());
+    fault::FaultConfig fc;
+    fc.radio.exchangeFailureRate = 1.0; // the cloud is unreachable
+    fc.seed = 7;
+    fault::FaultPlan faults(fc);
+    dev.attachFaults(&faults);
+
+    const u64 failedBefore =
+        svc.metrics().snapshot().counterValue("server.syncs.failed");
+    const auto res = svc.syncDevice(dev, 2);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.attempts, dev.config().retry.maxAttempts);
+    EXPECT_EQ(dev.communityVersion(), 0u);
+    EXPECT_EQ(dev.pocketSearch().pairs(), 0u);
+    EXPECT_EQ(
+        svc.metrics().snapshot().counterValue("server.syncs.failed"),
+        failedBefore + 1);
+
+    // Coverage returns: the same sync now lands.
+    dev.attachFaults(nullptr);
+    ASSERT_TRUE(svc.syncDevice(dev, 2).ok);
+    EXPECT_EQ(dev.communityVersion(), 2u);
+    EXPECT_GT(dev.pocketSearch().pairs(), 0u);
+}
+
+TEST(DeltaSync, FleetRunThroughCloudServiceCarriesServerMetrics)
+{
+    const Workbench &wb = sharedWorkbench();
+    ServiceConfig scfg;
+    scfg.build.shards = 4;
+    scfg.build.threads = 2;
+    CloudUpdateService svc(wb.universe(), scfg);
+    svc.ingest(wb.buildLog());
+
+    harness::FleetRunConfig cfg;
+    cfg.devices = 4;
+    cfg.months = 2;
+    cfg.cloud = &svc;
+
+    obs::FleetConfig fc;
+    fc.windowWidth = workload::kMonth;
+    obs::FleetCollector collector(fc);
+    const auto r = runFleet(wb, cfg, collector);
+
+    EXPECT_EQ(r.devices, cfg.devices);
+    EXPECT_EQ(r.cloudSyncs, u64(cfg.devices))
+        << "every device full-installs at month 0";
+    EXPECT_EQ(r.cloudSyncFailures, 0u);
+    EXPECT_GT(r.cacheHits, 0u) << "synced model must serve hits";
+
+    // Cloud metrics folded into the same fleet snapshot as devices'.
+    const auto snap = collector.fleetRegistry().snapshot();
+    EXPECT_GT(snap.counterValue("device.queries"), 0u);
+    EXPECT_EQ(snap.counterValue("server.syncs.ok"), u64(cfg.devices));
+    EXPECT_EQ(snap.counterValue("server.deltas.served"),
+              u64(cfg.devices));
+    EXPECT_EQ(snap.counterValue("server.ingest.records"),
+              wb.buildLog().size());
+    bool sawQueueGauge = false;
+    for (const auto &[name, value] : snap.gauges) {
+        (void)value;
+        if (name == "server.queue.max_depth")
+            sawQueueGauge = true;
+    }
+    EXPECT_TRUE(sawQueueGauge);
+}
+
+} // namespace
+} // namespace pc::server

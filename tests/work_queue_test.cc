@@ -1,0 +1,155 @@
+/**
+ * @file
+ * WorkQueue tests: FIFO + close/drain semantics single-threaded,
+ * backpressure (bounded depth, blocked producers resume), and an MPMC
+ * stress run that must hand every item to exactly one consumer. The
+ * stress tests are the payload of the ThreadSanitizer CI job.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "server/work_queue.h"
+
+namespace pc::server {
+namespace {
+
+TEST(WorkQueue, FifoSingleThreaded)
+{
+    WorkQueue<int> q(4);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_TRUE(q.push(3));
+    EXPECT_EQ(q.depth(), 3u);
+
+    int out = 0;
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 1);
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 2);
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 3);
+    EXPECT_EQ(q.depth(), 0u);
+    EXPECT_EQ(q.pushes(), 3u);
+    EXPECT_EQ(q.maxDepth(), 3u);
+}
+
+TEST(WorkQueue, TryPushRespectsCapacity)
+{
+    WorkQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3)) << "queue is full";
+    int out = 0;
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_TRUE(q.tryPush(3)) << "slot freed by the pop";
+}
+
+TEST(WorkQueue, CloseDrainsThenStops)
+{
+    WorkQueue<int> q(4);
+    ASSERT_TRUE(q.push(7));
+    ASSERT_TRUE(q.push(8));
+    q.close();
+    EXPECT_TRUE(q.closed());
+    EXPECT_FALSE(q.push(9)) << "push after close must fail";
+    EXPECT_FALSE(q.tryPush(9));
+
+    int out = 0;
+    EXPECT_TRUE(q.pop(out)) << "remaining items drain after close";
+    EXPECT_EQ(out, 7);
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 8);
+    EXPECT_FALSE(q.pop(out)) << "closed and drained";
+    q.close(); // idempotent
+}
+
+TEST(WorkQueue, CloseWakesBlockedConsumers)
+{
+    WorkQueue<int> q(2);
+    std::atomic<int> finished{0};
+    std::vector<std::thread> consumers;
+    for (int i = 0; i < 3; ++i) {
+        consumers.emplace_back([&] {
+            int out;
+            while (q.pop(out)) {
+            }
+            finished.fetch_add(1);
+        });
+    }
+    q.close();
+    for (auto &t : consumers)
+        t.join();
+    EXPECT_EQ(finished.load(), 3);
+}
+
+TEST(WorkQueue, BackpressureBlocksAndResumes)
+{
+    WorkQueue<int> q(2);
+    ASSERT_TRUE(q.push(1));
+    ASSERT_TRUE(q.push(2));
+
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        ASSERT_TRUE(q.push(3)); // blocks: the queue is full
+        pushed.store(true);
+    });
+
+    int out = 0;
+    ASSERT_TRUE(q.pop(out)); // frees a slot; the producer resumes
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_LE(q.maxDepth(), q.capacity())
+        << "backpressure must bound the queue depth";
+}
+
+TEST(WorkQueue, MpmcDeliversEveryItemExactlyOnce)
+{
+    constexpr int kProducers = 3;
+    constexpr int kConsumers = 4;
+    constexpr int kPerProducer = 2000;
+    WorkQueue<int> q(8);
+
+    std::atomic<long long> sum{0};
+    std::atomic<int> received{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&] {
+            int v;
+            long long local = 0;
+            int n = 0;
+            while (q.pop(v)) {
+                local += v;
+                ++n;
+            }
+            sum.fetch_add(local);
+            received.fetch_add(n);
+        });
+    }
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                ASSERT_TRUE(q.push(p * kPerProducer + i));
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    q.close();
+    for (auto &t : consumers)
+        t.join();
+
+    constexpr int kTotal = kProducers * kPerProducer;
+    EXPECT_EQ(received.load(), kTotal);
+    // Sum of 0..kTotal-1: every item arrived exactly once.
+    EXPECT_EQ(sum.load(), (long long)kTotal * (kTotal - 1) / 2);
+    EXPECT_EQ(q.pushes(), u64(kTotal));
+    EXPECT_LE(q.maxDepth(), q.capacity());
+}
+
+} // namespace
+} // namespace pc::server

@@ -17,6 +17,9 @@
  *   fleet [n] [m]     simulate a fleet of n devices for m months (with
  *                     an injected outage) and print the telemetry
  *                     roll-up + drift-scan anomalies
+ *   server [s] [t]    run the cloud update service with s shards and
+ *                     t worker threads: mine two model versions and
+ *                     print shard stats + delta sync sizes
  *   help / quit
  *
  * Also usable non-interactively:  echo "search foo" | pocket_shell
@@ -28,9 +31,11 @@
 #include <string>
 
 #include "core/cache_manager.h"
+#include "core/delta.h"
 #include "device/mobile_device.h"
 #include "harness/fleet.h"
 #include "harness/workbench.h"
+#include "server/service.h"
 #include "obs/fleet.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -56,6 +61,9 @@ help()
         "  update          nightly community sync (Figure 14)\n"
         "  fleet [n] [m]   telemetry roll-up of an n-device fleet over\n"
         "                  m months, with an injected outage\n"
+        "  server [s] [t]  cloud update service: mine two community\n"
+        "                  model versions with s shards x t threads,\n"
+        "                  print shard stats and delta sync sizes\n"
         "  help, quit\n");
 }
 
@@ -128,6 +136,60 @@ runFleetCommand(const harness::Workbench &wb, std::size_t devices,
     for (const auto &[cls, n] : collector.classDevices())
         std::printf(" %s=%zu", cls.c_str(), n);
     std::printf("\n");
+}
+
+/**
+ * The `server` command: stand up a cloud update service over the
+ * workbench world, mine two model versions (the build month, then a
+ * fresh month) with the requested pipeline shape, and print what the
+ * fleet would sync.
+ */
+void
+runServerCommand(harness::Workbench &wb, u32 shards, u32 threads)
+{
+    server::ServiceConfig scfg;
+    scfg.build.shards = shards;
+    scfg.build.threads = threads;
+    server::CloudUpdateService svc(wb.universe(), scfg);
+
+    std::printf("mining 2 community months (%u shards x %u threads)"
+                "...\n",
+                shards, threads);
+    svc.ingest(wb.buildLog());
+    const auto fresh = wb.nextCommunityMonth();
+    const auto &m = svc.ingest(fresh);
+    std::printf("model v%llu: %zu distinct pairs mined, %zu selected "
+                "for the cache\n",
+                (unsigned long long)m.version, m.table.rows().size(),
+                m.contents.pairs.size());
+
+    AsciiTable st(strformat("shard stats (v%llu build)",
+                            (unsigned long long)m.version));
+    st.header({"shard", "records", "rows"});
+    for (std::size_t s = 0; s < m.stats.shardStats.size(); ++s)
+        st.row({strformat("%zu", s),
+                strformat("%llu",
+                          (unsigned long long)m.stats.shardStats[s]
+                              .records),
+                strformat("%llu",
+                          (unsigned long long)m.stats.shardStats[s]
+                              .rows)});
+    st.print();
+
+    const auto fullInstall = svc.makeDelta(0);
+    const auto monthly = svc.makeDelta(1);
+    AsciiTable dt("delta sync (what a device downloads)");
+    dt.header({"update", "adds", "evicts", "reranks", "wire"});
+    dt.row({"full install (v0->v2)",
+            strformat("%zu", fullInstall.adds.size()), "0", "0",
+            humanBytes(core::deltaWireBytes(fullInstall, wb.universe()))
+                .c_str()});
+    dt.row({"monthly (v1->v2)", strformat("%zu", monthly.adds.size()),
+            strformat("%zu", monthly.evicts.size()),
+            strformat("%zu", monthly.reranks.size()),
+            humanBytes(core::deltaWireBytes(monthly, wb.universe()))
+                .c_str()});
+    dt.print();
 }
 
 } // namespace
@@ -282,6 +344,20 @@ main()
                 continue;
             }
             runFleetCommand(wb, n, months);
+        } else if (cmd == "server") {
+            u32 shards = 8;
+            u32 threads = 4;
+            iss >> shards >> threads;
+            if (shards == 0 || threads == 0) {
+                std::printf("need at least 1 shard and 1 thread\n");
+                continue;
+            }
+            if (shards > 256 || threads > 64) {
+                std::printf("keeping it interactive: max 256 shards, "
+                            "64 threads\n");
+                continue;
+            }
+            runServerCommand(wb, shards, threads);
         } else if (cmd == "update") {
             const auto fresh_log = wb.nextCommunityMonth();
             const auto fresh =
