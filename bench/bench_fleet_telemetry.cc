@@ -1,27 +1,41 @@
 /**
  * @file
- * Fleet telemetry — 1000 simulated devices, one telemetry roll-up.
+ * Fleet telemetry — 1000 simulated devices, one telemetry roll-up,
+ * swept over simulation worker threads.
  *
  * Exercises the whole observability stack at fleet scale: every
  * device fills its own MetricRegistry (bounded sketch histograms), a
  * FleetCollector folds them into per-class and fleet-wide registries
  * and monthly time series, and an EWMA drift scan must flag the
- * injected month-3 radio outage. Alongside the ASCII tables the bench
- * writes, into $PC_BENCH_OUT (default bench_out/):
+ * injected month-3 radio outage. With --threads T (or PC_THREADS) the
+ * fleet is re-run at 1, 2, 4, ..., T worker threads; every point's
+ * series CSV, anomaly CSV and BENCH JSON must be byte-identical to
+ * the 1-thread run — the parallel harness's core invariant — and the
+ * process exits non-zero if any point diverges.
+ *
+ * Alongside the ASCII tables the bench writes, into $PC_BENCH_OUT
+ * (default bench_out/):
  *
  *   BENCH_fleet_telemetry.{json,csv}      scalar report + registry
  *   BENCH_fleet_telemetry_series.csv      fleet time series
  *   BENCH_fleet_telemetry_anomalies.csv   drift report
  *
  * All three are byte-deterministic: a second run must produce
- * identical files (CI diffs them).
+ * identical files at any thread count (CI diffs a --threads 4 run
+ * against a default run). Wall-clock timings and the per-thread
+ * scaling table are printed to the console only — they depend on the
+ * host's core count and never land in a gated artifact.
  *
  * The world is the small workbench (the full 60k-user community only
  * changes the cache contents, not what the telemetry path exercises);
  * 1000 devices x 6 months is ~420k served queries.
  */
 
+#include <chrono>
 #include <fstream>
+#include <memory>
+#include <sstream>
+#include <vector>
 
 #include "bench_common.h"
 #include "harness/fleet.h"
@@ -31,11 +45,102 @@
 using namespace pc;
 using namespace pc::harness;
 
-int
-main()
+namespace {
+
+/** One fleet run plus everything the gates compare. */
+struct FleetPoint
 {
+    unsigned threads = 0;
+    double wallMs = 0.0;
+    FleetRunResult run;
+    std::unique_ptr<obs::FleetCollector> collector;
+    std::vector<obs::Anomaly> anomalies;
+    bool outageFlagged = false;
+    std::string seriesCsv;
+    std::string anomaliesCsv;
+    std::string reportJson;
+};
+
+FleetPoint
+runAt(const Workbench &wb, FleetRunConfig cfg, unsigned threads)
+{
+    FleetPoint p;
+    p.threads = threads;
+    cfg.threads = threads;
+
+    obs::FleetConfig fc;
+    fc.windowWidth = workload::kMonth;
+    p.collector = std::make_unique<obs::FleetCollector>(fc);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    p.run = runFleet(wb, cfg, *p.collector);
+    p.wallMs = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+
+    obs::DriftConfig dc;
+    dc.warmup = 2;
+    p.anomalies = p.collector->scanAnomalies(dc);
+    for (const auto &a : p.anomalies) {
+        if (a.windowStart ==
+                SimTime(cfg.outageStartMonth) * workload::kMonth &&
+            a.series == "fleet.degraded_rate")
+            p.outageFlagged = true;
+    }
+
+    {
+        std::ostringstream os;
+        p.collector->writeSeriesCsv(os);
+        p.seriesCsv = os.str();
+    }
+    {
+        std::ostringstream os;
+        obs::FleetCollector::writeAnomaliesCsv(os, p.anomalies);
+        p.anomaliesCsv = os.str();
+    }
+
+    return p;
+}
+
+/**
+ * The gated report of one fleet point. Built identically for every
+ * thread count (no thread counts, no wall times), so the sweep's
+ * byte-identity check covers the BENCH JSON too.
+ */
+obs::BenchReport
+buildReport(const FleetPoint &p, const FleetRunConfig &cfg)
+{
+    const double hitRate =
+        p.run.queries ? double(p.run.cacheHits) / double(p.run.queries)
+                      : 0.0;
+    obs::BenchReport report("fleet_telemetry",
+                            "Fleet telemetry — 1000-device roll-up");
+    report.note("devices", strformat("%zu", cfg.devices));
+    report.note("months", strformat("%u", cfg.months));
+    report.note("outage_month", strformat("%u", cfg.outageStartMonth));
+    report.metric("queries", double(p.run.queries));
+    report.metric("hit_rate", hitRate);
+    report.metric("degraded_serves", double(p.run.degradedServes));
+    report.metric("anomalies", double(p.anomalies.size()));
+    report.metric("outage_flagged", p.outageFlagged ? 1.0 : 0.0);
+    for (const auto &[cls, n] : p.collector->classDevices())
+        report.metric("devices." + cls, double(n));
+    if (const auto *h = p.collector->fleetRegistry().findHistogram(
+            "device.latency_ms.pocket"))
+        report.quantiles(*h, "ms");
+    report.attachSnapshot(p.collector->fleetRegistry().snapshot());
+    return report;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const unsigned maxThreads = pc::bench::threadsKnob(argc, argv, 1);
     bench::banner("Fleet telemetry",
-                  "1000 devices, 6 months, injected month-3 outage");
+                  "1000 devices, 6 months, injected month-3 outage, "
+                  "1.." + strformat("%u", maxThreads) + " threads");
     Workbench wb(smallWorkbenchConfig());
 
     FleetRunConfig cfg;
@@ -44,36 +149,51 @@ main()
     cfg.outageStartMonth = 3;
     cfg.outageMonths = 1;
 
-    obs::FleetConfig fc;
-    fc.windowWidth = workload::kMonth;
-    obs::FleetCollector collector(fc);
-    const FleetRunResult run = runFleet(wb, cfg, collector);
+    std::vector<unsigned> sweep;
+    for (unsigned t = 1; t <= maxThreads; t *= 2)
+        sweep.push_back(t);
+    if (sweep.back() != maxThreads)
+        sweep.push_back(maxThreads);
+
+    // The 1-thread point is the byte reference every other point (and
+    // the committed baselines) must reproduce.
+    std::vector<FleetPoint> points;
+    for (unsigned threads : sweep) {
+        points.push_back(runAt(wb, cfg, threads));
+        std::ostringstream os;
+        buildReport(points.back(), cfg).writeJson(os);
+        points.back().reportJson = os.str();
+    }
+    const FleetPoint &ref = points.front();
 
     const double hitRate =
-        run.queries ? double(run.cacheHits) / double(run.queries) : 0.0;
+        ref.run.queries
+            ? double(ref.run.cacheHits) / double(ref.run.queries)
+            : 0.0;
     AsciiTable t("Fleet totals");
     t.header({"metric", "value"});
-    t.row({"devices", strformat("%zu", run.devices)});
-    t.row({"queries", strformat("%llu",
-                                (unsigned long long)run.queries)});
+    t.row({"devices", strformat("%zu", ref.run.devices)});
+    t.row({"queries",
+           strformat("%llu", (unsigned long long)ref.run.queries)});
     t.row({"cache hit rate", bench::pct(hitRate)});
     t.row({"degraded serves",
-           strformat("%llu", (unsigned long long)run.degradedServes)});
+           strformat("%llu",
+                     (unsigned long long)ref.run.degradedServes)});
     t.print();
 
     AsciiTable classes("Devices per user class");
     classes.header({"class", "devices"});
-    for (const auto &[cls, n] : collector.classDevices())
+    for (const auto &[cls, n] : ref.collector->classDevices())
         classes.row({cls, strformat("%zu", n)});
     classes.print();
 
     // Monthly fleet series: the outage month must be visible as a
     // degraded-serve spike in the rolled-up table.
-    const auto queries = collector.fleetSeries().counterSeries(
-        "device.queries");
-    const auto hits = collector.fleetSeries().counterSeries(
-        "device.cache_hits");
-    const auto degraded = collector.fleetSeries().counterSeries(
+    const auto queries =
+        ref.collector->fleetSeries().counterSeries("device.queries");
+    const auto hits =
+        ref.collector->fleetSeries().counterSeries("device.cache_hits");
+    const auto degraded = ref.collector->fleetSeries().counterSeries(
         "device.degraded.serves");
     AsciiTable monthly("Fleet by month");
     monthly.header({"month", "queries", "hit rate", "degraded serves"});
@@ -88,11 +208,10 @@ main()
 
     obs::DriftConfig dc;
     dc.warmup = 2;
-    const auto anomalies = collector.scanAnomalies(dc);
     AsciiTable at("Top anomalies (EWMA z-score)");
     at.header({"series", "month", "value", "expected", "z"});
     std::size_t shown = 0;
-    for (const auto &a : anomalies) {
+    for (const auto &a : ref.anomalies) {
         if (++shown > 8)
             break;
         at.row({a.series,
@@ -104,40 +223,40 @@ main()
     }
     at.print();
 
-    bool outageFlagged = false;
-    for (const auto &a : anomalies) {
-        if (a.windowStart == SimTime(cfg.outageStartMonth) *
-                                 workload::kMonth &&
-            a.series == "fleet.degraded_rate")
-            outageFlagged = true;
-    }
     std::printf("\ninjected outage (month %u) %s by the drift scan\n",
                 cfg.outageStartMonth,
-                outageFlagged ? "FLAGGED" : "** NOT FLAGGED **");
+                ref.outageFlagged ? "FLAGGED" : "** NOT FLAGGED **");
 
-    obs::BenchReport report("fleet_telemetry",
-                            "Fleet telemetry — 1000-device roll-up");
-    report.note("devices", strformat("%zu", cfg.devices));
-    report.note("months", strformat("%u", cfg.months));
-    report.note("outage_month", strformat("%u", cfg.outageStartMonth));
-    report.metric("queries", double(run.queries));
-    report.metric("hit_rate", hitRate);
-    report.metric("degraded_serves", double(run.degradedServes));
-    report.metric("anomalies", double(anomalies.size()));
-    report.metric("outage_flagged", outageFlagged ? 1.0 : 0.0);
-    for (const auto &[cls, n] : collector.classDevices())
-        report.metric("devices." + cls, double(n));
-    if (const auto *h = collector.fleetRegistry().findHistogram(
-            "device.latency_ms.pocket"))
-        report.quantiles(*h, "ms");
-    report.attachSnapshot(collector.fleetRegistry().snapshot());
-    bench::emitReport(report);
+    // Per-thread scaling: wall time only — console, never gated.
+    bool allIdentical = true;
+    AsciiTable scale("Fleet scaling (1000 devices x 6 months)");
+    scale.header(
+        {"threads", "wall ms", "devices/s", "speedup", "identical"});
+    for (const FleetPoint &p : points) {
+        const bool same = p.seriesCsv == ref.seriesCsv &&
+                          p.anomaliesCsv == ref.anomaliesCsv &&
+                          p.reportJson == ref.reportJson;
+        allIdentical = allIdentical && same;
+        scale.row({strformat("%u", p.threads),
+                   strformat("%.1f", p.wallMs),
+                   strformat("%.3g",
+                             double(cfg.devices) / (p.wallMs / 1e3)),
+                   bench::times(ref.wallMs / p.wallMs),
+                   p.threads == 1 ? "ref" : (same ? "yes" : "** NO **")});
+    }
+    scale.print();
+    std::printf("\nbyte-identity across the sweep: %s\n",
+                allIdentical ? "OK" : "** FAILED **");
 
+    // Emit the gated artifacts from the reference point (every other
+    // point just proved it carries the same bytes).
+    bench::emitReport(buildReport(ref, cfg));
     const std::string dir = obs::BenchReport::outputDir();
     {
-        const std::string path = dir + "/BENCH_fleet_telemetry_series.csv";
+        const std::string path =
+            dir + "/BENCH_fleet_telemetry_series.csv";
         std::ofstream f(path);
-        collector.writeSeriesCsv(f);
+        f << ref.seriesCsv;
         if (f)
             std::printf("wrote %s\n", path.c_str());
     }
@@ -145,9 +264,12 @@ main()
         const std::string path =
             dir + "/BENCH_fleet_telemetry_anomalies.csv";
         std::ofstream f(path);
-        obs::FleetCollector::writeAnomaliesCsv(f, anomalies);
+        f << ref.anomaliesCsv;
         if (f)
             std::printf("wrote %s\n", path.c_str());
     }
-    return outageFlagged ? 0 : 1;
+
+    if (!allIdentical)
+        return 2;
+    return ref.outageFlagged ? 0 : 1;
 }

@@ -1,5 +1,12 @@
 #include "harness/fleet.h"
 
+#include <map>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "server/work_queue.h"
 #include "util/logging.h"
 
 namespace pc::harness {
@@ -27,6 +34,120 @@ defaultOutageFaults()
     return f;
 }
 
+namespace {
+
+/**
+ * Everything one simulated device hands to the in-order fold: the
+ * window-boundary snapshots the collector diffs, the final registry
+ * it merges, and the deferred accounting of any cloud syncs. Move-only
+ * (the registry), which the WorkQueue supports.
+ */
+struct DeviceTelemetry
+{
+    std::size_t index = 0;
+    std::string classKey;
+    std::vector<std::pair<SimTime, obs::MetricsSnapshot>> windows;
+    std::unique_ptr<obs::MetricRegistry> registry;
+    /** One entry per attempted monthly sync, month order. */
+    std::vector<server::CloudUpdateService::SyncAccounting> syncs;
+};
+
+/**
+ * Simulate device `i` in a private world. Reads the workbench and the
+ * cloud service (if any) strictly read-only, so any number of these
+ * may run concurrently.
+ */
+DeviceTelemetry
+simulateDevice(const Workbench &wb, const FleetRunConfig &cfg,
+               std::size_t i, const workload::UserProfile &profile)
+{
+    DeviceTelemetry out;
+    out.index = i;
+    out.classKey = userClassKey(profile.cls);
+    out.registry = std::make_unique<obs::MetricRegistry>();
+
+    device::MobileDevice dev(wb.universe(), cfg.device);
+    if (!cfg.cloud)
+        dev.installCommunityCache(wb.communityCache());
+    dev.attachMetrics(out.registry.get());
+
+    // Per-device derived seeds: device index decorrelates streams
+    // and fault schedules, the run seed shifts the whole fleet.
+    const u64 devSeed = cfg.seed * 1000003ull + u64(i) * 7919ull;
+    workload::UserStream stream(wb.universe(), profile, devSeed);
+    fault::FaultConfig faultCfg = cfg.outageFaults;
+    faultCfg.seed = devSeed + 1;
+    fault::FaultPlan faults(faultCfg);
+
+    for (u32 m = 0; m < cfg.months; ++m) {
+        const SimTime windowStart = SimTime(m) * workload::kMonth;
+        const bool inOutage = cfg.outageMonths > 0 &&
+                              m >= cfg.outageStartMonth &&
+                              m < cfg.outageStartMonth + cfg.outageMonths;
+        dev.attachFaults(inOutage ? &faults : nullptr);
+
+        // Monthly model sync through the cloud service, under the
+        // month's fault plan: first contact is a full install, later
+        // months download deltas. A failed sync (outage) leaves the
+        // device serving from its stale model. The sync is detached:
+        // the service registry is replayed by the fold, not written
+        // here, so concurrent workers never share mutable state.
+        if (cfg.cloud &&
+            cfg.cloud->latestVersion() > dev.communityVersion()) {
+            server::CloudUpdateService::SyncAccounting acct;
+            cfg.cloud->syncDetached(dev, &acct);
+            out.syncs.push_back(acct);
+        }
+
+        stream.setEpoch(m);
+        for (const auto &ev : stream.month(windowStart)) {
+            if (ev.time > dev.now())
+                dev.advanceTime(ev.time - dev.now());
+            dev.serveQuery(ev.pair, device::ServePath::PocketSearch);
+        }
+
+        // Coverage is back after an outage month: drain the misses
+        // the device queued while the cloud was dark.
+        if (!inOutage && !dev.missQueue().empty())
+            dev.syncMissQueue();
+
+        out.windows.emplace_back(windowStart, out.registry->snapshot());
+    }
+    dev.attachFaults(nullptr);
+    return out;
+}
+
+/**
+ * Fold one device's telemetry into the collector, the cloud registry
+ * and the scalar result. Must be called in device-index order — the
+ * whole byte-identity argument rests on it.
+ */
+void
+foldDevice(DeviceTelemetry &&t, const FleetRunConfig &cfg,
+           obs::FleetCollector &collector, FleetRunResult &result)
+{
+    collector.beginDevice(t.classKey);
+    for (const auto &[windowStart, snap] : t.windows)
+        collector.collect(windowStart, snap);
+    collector.endDevice(*t.registry);
+
+    for (const auto &acct : t.syncs) {
+        cfg.cloud->accountSync(acct);
+        if (acct.ok)
+            ++result.cloudSyncs;
+        else
+            ++result.cloudSyncFailures;
+    }
+
+    const auto snap = t.registry->snapshot();
+    result.queries += snap.counterValue("device.queries");
+    result.cacheHits += snap.counterValue("device.cache_hits");
+    result.degradedServes += snap.counterValue("device.degraded.serves");
+    ++result.devices;
+}
+
+} // namespace
+
 FleetRunResult
 runFleet(const Workbench &wb, const FleetRunConfig &cfg,
          obs::FleetCollector &collector)
@@ -37,70 +158,63 @@ runFleet(const Workbench &wb, const FleetRunConfig &cfg,
     workload::PopulationSampler sampler(wb.population());
     const auto profiles = sampler.samplePopulation(cfg.devices);
 
+    unsigned threads =
+        cfg.threads ? cfg.threads : std::thread::hardware_concurrency();
+    if (threads == 0)
+        threads = 1;
+    if (std::size_t(threads) > cfg.devices)
+        threads = unsigned(cfg.devices);
+
     FleetRunResult result;
-    for (std::size_t i = 0; i < profiles.size(); ++i) {
-        const workload::UserProfile &profile = profiles[i];
+    if (threads == 1) {
+        // In-place: one device world alive at a time.
+        for (std::size_t i = 0; i < profiles.size(); ++i)
+            foldDevice(simulateDevice(wb, cfg, i, profiles[i]), cfg,
+                       collector, result);
+    } else {
+        // Device indices out through one bounded queue, telemetry back
+        // through another. The results queue is small on purpose —
+        // backpressure keeps fast workers from piling up telemetry the
+        // in-order fold is not ready for; the fold drains continuously
+        // (stashing out-of-order arrivals), so workers never deadlock
+        // against a full queue.
+        server::WorkQueue<std::size_t> tasks(cfg.devices);
+        for (std::size_t i = 0; i < cfg.devices; ++i)
+            tasks.push(i);
+        tasks.close();
 
-        device::MobileDevice dev(wb.universe(), cfg.device);
-        if (!cfg.cloud)
-            dev.installCommunityCache(wb.communityCache());
-        obs::MetricRegistry reg;
-        dev.attachMetrics(&reg);
-
-        // Per-device derived seeds: device index decorrelates streams
-        // and fault schedules, the run seed shifts the whole fleet.
-        const u64 devSeed = cfg.seed * 1000003ull + u64(i) * 7919ull;
-        workload::UserStream stream(wb.universe(), profile, devSeed);
-        fault::FaultConfig faultCfg = cfg.outageFaults;
-        faultCfg.seed = devSeed + 1;
-        fault::FaultPlan faults(faultCfg);
-
-        collector.beginDevice(userClassKey(profile.cls));
-        for (u32 m = 0; m < cfg.months; ++m) {
-            const SimTime windowStart = SimTime(m) * workload::kMonth;
-            const bool inOutage = cfg.outageMonths > 0 &&
-                                  m >= cfg.outageStartMonth &&
-                                  m < cfg.outageStartMonth +
-                                          cfg.outageMonths;
-            dev.attachFaults(inOutage ? &faults : nullptr);
-
-            // Monthly model sync through the cloud service, under the
-            // month's fault plan: first contact is a full install,
-            // later months download deltas. A failed sync (outage)
-            // leaves the device serving from its stale model.
-            if (cfg.cloud &&
-                cfg.cloud->latestVersion() > dev.communityVersion()) {
-                const auto sres = cfg.cloud->syncDevice(dev);
-                if (sres.ok)
-                    ++result.cloudSyncs;
-                else
-                    ++result.cloudSyncFailures;
-            }
-
-            stream.setEpoch(m);
-            for (const auto &ev : stream.month(windowStart)) {
-                if (ev.time > dev.now())
-                    dev.advanceTime(ev.time - dev.now());
-                dev.serveQuery(ev.pair, device::ServePath::PocketSearch);
-            }
-
-            // Coverage is back after an outage month: drain the
-            // misses the device queued while the cloud was dark.
-            if (!inOutage && !dev.missQueue().empty())
-                dev.syncMissQueue();
-
-            collector.collect(windowStart, reg);
+        server::WorkQueue<DeviceTelemetry> results(2 * threads);
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned w = 0; w < threads; ++w) {
+            pool.emplace_back([&] {
+                std::size_t i = 0;
+                while (tasks.pop(i))
+                    results.push(
+                        simulateDevice(wb, cfg, i, profiles[i]));
+            });
         }
-        dev.attachFaults(nullptr);
-        collector.endDevice(reg);
 
-        const auto snap = reg.snapshot();
-        result.queries += snap.counterValue("device.queries");
-        result.cacheHits += snap.counterValue("device.cache_hits");
-        result.degradedServes +=
-            snap.counterValue("device.degraded.serves");
-        ++result.devices;
+        std::map<std::size_t, DeviceTelemetry> pending;
+        std::size_t next = 0;
+        while (next < cfg.devices) {
+            DeviceTelemetry t;
+            const bool got = results.pop(t);
+            pc_assert(got, "runFleet: results queue closed early");
+            pending.emplace(t.index, std::move(t));
+            for (auto it = pending.find(next); it != pending.end();
+                 it = pending.find(next)) {
+                foldDevice(std::move(it->second), cfg, collector,
+                           result);
+                pending.erase(it);
+                ++next;
+            }
+        }
+        results.close();
+        for (auto &th : pool)
+            th.join();
     }
+
     if (cfg.cloud)
         collector.mergeCloud(cfg.cloud->metrics());
     return result;

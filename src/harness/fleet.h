@@ -7,13 +7,31 @@
  * plan for an injected mid-run outage episode — and reduces them
  * through a FleetCollector into per-class and fleet-wide registries,
  * windowed time series (one window per simulated month) and an
- * anomaly scan. Devices run sequentially so only one device's world
- * is alive at a time; a thousand-device run costs one device of
- * memory plus the collector's bounded series.
+ * anomaly scan.
+ *
+ * Parallelism: device indices are sharded across a pool of
+ * `FleetRunConfig::threads` workers over a bounded server::WorkQueue.
+ * Each worker simulates whole devices in a private world (device,
+ * stream, fault plan, registry) and hands back per-device telemetry:
+ * the per-window registry snapshots, the final registry, and — when a
+ * cloud service is attached — the deferred accounting of its monthly
+ * syncs (the sync itself runs against the service read-only, see
+ * CloudUpdateService::syncDetached). The reducing thread folds those
+ * results in strict device-index order through the one FleetCollector
+ * and replays the sync accounting in the same order, so every
+ * collector/registry operation happens in exactly the sequence the
+ * sequential run produces. The fleet snapshot, per-class snapshots,
+ * series CSVs and anomaly scan are therefore byte-identical at every
+ * thread count (tested over a threads x devices x faults x cloud
+ * grid). threads == 1 runs devices in place, so only one device's
+ * world is alive at a time; a thousand-device run costs one device of
+ * memory plus the collector's bounded series. Parallel runs keep at
+ * most the in-flight results (bounded queue) plus whatever the
+ * in-order fold is still waiting on.
  *
  * Determinism: every device's stream/fault seeds derive from the run
  * seed and the device index, so a fixed FleetRunConfig reproduces the
- * same fleet byte for byte.
+ * same fleet byte for byte — at any thread count.
  */
 
 #ifndef PC_HARNESS_FLEET_H
@@ -40,6 +58,14 @@ struct FleetRunConfig
     std::size_t devices = 100; ///< Simulated handsets.
     u32 months = 6;            ///< Simulated months per device.
     u64 seed = 2011;           ///< Run seed (streams + faults derive).
+
+    /**
+     * Simulation worker threads. 1 (the default) simulates devices in
+     * place on the calling thread; 0 means "one per hardware thread".
+     * Output bytes do not depend on this knob — only wall time does.
+     * Benches wire it to --threads / PC_THREADS (bench::threadsKnob).
+     */
+    unsigned threads = 1;
 
     /**
      * Outage episode: months [outageStartMonth, outageStartMonth +

@@ -78,8 +78,13 @@ FleetCollector::beginDevice(const std::string &userClass)
 void
 FleetCollector::collect(SimTime windowStart, const MetricRegistry &reg)
 {
+    collect(windowStart, reg.snapshot());
+}
+
+void
+FleetCollector::collect(SimTime windowStart, const MetricsSnapshot &snap)
+{
     pc_assert(inDevice_, "FleetCollector: collect outside a device");
-    const MetricsSnapshot snap = reg.snapshot();
     recordDelta(windowStart, snap, devicePrev_);
     devicePrev_ = snap;
 }

@@ -25,12 +25,24 @@
  *    z-scores). An injected mid-run radio outage shows up here as a
  *    hit-rate/energy anomaly in exactly the outage windows.
  *
- * The protocol is sequential by design — the harness simulates one
- * device at a time, so only one device registry is alive at once:
+ * The protocol is sequential by design — one device is folded at a
+ * time, so the collector never holds more than one open device:
  *
  *     collector.beginDevice("heavy");
  *     for each window: ... simulate ...; collector.collect(t, reg);
  *     collector.endDevice(reg);
+ *
+ * The parallel fleet harness keeps this protocol: worker threads
+ * simulate devices concurrently, but each worker only *captures* its
+ * device's per-window MetricsSnapshots plus its final registry; the
+ * reducing thread then replays them through beginDevice /
+ * collect(t, snapshot) / endDevice in device-index order. Because the
+ * collector sees the exact operation sequence of the sequential run,
+ * its output is byte-identical at every thread count — which is why
+ * there is deliberately NO collector-merge API: folding per-worker
+ * collectors would go through RunningStat::merge / sketch merges,
+ * which are associative only up to floating-point rounding and so
+ * cannot honor a byte-exact gate.
  *
  * Everything is deterministic: map-ordered iteration, deterministic
  * sketch merges, %.10g CSV formatting.
@@ -101,6 +113,13 @@ class FleetCollector
      * this device). Call once per window, boundaries ascending.
      */
     void collect(SimTime windowStart, const MetricRegistry &reg);
+
+    /**
+     * collect() from a snapshot captured earlier (the parallel
+     * harness's replay fold). collect(t, reg) is exactly
+     * collect(t, reg.snapshot()).
+     */
+    void collect(SimTime windowStart, const MetricsSnapshot &snap);
 
     /** Finish the current device: fold its registry into the fleet. */
     void endDevice(const MetricRegistry &reg);

@@ -33,7 +33,13 @@ JsonValue::strOr(std::string_view key, const std::string &fallback) const
     return v && v->isString() ? v->str() : fallback;
 }
 
-/** Recursive-descent parser over a string_view cursor. */
+/**
+ * Recursive-descent parser over a string_view cursor. Nesting is
+ * capped at kMaxDepth: the writer emits at most a handful of levels,
+ * and the cap turns adversarially deep input (a corrupt or malicious
+ * artifact full of '[') into a clean parse error instead of stack
+ * exhaustion — bench_diff must never be wedged by a bad file.
+ */
 class JsonParser
 {
   public:
@@ -55,6 +61,9 @@ class JsonParser
     }
 
   private:
+    /** Deepest container nesting accepted (writer output uses < 10). */
+    static constexpr int kMaxDepth = 64;
+
     bool
     fail(const std::string &what)
     {
@@ -99,9 +108,15 @@ class JsonParser
             return fail("unexpected end of input");
         switch (text_[pos_]) {
           case '{':
-            return parseObject(out);
-          case '[':
-            return parseArray(out);
+          case '[': {
+            if (depth_ >= kMaxDepth)
+                return fail("nesting too deep");
+            ++depth_;
+            const bool ok = text_[pos_] == '{' ? parseObject(out)
+                                               : parseArray(out);
+            --depth_;
+            return ok;
+          }
           case '"':
             out.kind_ = JsonValue::Kind::String;
             return parseString(out.string_);
@@ -263,6 +278,7 @@ class JsonParser
 
     std::string_view text_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
     std::string *error_;
 };
 

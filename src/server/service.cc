@@ -59,28 +59,50 @@ device::MobileDevice::CommunitySyncResult
 CloudUpdateService::syncDevice(device::MobileDevice &dev,
                                u64 target_version, device::ServePath path)
 {
+    SyncAccounting acct;
+    const auto res = syncDetached(dev, &acct, target_version, path);
+    accountSync(acct);
+    return res;
+}
+
+device::MobileDevice::CommunitySyncResult
+CloudUpdateService::syncDetached(device::MobileDevice &dev,
+                                 SyncAccounting *acct, u64 target_version,
+                                 device::ServePath path) const
+{
     if (target_version == 0)
         target_version = latest_;
     const core::CommunityDelta delta =
         makeDelta(dev.communityVersion(), target_version);
     const auto res = dev.syncCommunityUpdate(delta, path);
-    if (res.ok) {
+    if (acct) {
+        acct->ok = res.ok;
+        acct->deltaBytes = res.deltaBytes;
+        acct->adds = delta.adds.size();
+        acct->evicts = delta.evicts.size();
+        acct->reranks = delta.reranks.size();
+        acct->fullInstall = delta.fromVersion == 0;
+    }
+    return res;
+}
+
+void
+CloudUpdateService::accountSync(const SyncAccounting &acct)
+{
+    if (acct.ok) {
         registry_.counter("server.syncs.ok").bump();
         registry_.counter("server.deltas.served").bump();
-        registry_.counter("server.deltas.adds").bump(delta.adds.size());
-        registry_.counter("server.deltas.evicts")
-            .bump(delta.evicts.size());
-        registry_.counter("server.deltas.reranks")
-            .bump(delta.reranks.size());
-        registry_.counter("server.deltas.bytes").bump(res.deltaBytes);
+        registry_.counter("server.deltas.adds").bump(acct.adds);
+        registry_.counter("server.deltas.evicts").bump(acct.evicts);
+        registry_.counter("server.deltas.reranks").bump(acct.reranks);
+        registry_.counter("server.deltas.bytes").bump(acct.deltaBytes);
         registry_.histogram("server.delta.bytes")
-            .observe(double(res.deltaBytes));
-        if (delta.fromVersion == 0)
+            .observe(double(acct.deltaBytes));
+        if (acct.fullInstall)
             registry_.counter("server.deltas.full_installs").bump();
     } else {
         registry_.counter("server.syncs.failed").bump();
     }
-    return res;
 }
 
 void

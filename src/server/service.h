@@ -102,6 +102,45 @@ class CloudUpdateService
     syncDevice(device::MobileDevice &dev, u64 target_version = 0,
                device::ServePath path = device::ServePath::ThreeG);
 
+    /**
+     * What one sync did, for deferred registry accounting. Captured by
+     * syncDetached(), replayed by accountSync().
+     */
+    struct SyncAccounting
+    {
+        bool ok = false;         ///< Delta downloaded and applied.
+        Bytes deltaBytes = 0;    ///< Downlink payload on success.
+        std::size_t adds = 0;    ///< Delta op counts (success only).
+        std::size_t evicts = 0;
+        std::size_t reranks = 0;
+        bool fullInstall = false; ///< Delta was a from-v0 install.
+    };
+
+    /**
+     * The read-only half of syncDevice(): generate the delta and let
+     * the device download/apply it, but account nothing — the outcome
+     * lands in `*acct` for a later accountSync(). Const and touches no
+     * service state, so any number of workers may sync their (private)
+     * devices concurrently, as long as no ingest() runs at the same
+     * time. The parallel fleet harness uses this plus an index-ordered
+     * accountSync() replay to keep the service registry byte-identical
+     * to a sequential run.
+     */
+    device::MobileDevice::CommunitySyncResult
+    syncDetached(device::MobileDevice &dev, SyncAccounting *acct,
+                 u64 target_version = 0,
+                 device::ServePath path = device::ServePath::ThreeG) const;
+
+    /**
+     * Fold one detached sync's outcome into the service metrics.
+     * syncDevice() == syncDetached() + accountSync(); replaying
+     * accountings in the order the sequential run would have produced
+     * them reproduces the registry byte for byte (counter sums are
+     * order-free; the delta-bytes histogram sees the same observation
+     * sequence). Not thread-safe — call from the reducing thread only.
+     */
+    void accountSync(const SyncAccounting &acct);
+
     /** Cloud-side metrics ("server.*"). */
     obs::MetricRegistry &metrics() { return registry_; }
     /** Cloud-side metrics ("server.*"). */

@@ -2,13 +2,18 @@
  * @file
  * Bounded multi-producer/multi-consumer work queue with backpressure.
  *
- * The cloud-side ingest pipeline moves batches of log records from a
- * producer (the log reader) to a pool of aggregation workers. The
- * queue is deliberately *bounded*: a producer that outruns its
- * consumers blocks in push() until a slot frees up, so a month of
- * logs never balloons into a month of queued batches — the same
- * backpressure discipline a real ingestion service needs to survive
- * its own traffic spikes.
+ * Shared concurrency primitive of the worker-pool pipelines: the
+ * cloud-side ingest moves batches of log records from a producer (the
+ * log reader) to a pool of aggregation workers, and the parallel
+ * fleet harness moves device indices out to simulation workers and
+ * per-device telemetry back to the reducing thread. The queue is
+ * deliberately *bounded*: a producer that outruns its consumers
+ * blocks in push() until a slot frees up, so a month of logs never
+ * balloons into a month of queued batches — the same backpressure
+ * discipline a real ingestion service needs to survive its own
+ * traffic spikes. Items only need to be movable, so move-only
+ * payloads (telemetry carrying a MetricRegistry) flow through without
+ * copies.
  *
  * Concurrency contract (ThreadSanitizer-checked in CI):
  *  - any number of producers and consumers may call push()/pop()
@@ -108,6 +113,25 @@ class WorkQueue
         out = std::move(items_.front());
         items_.pop_front();
         lk.unlock();
+        notFull_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue only if an item is available right now (no blocking).
+     * @return False when empty (closed or not) — poll closed() to
+     * tell "momentarily empty" from "done", as pop() does internally.
+     */
+    bool
+    tryPop(T &out)
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (items_.empty())
+                return false;
+            out = std::move(items_.front());
+            items_.pop_front();
+        }
         notFull_.notify_one();
         return true;
     }

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Concurrency soak: the shared WorkQueue hammered from many producers
+ * and consumers (move-only payloads, mid-run close, watermark
+ * assertions) plus a parallel fleet run — the payloads of the
+ * ThreadSanitizer CI job, next to work_queue_test's functional
+ * coverage. Labelled `slow`: the soak loops are sized to give tsan
+ * real interleavings to chew on, not to finish instantly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "harness/fleet.h"
+#include "obs/fleet.h"
+#include "server/work_queue.h"
+
+namespace pc::server {
+namespace {
+
+TEST(ConcurrencySoak, MpmcMoveOnlyPayloadsDeliverExactlyOnce)
+{
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 4;
+    constexpr int kPerProducer = 5000;
+    WorkQueue<std::unique_ptr<int>> q(16);
+
+    std::mutex mu;
+    std::set<int> seen;
+    std::atomic<int> received{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&] {
+            std::unique_ptr<int> v;
+            std::set<int> local;
+            while (q.pop(v)) {
+                ASSERT_NE(v, nullptr);
+                local.insert(*v);
+            }
+            std::lock_guard<std::mutex> lk(mu);
+            for (int x : local) {
+                ASSERT_TRUE(seen.insert(x).second)
+                    << "item " << x << " delivered twice";
+            }
+            received.fetch_add(int(local.size()));
+        });
+    }
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                ASSERT_TRUE(q.push(std::make_unique<int>(
+                    p * kPerProducer + i)));
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    q.close();
+    for (auto &t : consumers)
+        t.join();
+
+    EXPECT_EQ(received.load(), kProducers * kPerProducer);
+    EXPECT_EQ(seen.size(), std::size_t(kProducers * kPerProducer));
+    EXPECT_LE(q.maxDepth(), q.capacity())
+        << "backpressure must bound the depth watermark";
+    EXPECT_GT(q.maxDepth(), 0u);
+    EXPECT_GT(q.meanDepth(), 0.0);
+    EXPECT_LE(q.meanDepth(), double(q.capacity()));
+    EXPECT_EQ(q.pushes(), u64(kProducers) * kPerProducer);
+}
+
+TEST(ConcurrencySoak, MidRunCloseStopsProducersAndDrainsConsumers)
+{
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 3;
+    WorkQueue<int> q(8);
+
+    std::atomic<long long> pushed{0};
+    std::atomic<long long> popped{0};
+    std::atomic<bool> stop{false};
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&] {
+            int i = 0;
+            // push() returning false is the close signal; tryPush
+            // exercises the non-blocking edge under contention.
+            while (!stop.load()) {
+                if ((i & 7) == 0 ? q.tryPush(i) : q.push(i))
+                    pushed.fetch_add(1);
+                else if (q.closed())
+                    return;
+                ++i;
+            }
+        });
+    }
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&] {
+            int v;
+            while (q.pop(v))
+                popped.fetch_add(1);
+        });
+    }
+
+    // Let the pipeline churn, then slam the door mid-flight.
+    while (pushed.load() < 20000)
+        std::this_thread::yield();
+    q.close();
+    stop.store(true);
+    for (auto &t : producers)
+        t.join();
+    for (auto &t : consumers)
+        t.join();
+
+    // Consumers drained exactly what producers managed to push.
+    EXPECT_EQ(popped.load(), pushed.load());
+    EXPECT_FALSE(q.push(1)) << "closed queue must refuse new work";
+    EXPECT_FALSE(q.tryPush(1));
+    int v;
+    EXPECT_FALSE(q.tryPop(v)) << "closed and drained";
+    EXPECT_LE(q.maxDepth(), q.capacity());
+}
+
+TEST(ConcurrencySoak, TryPopInterleavesWithBlockingPop)
+{
+    WorkQueue<int> q(4);
+    std::atomic<int> got{0};
+    std::thread poller([&] {
+        int v;
+        for (;;) {
+            if (q.tryPop(v))
+                got.fetch_add(1);
+            else if (q.closed())
+                return;
+            else
+                std::this_thread::yield();
+        }
+    });
+    std::thread blocker([&] {
+        int v;
+        while (q.pop(v))
+            got.fetch_add(1);
+    });
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_TRUE(q.push(i));
+    q.close();
+    poller.join();
+    blocker.join();
+    EXPECT_EQ(got.load(), 10000);
+}
+
+} // namespace
+} // namespace pc::server
+
+namespace pc::harness {
+namespace {
+
+/**
+ * The parallel fleet under tsan: worker pool + in-order fold, with
+ * byte-equality against the sequential run as the functional check.
+ * Small world — the point is the interleavings, not the scale.
+ */
+TEST(ConcurrencySoak, ParallelFleetRunsRaceFree)
+{
+    static const Workbench wb(smallWorkbenchConfig());
+
+    const auto runOnce = [&](unsigned threads) {
+        FleetRunConfig cfg;
+        cfg.devices = 12;
+        cfg.months = 2;
+        cfg.outageStartMonth = 1;
+        cfg.outageMonths = 1;
+        cfg.threads = threads;
+        obs::FleetConfig fc;
+        fc.windowWidth = workload::kMonth;
+        obs::FleetCollector collector(fc);
+        const FleetRunResult r = runFleet(wb, cfg, collector);
+        std::ostringstream os;
+        collector.writeSeriesCsv(os);
+        return std::make_pair(r.queries, os.str());
+    };
+
+    const auto [seqQueries, seqCsv] = runOnce(1);
+    for (unsigned threads : {2u, 4u}) {
+        const auto [parQueries, parCsv] = runOnce(threads);
+        EXPECT_EQ(parQueries, seqQueries);
+        EXPECT_EQ(parCsv, seqCsv)
+            << "parallel fleet diverged at threads=" << threads;
+    }
+}
+
+} // namespace
+} // namespace pc::harness

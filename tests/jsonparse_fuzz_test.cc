@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Fuzz-style robustness of the obs JSON parser. bench_diff's whole
+ * job is reading BENCH_*.json artifacts back; a corrupt, truncated or
+ * adversarial file must produce a clean parse error (or a correct
+ * value, if the damage happened to preserve validity) — never a
+ * crash, a hang, or stack exhaustion. The corpus is a real
+ * BenchReport document (the same writer that produces the committed
+ * baselines), put through seeded deterministic truncation, byte
+ * mutation, splice and deep-nesting generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/jsonparse.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "util/rng.h"
+
+namespace pc::obs {
+namespace {
+
+/** A representative BENCH report, as the writer really emits it. */
+std::string
+corpusJson()
+{
+    MetricRegistry reg;
+    reg.counter("device.queries").bump(420000);
+    reg.counter("device.cache_hits").bump(273000);
+    reg.gauge("server.model.version").set(2.0);
+    auto &h = reg.histogram("device.latency_ms.pocket");
+    Rng rng(7);
+    for (int i = 0; i < 500; ++i)
+        h.observe(rng.uniform(20.0, 400.0));
+
+    BenchReport report("fuzz_corpus", "Fleet telemetry — fuzz corpus");
+    report.note("devices", "1000");
+    report.note("escape check", "quote \" slash \\ tab \t unicode \u00e9");
+    report.metric("queries", 420000.0);
+    report.metric("hit_rate", 0.65);
+    report.metric("nan_guard", -1.25e-9);
+    report.quantiles(h, "ms");
+    report.attachSnapshot(reg.snapshot());
+
+    std::ostringstream os;
+    report.writeJson(os);
+    return os.str();
+}
+
+/** Parse must terminate and either fail with a message or succeed. */
+void
+mustNotWedge(const std::string &input)
+{
+    JsonValue v;
+    std::string err;
+    const bool ok = parseJson(input, v, &err);
+    if (!ok) {
+        EXPECT_FALSE(err.empty()) << "failures must carry a message";
+    }
+}
+
+TEST(JsonFuzz, CorpusParsesAndRoundTripsKeyFacts)
+{
+    const std::string doc = corpusJson();
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson(doc, v, &err)) << err;
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.strOr("bench", ""), "fuzz_corpus");
+    const JsonValue *metrics = v.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_TRUE(metrics->isArray() || metrics->isObject());
+}
+
+TEST(JsonFuzz, EveryTruncationFailsCleanlyOrParses)
+{
+    const std::string doc = corpusJson();
+    ASSERT_GT(doc.size(), 100u);
+    // Every prefix, every suffix-trimmed middle chunk on a stride.
+    for (std::size_t n = 0; n < doc.size(); ++n)
+        mustNotWedge(doc.substr(0, n));
+    for (std::size_t n = 1; n < doc.size(); n += 7)
+        mustNotWedge(doc.substr(n));
+}
+
+TEST(JsonFuzz, SeededByteMutationsNeverCrash)
+{
+    const std::string doc = corpusJson();
+    Rng rng(2011);
+    for (int iter = 0; iter < 4000; ++iter) {
+        std::string mutated = doc;
+        // 1-8 byte substitutions, full byte range (controls, quotes,
+        // brackets, high bytes).
+        const int edits = 1 + int(rng.below(8));
+        for (int e = 0; e < edits; ++e)
+            mutated[rng.below(mutated.size())] =
+                char(u8(rng.below(256)));
+        mustNotWedge(mutated);
+    }
+}
+
+TEST(JsonFuzz, SeededSplicesAndDeletionsNeverCrash)
+{
+    const std::string doc = corpusJson();
+    Rng rng(4099);
+    for (int iter = 0; iter < 1000; ++iter) {
+        const std::size_t a = rng.below(doc.size());
+        const std::size_t b = a + rng.below(doc.size() - a);
+        std::string mutated;
+        switch (rng.below(3)) {
+          case 0: // delete [a, b)
+            mutated = doc.substr(0, a) + doc.substr(b);
+            break;
+          case 1: // duplicate [a, b) in place
+            mutated = doc.substr(0, b) + doc.substr(a);
+            break;
+          default: // splice two halves from different offsets
+            mutated = doc.substr(a) + doc.substr(0, b);
+            break;
+        }
+        mustNotWedge(mutated);
+    }
+}
+
+TEST(JsonFuzz, DeepNestingIsRejectedNotFatal)
+{
+    // Way past any real artifact: must be a parse error, not a stack
+    // overflow. (The writer emits < 10 levels; the parser caps at 64.)
+    for (const std::size_t depth :
+         {std::size_t(65), std::size_t(4096), std::size_t(200000)}) {
+        std::string arrays(depth, '[');
+        mustNotWedge(arrays); // unterminated as well as deep
+        std::string closed = arrays + std::string(depth, ']');
+        JsonValue v;
+        std::string err;
+        EXPECT_FALSE(parseJson(closed, v, &err))
+            << "depth " << depth << " must be rejected";
+        EXPECT_NE(err.find("nesting"), std::string::npos) << err;
+
+        std::string objects;
+        objects.reserve(depth * 6);
+        for (std::size_t i = 0; i < depth; ++i)
+            objects += "{\"k\":";
+        mustNotWedge(objects);
+    }
+}
+
+TEST(JsonFuzz, ShallowNestingStillParses)
+{
+    // The cap must not reject documents the writer can produce.
+    std::string doc = "1";
+    for (int i = 0; i < 20; ++i)
+        doc = "{\"k\":[" + doc + "]}";
+    JsonValue v;
+    std::string err;
+    EXPECT_TRUE(parseJson(doc, v, &err)) << err;
+}
+
+TEST(JsonFuzz, AdversarialScalarsFailCleanly)
+{
+    for (const char *input :
+         {"", " ", "\"", "\"\\", "\"\\u", "\"\\u12", "-", "1e", "1e+",
+          "nul", "tru", "falsx", "01x", "{", "[", "{\"a\"", "{\"a\":}",
+          "[1,]", "[1 2]", "{\"a\":1,}", "\xff\xfe", "1.2.3",
+          "\"\\u0000\"", "9999999999999999999999999999999e999999"}) {
+        mustNotWedge(input);
+    }
+}
+
+} // namespace
+} // namespace pc::obs

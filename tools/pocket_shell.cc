@@ -14,9 +14,10 @@
  *                     its trace spans (optionally export Chrome JSON)
  *   update            run the nightly Figure 14 sync against fresh logs
  *   seed <n>          jump to the n-th most popular community query
- *   fleet [n] [m]     simulate a fleet of n devices for m months (with
- *                     an injected outage) and print the telemetry
- *                     roll-up + drift-scan anomalies
+ *   fleet [n] [m] [t] simulate a fleet of n devices for m months (with
+ *                     an injected outage) on t worker threads and
+ *                     print the telemetry roll-up + drift-scan
+ *                     anomalies (same bytes at any t)
  *   server [s] [t]    run the cloud update service with s shards and
  *                     t worker threads: mine two model versions and
  *                     print shard stats + delta sync sizes
@@ -59,8 +60,10 @@ help()
         "  trace <n> [f]   serve cached pair #n and print its spans\n"
         "                  (write Chrome trace JSON to file f if given)\n"
         "  update          nightly community sync (Figure 14)\n"
-        "  fleet [n] [m]   telemetry roll-up of an n-device fleet over\n"
-        "                  m months, with an injected outage\n"
+        "  fleet [n] [m] [t]  telemetry roll-up of an n-device fleet\n"
+        "                  over m months with an injected outage, on t\n"
+        "                  worker threads (0 = all cores; the output\n"
+        "                  does not depend on t)\n"
         "  server [s] [t]  cloud update service: mine two community\n"
         "                  model versions with s shards x t threads,\n"
         "                  print shard stats and delta sync sizes\n"
@@ -74,20 +77,22 @@ help()
  */
 void
 runFleetCommand(const harness::Workbench &wb, std::size_t devices,
-                u32 months)
+                u32 months, unsigned threads)
 {
     harness::FleetRunConfig cfg;
     cfg.devices = devices;
     cfg.months = months;
     cfg.outageStartMonth = months / 2;
     cfg.outageMonths = 1;
+    cfg.threads = threads;
 
     obs::FleetConfig fc;
     fc.windowWidth = workload::kMonth;
     obs::FleetCollector collector(fc);
     std::printf("simulating %zu devices x %u months (outage in month "
-                "%u)...\n",
-                devices, months, cfg.outageStartMonth);
+                "%u, %u thread%s)...\n",
+                devices, months, cfg.outageStartMonth, threads,
+                threads == 1 ? "" : "s");
     const auto run = harness::runFleet(wb, cfg, collector);
     std::printf("served %llu queries across %zu devices\n",
                 (unsigned long long)run.queries, run.devices);
@@ -333,17 +338,25 @@ main()
         } else if (cmd == "fleet") {
             std::size_t n = 24;
             u32 months = 4;
-            iss >> n >> months;
+            unsigned threads = 1; // t=0 means one per hardware thread
+            // Failed extraction zeroes the target; restore defaults so
+            // trailing args stay optional.
+            if (!(iss >> n))
+                n = 24;
+            if (!(iss >> months))
+                months = 4;
+            if (!(iss >> threads))
+                threads = 1;
             if (n == 0 || months == 0) {
                 std::printf("need at least 1 device and 1 month\n");
                 continue;
             }
-            if (n > 5000 || months > 24) {
+            if (n > 5000 || months > 24 || threads > 64) {
                 std::printf("keeping it interactive: max 5000 devices,"
-                            " 24 months\n");
+                            " 24 months, 64 threads\n");
                 continue;
             }
-            runFleetCommand(wb, n, months);
+            runFleetCommand(wb, n, months, threads);
         } else if (cmd == "server") {
             u32 shards = 8;
             u32 threads = 4;
