@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Ablation — sync robustness under seeded chaos.
+ *
+ * Sweeps payload bit-flip rate x reconnect shed budget over a fleet
+ * run with a correlated month-1 outage storm and a version-skew
+ * cohort (every 5th device claims a model version it never
+ * installed). Per cell the things to watch:
+ *
+ *  - the invariant column stays 0: every device that synced ends
+ *    byte-identical to the server model, versions are monotone, and
+ *    every injected bit flip is caught by the CRC frame — the process
+ *    exits non-zero if any cell trips;
+ *  - corruption costs retries, not correctness: caught frames grow
+ *    with the flip rate while verified devices stay converged;
+ *  - the skew cohort is rejected transactionally and converges through
+ *    escalated full installs;
+ *  - a tight shed budget drains the post-storm thundering herd over
+ *    several months instead of admitting everyone at once.
+ *
+ * Everything is seeded and single-threaded here (the thread-identity
+ * property is bench_fleet_telemetry's and chaos_grid_test's job); two
+ * runs of this binary print identical bytes, and CI double-runs it to
+ * prove that. The BENCH_ablation_chaos.json report is gated against
+ * the committed baseline by bench_diff.
+ */
+
+#include <memory>
+
+#include "bench_common.h"
+#include "harness/fleet.h"
+#include "harness/workbench.h"
+#include "obs/fleet.h"
+#include "server/service.h"
+
+using namespace pc;
+using namespace pc::harness;
+
+namespace {
+
+struct Cell
+{
+    double flipRate;
+    u64 herdBudget;
+    FleetRunResult run;
+};
+
+workload::SearchLog
+slicedLog(const Workbench &wb, std::size_t n)
+{
+    workload::SearchLog log(wb.universe());
+    const auto &records = wb.buildLog().records();
+    log.reserve(n);
+    for (std::size_t i = 0; i < records.size() && i < n; ++i)
+        log.add(records[i]);
+    return log;
+}
+
+FleetRunResult
+runCell(Workbench &wb, const workload::SearchLog &thirdMonth,
+        double flipRate, u64 herdBudget)
+{
+    // Fresh service per cell (its registry accumulates accounting).
+    // maxVersions=2 slides the history window so the skew cohort's
+    // off-window claim really is off the window.
+    server::ServiceConfig scfg;
+    scfg.build.shards = 4;
+    scfg.build.threads = 2;
+    scfg.maxVersions = 2;
+    auto svc = std::make_unique<server::CloudUpdateService>(
+        wb.universe(), scfg);
+    svc->ingest(slicedLog(wb, wb.buildLog().size() / 2));
+    svc->ingest(wb.buildLog());
+    svc->ingest(thirdMonth);
+
+    FleetRunConfig cfg;
+    cfg.devices = 60;
+    cfg.months = 6;
+    cfg.cloud = svc.get();
+    cfg.chaos.enabled = true;
+    cfg.chaos.stormStartMonth = 1;
+    cfg.chaos.stormMonths = 1;
+    cfg.chaos.payloadCorruptRate = flipRate;
+    cfg.chaos.skewEvery = 5;
+    cfg.chaos.herdBudgetPerMonth = herdBudget;
+
+    obs::FleetConfig fc;
+    fc.windowWidth = workload::kMonth;
+    obs::FleetCollector collector(fc);
+    return runFleet(wb, cfg, collector);
+}
+
+/** Stable metric-key prefix of a cell, e.g. "flip25.budget8". */
+std::string
+cellKey(const Cell &c)
+{
+    return strformat("flip%.0f.budget%llu", 100.0 * c.flipRate,
+                     (unsigned long long)c.herdBudget);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Chaos ablation",
+                  "60 devices, 6 months, month-1 outage storm, "
+                  "bit-flip rate x shed budget");
+    Workbench wb(smallWorkbenchConfig());
+    // Generated once: every cell's service must ingest identical logs.
+    const workload::SearchLog thirdMonth = wb.nextCommunityMonth();
+
+    const double kFlipRates[] = {0.0, 0.25, 0.5};
+    const u64 kBudgets[] = {0, 8, 20};
+
+    std::vector<Cell> cells;
+    for (const double rate : kFlipRates)
+        for (const u64 budget : kBudgets) {
+            Cell c;
+            c.flipRate = rate;
+            c.herdBudget = budget;
+            c.run = runCell(wb, thirdMonth, rate, budget);
+            cells.push_back(c);
+        }
+
+    u64 violations = 0;
+    AsciiTable t("Chaos sweep (flip rate x shed budget)");
+    t.header({"flip", "budget", "synced", "shed", "caught flips",
+              "rejected", "escalated", "verified", "invariant"});
+    for (const Cell &c : cells) {
+        violations += c.run.invariantViolations;
+        t.row({bench::pct(c.flipRate),
+               c.herdBudget ? strformat("%llu/mo", (unsigned long long)
+                                                       c.herdBudget)
+                            : "off",
+               strformat("%llu", (unsigned long long)c.run.cloudSyncs),
+               strformat("%llu",
+                         (unsigned long long)c.run.cloudSyncsShed),
+               strformat("%llu",
+                         (unsigned long long)c.run.corruptRejected),
+               strformat("%llu",
+                         (unsigned long long)c.run.rejectedDeltas),
+               strformat("%llu", (unsigned long long)
+                                     c.run.escalatedFullInstalls),
+               strformat("%llu/%zu",
+                         (unsigned long long)c.run.devicesVerified,
+                         c.run.devices),
+               c.run.invariantViolations ? "** TRIPPED **" : "0"});
+    }
+    t.print();
+    std::printf("\nchaos invariants: %s\n",
+                violations ? "** VIOLATED **" : "held across the sweep");
+
+    obs::BenchReport report("ablation_chaos",
+                            "Sync robustness under seeded chaos");
+    report.note("devices", "60");
+    report.note("months", "6");
+    report.note("storm_month", "1");
+    report.note("skew_every", "5");
+    for (const Cell &c : cells) {
+        const std::string key = cellKey(c);
+        report.metric(key + ".synced", double(c.run.cloudSyncs));
+        report.metric(key + ".shed", double(c.run.cloudSyncsShed));
+        report.metric(key + ".corrupt_caught",
+                      double(c.run.corruptRejected));
+        report.metric(key + ".rejected", double(c.run.rejectedDeltas));
+        report.metric(key + ".escalated",
+                      double(c.run.escalatedFullInstalls));
+        report.metric(key + ".verified", double(c.run.devicesVerified));
+        report.metric(key + ".invariant_violations",
+                      double(c.run.invariantViolations));
+    }
+    bench::emitReport(report);
+
+    return violations ? 2 : 0;
+}

@@ -1,0 +1,387 @@
+#include "core/delta.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/crc32.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace pc::core {
+
+namespace {
+
+constexpr char kPayloadMagic[4] = {'P', 'C', 'D', '1'};
+constexpr char kFrameMagic[4] = {'P', 'C', 'F', '1'};
+/** magic + fromVersion + toVersion + three op counts. */
+constexpr std::size_t kHeaderBytes = 4 + 8 + 8 + 4 * 3;
+/** Add/re-rank record: pair ids + score bits + volume. */
+constexpr std::size_t kScoredBytes = 4 + 4 + 8 + 8;
+/** Evict record: pair ids only. */
+constexpr std::size_t kEvictBytes = 4 + 4;
+
+template <typename T>
+void
+put(std::string &out, T v)
+{
+    char buf[sizeof(T)];
+    std::memcpy(buf, &v, sizeof(T));
+    out.append(buf, sizeof(T));
+}
+
+template <typename T>
+T
+get(const char *p)
+{
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    return v;
+}
+
+/** Dense key of a universe pair (query and result ids are u32). */
+u64
+pairKey(const workload::PairRef &p)
+{
+    return (u64(p.query) << 32) | u64(p.result);
+}
+
+/** Server-side match key of a table pair (same as cache_manager). */
+u64
+matchKey(u64 query_fnv, u64 url_hash)
+{
+    return hashCombine(query_fnv, url_hash);
+}
+
+bool
+pairInRange(const workload::PairRef &p, const QueryUniverse &u)
+{
+    return p.query < u.numQueries() && p.result < u.numResults();
+}
+
+/**
+ * Install one add, merging with an already-cached pair by maximum
+ * score (the user's personalization got there first).
+ */
+void
+commitAdd(PocketSearch &ps, const ScoredPair &sp, SimTime &time,
+          DeltaApplyStats &stats)
+{
+    const auto existing = ps.findPair(sp.pair);
+    if (existing.has_value()) {
+        ++stats.conflicts;
+        if (sp.score > existing->score)
+            ps.setPairScore(sp.pair, sp.score);
+        return;
+    }
+    ++stats.added;
+    if (ps.installPair(sp.pair, sp.score, false, time))
+        ++stats.recordsPatched;
+}
+
+} // namespace
+
+const char *
+deltaApplyErrorName(DeltaApplyError e)
+{
+    switch (e) {
+    case DeltaApplyError::None:
+        return "none";
+    case DeltaApplyError::BadPairId:
+        return "bad_pair_id";
+    case DeltaApplyError::MissingEvictTarget:
+        return "missing_evict_target";
+    case DeltaApplyError::MissingRerankTarget:
+        return "missing_rerank_target";
+    }
+    return "unknown";
+}
+
+CommunityDelta
+diffContents(const CacheContents &from, const CacheContents &to,
+             u64 from_version, u64 to_version)
+{
+    CommunityDelta d;
+    d.fromVersion = from_version;
+    d.toVersion = to_version;
+
+    std::unordered_map<u64, const ScoredPair *> base;
+    base.reserve(from.pairs.size());
+    for (const auto &sp : from.pairs)
+        base.emplace(pairKey(sp.pair), &sp);
+
+    std::unordered_set<u64> target;
+    target.reserve(to.pairs.size());
+    for (const auto &sp : to.pairs) {
+        target.insert(pairKey(sp.pair));
+        const auto it = base.find(pairKey(sp.pair));
+        if (it == base.end())
+            d.adds.push_back(sp);
+        else if (it->second->score != sp.score)
+            d.reranks.push_back(sp);
+    }
+    for (const auto &sp : from.pairs) {
+        if (!target.count(pairKey(sp.pair)))
+            d.evicts.push_back(sp.pair);
+    }
+    return d;
+}
+
+DeltaApplyResult
+tryApplyCommunityDelta(PocketSearch &ps, const CommunityDelta &delta,
+                       SimTime &time)
+{
+    DeltaApplyResult res;
+    const QueryUniverse &u = ps.universe();
+    const bool fullInstall = delta.fromVersion == 0;
+
+    // Validate: every pair id must be interpretable and every
+    // evict/re-rank target must resolve in the live table. Nothing is
+    // mutated until the whole delta checks out.
+    for (const auto &sp : delta.adds) {
+        if (!pairInRange(sp.pair, u)) {
+            res.error = DeltaApplyError::BadPairId;
+            return res;
+        }
+    }
+    for (const auto &p : delta.evicts) {
+        if (!pairInRange(p, u)) {
+            res.error = DeltaApplyError::BadPairId;
+            return res;
+        }
+        if (!ps.findPair(p).has_value()) {
+            res.error = DeltaApplyError::MissingEvictTarget;
+            return res;
+        }
+    }
+    for (const auto &sp : delta.reranks) {
+        if (!pairInRange(sp.pair, u)) {
+            res.error = DeltaApplyError::BadPairId;
+            return res;
+        }
+        if (!ps.findPair(sp.pair).has_value()) {
+            res.error = DeltaApplyError::MissingRerankTarget;
+            return res;
+        }
+    }
+
+    // Commit. Every operation below was proven to resolve, so the
+    // sequence cannot fail part-way for state reasons.
+    DeltaApplyStats &stats = res.stats;
+
+    if (fullInstall && ps.pairs() > 0) {
+        // Full install onto a non-empty cache: reconcile. Community
+        // pairs the user never touched and the target no longer lists
+        // are stale — drop them so the device converges to the target
+        // model. User-accessed pairs follow the retention rule.
+        std::unordered_set<u64> wanted;
+        wanted.reserve(delta.adds.size());
+        for (const auto &sp : delta.adds) {
+            const auto &q = u.query(sp.pair.query);
+            const auto &r = u.result(sp.pair.result);
+            wanted.insert(matchKey(fnv1a(q.text), urlHash(r.url)));
+        }
+        // The table only exposes hashes; map them back to pair ids the
+        // way the server does (cache_manager's reverse map), built
+        // lazily because this path is the rare recovery one.
+        std::unordered_map<u64, workload::PairRef> reverse;
+        reverse.reserve(ps.pairs() * 2);
+        for (u32 qid = 0; qid < u.numQueries(); ++qid) {
+            const u64 qh = fnv1a(u.query(qid).text);
+            for (const auto &[rid, w] : u.query(qid).results) {
+                (void)w;
+                reverse.emplace(
+                    matchKey(qh, urlHash(u.result(rid).url)),
+                    workload::PairRef{qid, rid});
+            }
+        }
+        struct Stale
+        {
+            workload::PairRef pair;
+            bool accessed;
+        };
+        std::vector<Stale> stale;
+        ps.table().forEachPair([&](u64 qfnv, const ResultRef &r) {
+            const u64 key = matchKey(qfnv, r.urlHash);
+            if (wanted.count(key))
+                return;
+            const auto it = reverse.find(key);
+            if (it == reverse.end()) {
+                pc_warn("unmatchable device pair in reconcile");
+                return;
+            }
+            stale.push_back(Stale{it->second, r.userAccessed});
+        });
+        for (const auto &s : stale) {
+            if (s.accessed) {
+                ++stats.keptAccessed;
+                continue;
+            }
+            ps.evictPair(s.pair);
+            ++stats.staleEvicted;
+        }
+    }
+
+    for (const auto &sp : delta.adds)
+        commitAdd(ps, sp, time, stats);
+
+    for (const auto &p : delta.evicts) {
+        const auto existing = ps.findPair(p);
+        if (existing.has_value() && existing->userAccessed) {
+            ++stats.keptAccessed;
+            continue;
+        }
+        if (ps.evictPair(p))
+            ++stats.evicted;
+    }
+
+    for (const auto &sp : delta.reranks) {
+        const auto existing = ps.findPair(sp.pair);
+        if (!existing.has_value())
+            continue;
+        // Accessed pairs only ratchet upward; the user's clicks
+        // outrank the community's demotion.
+        const double score = existing->userAccessed
+                                 ? std::max(existing->score, sp.score)
+                                 : sp.score;
+        ps.setPairScore(sp.pair, score);
+        ++stats.reranked;
+    }
+
+    res.ok = true;
+    return res;
+}
+
+DeltaApplyStats
+applyCommunityDelta(PocketSearch &ps, const CommunityDelta &delta,
+                    SimTime &time)
+{
+    const auto res = tryApplyCommunityDelta(ps, delta, time);
+    pc_assert(res.ok, "community delta failed validation: ",
+              deltaApplyErrorName(res.error));
+    return res.stats;
+}
+
+std::string
+encodeDelta(const CommunityDelta &delta)
+{
+    std::string out;
+    out.reserve(kHeaderBytes +
+                kScoredBytes * (delta.adds.size() + delta.reranks.size()) +
+                kEvictBytes * delta.evicts.size());
+    out.append(kPayloadMagic, 4);
+    put<u64>(out, delta.fromVersion);
+    put<u64>(out, delta.toVersion);
+    put<u32>(out, u32(delta.adds.size()));
+    put<u32>(out, u32(delta.evicts.size()));
+    put<u32>(out, u32(delta.reranks.size()));
+    const auto putScored = [&](const ScoredPair &sp) {
+        put<u32>(out, sp.pair.query);
+        put<u32>(out, sp.pair.result);
+        put<double>(out, sp.score);
+        put<u64>(out, sp.volume);
+    };
+    for (const auto &sp : delta.adds)
+        putScored(sp);
+    for (const auto &p : delta.evicts) {
+        put<u32>(out, p.query);
+        put<u32>(out, p.result);
+    }
+    for (const auto &sp : delta.reranks)
+        putScored(sp);
+    return out;
+}
+
+std::optional<CommunityDelta>
+decodeDelta(std::string_view payload)
+{
+    if (payload.size() < kHeaderBytes ||
+        std::memcmp(payload.data(), kPayloadMagic, 4) != 0)
+        return std::nullopt;
+    const char *p = payload.data() + 4;
+    CommunityDelta d;
+    d.fromVersion = get<u64>(p);
+    d.toVersion = get<u64>(p + 8);
+    const u32 adds = get<u32>(p + 16);
+    const u32 evicts = get<u32>(p + 20);
+    const u32 reranks = get<u32>(p + 24);
+    // Length check before any allocation: a corrupted count cannot
+    // trigger a huge reserve. u64 arithmetic avoids overflow.
+    const u64 want = u64(kHeaderBytes) +
+                     u64(adds + u64(reranks)) * kScoredBytes +
+                     u64(evicts) * kEvictBytes;
+    if (payload.size() != want)
+        return std::nullopt;
+
+    p = payload.data() + kHeaderBytes;
+    const auto getScored = [&p] {
+        ScoredPair sp;
+        sp.pair.query = get<u32>(p);
+        sp.pair.result = get<u32>(p + 4);
+        sp.score = get<double>(p + 8);
+        sp.volume = get<u64>(p + 16);
+        p += kScoredBytes;
+        return sp;
+    };
+    d.adds.reserve(adds);
+    for (u32 i = 0; i < adds; ++i)
+        d.adds.push_back(getScored());
+    d.evicts.reserve(evicts);
+    for (u32 i = 0; i < evicts; ++i) {
+        d.evicts.push_back(
+            workload::PairRef{get<u32>(p), get<u32>(p + 4)});
+        p += kEvictBytes;
+    }
+    d.reranks.reserve(reranks);
+    for (u32 i = 0; i < reranks; ++i)
+        d.reranks.push_back(getScored());
+    return d;
+}
+
+std::string
+frameDelta(const CommunityDelta &delta)
+{
+    const std::string payload = encodeDelta(delta);
+    std::string out;
+    out.reserve(payload.size() + kDeltaFrameOverhead);
+    out.append(kFrameMagic, 4);
+    put<u32>(out, u32(payload.size()));
+    out.append(payload);
+    put<u32>(out, crc32(payload));
+    return out;
+}
+
+std::optional<CommunityDelta>
+unframeDelta(std::string_view frame)
+{
+    if (frame.size() < kDeltaFrameOverhead ||
+        std::memcmp(frame.data(), kFrameMagic, 4) != 0)
+        return std::nullopt;
+    const u32 len = get<u32>(frame.data() + 4);
+    if (frame.size() != std::size_t(len) + kDeltaFrameOverhead)
+        return std::nullopt;
+    const std::string_view payload = frame.substr(8, len);
+    if (get<u32>(frame.data() + 8 + len) != crc32(payload))
+        return std::nullopt;
+    return decodeDelta(payload);
+}
+
+Bytes
+deltaWireBytes(const CommunityDelta &delta, const QueryUniverse &universe)
+{
+    Bytes bytes = Bytes(encodeDelta(delta).size()) + kDeltaFrameOverhead;
+    // Result records ship once per distinct result (the patch files
+    // are per result, not per pair); ids outside the universe are
+    // synthetic test pairs and carry no record.
+    std::unordered_set<u32> shipped;
+    for (const auto &sp : delta.adds) {
+        if (sp.pair.result < universe.numResults() &&
+            shipped.insert(sp.pair.result).second)
+            bytes += QueryUniverse::recordSize(
+                universe.result(sp.pair.result));
+    }
+    return bytes;
+}
+
+} // namespace pc::core

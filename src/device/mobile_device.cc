@@ -53,6 +53,8 @@ ResilienceStats::toCounters() const
     bag.set("device.offline_pages", offlinePages);
     bag.set("device.queued_misses", queuedMisses);
     bag.set("device.synced_misses", syncedMisses);
+    bag.set("device.sync.corrupt_delta", corruptDeltas);
+    bag.set("device.sync.rejected_delta", rejectedDeltas);
     return bag;
 }
 
@@ -130,6 +132,8 @@ MobileDevice::attachMetrics(obs::MetricRegistry *reg)
     metrics_.offline = &reg->counter("device.degraded.offline_pages");
     metrics_.queued = &reg->counter("device.missq.queued");
     metrics_.synced = &reg->counter("device.missq.synced");
+    metrics_.corruptDelta = &reg->counter("device.sync.corrupt_delta");
+    metrics_.rejectedDelta = &reg->counter("device.sync.rejected_delta");
     const ServePath all[4] = {ServePath::PocketSearch,
                               ServePath::ThreeG, ServePath::Edge,
                               ServePath::Wifi};
@@ -459,16 +463,26 @@ MobileDevice::CommunitySyncResult
 MobileDevice::syncCommunityUpdate(const core::CommunityDelta &delta,
                                   ServePath path)
 {
+    return syncCommunityFrame(
+        core::frameDelta(delta),
+        core::deltaWireBytes(delta, ps_->universe()), path);
+}
+
+MobileDevice::CommunitySyncResult
+MobileDevice::syncCommunityFrame(const std::string &frame,
+                                 Bytes wire_bytes, ServePath path)
+{
     pc_assert(path != ServePath::PocketSearch,
               "community sync needs a radio path");
     CommunitySyncResult res;
     res.fromVersion = communityVersion_;
     res.toVersion = communityVersion_;
-    res.deltaBytes = core::deltaWireBytes(delta, ps_->universe());
+    res.deltaBytes = wire_bytes;
 
     radio::RadioLink &radio = link(path);
     fault::FaultyLink flink(radio, faults_);
     const RetryPolicy &rp = cfg_.retry;
+    std::optional<core::CommunityDelta> delta;
     SimTime elapsed = 0;
     for (u32 attempt = 1;; ++attempt) {
         ++res.attempts;
@@ -489,16 +503,30 @@ MobileDevice::syncCommunityUpdate(const core::CommunityDelta &delta,
                 ++resilience_.latencySpikes;
                 bumpCtr(metrics_.spikes);
             }
-            res.ok = true;
-            break;
-        }
-        if (oc.noCoverage) {
-            ++resilience_.noCoverageAttempts;
-            bumpCtr(metrics_.noCoverage);
-        }
-        if (oc.failed) {
-            ++resilience_.failedAttempts;
-            bumpCtr(metrics_.failed);
+            // The exchange delivered; the payload may still have been
+            // mangled in flight. Verify the frame before trusting it.
+            std::string received = frame;
+            if (faults_)
+                faults_->maybeCorruptPayload(received);
+            delta = core::unframeDelta(received);
+            if (delta.has_value()) {
+                res.ok = true;
+                break;
+            }
+            ++res.corruptRejected;
+            ++resilience_.corruptDeltas;
+            bumpCtr(metrics_.corruptDelta);
+            // Fall through: a corrupt frame re-requests like a failed
+            // exchange, under the same backoff.
+        } else {
+            if (oc.noCoverage) {
+                ++resilience_.noCoverageAttempts;
+                bumpCtr(metrics_.noCoverage);
+            }
+            if (oc.failed) {
+                ++resilience_.failedAttempts;
+                bumpCtr(metrics_.failed);
+            }
         }
         if (attempt >= rp.maxAttempts || elapsed >= rp.queryBudget)
             break;
@@ -514,15 +542,36 @@ MobileDevice::syncCommunityUpdate(const core::CommunityDelta &delta,
         elapsed += backoff;
     }
     now_ += elapsed;
-    if (!res.ok)
+    if (!res.ok) {
+        // A sync defeated by corruption (not mere connectivity)
+        // advances the escalation streak: the link delivers, the
+        // payloads don't survive, so a fresh full install is the way
+        // out. Pure radio failure retries as-is next window.
+        if (res.corruptRejected > 0)
+            ++badDeltaStreak_;
         return res;
+    }
 
     SimTime apply = 0;
-    res.apply = core::applyCommunityDelta(*ps_, delta, apply);
+    const auto ar = core::tryApplyCommunityDelta(*ps_, *delta, apply);
+    if (!ar.ok) {
+        // Verified frame, but the delta does not fit this device's
+        // state (version skew). Transactional apply left the cache
+        // untouched; retrying the same delta cannot help.
+        res.ok = false;
+        res.rejected = true;
+        res.applyError = ar.error;
+        ++resilience_.rejectedDeltas;
+        bumpCtr(metrics_.rejectedDelta);
+        ++badDeltaStreak_;
+        return res;
+    }
+    res.apply = ar.stats;
     res.time += apply;
     now_ += apply;
-    communityVersion_ = delta.toVersion;
-    res.toVersion = delta.toVersion;
+    communityVersion_ = delta->toVersion;
+    res.toVersion = delta->toVersion;
+    badDeltaStreak_ = 0;
     return res;
 }
 

@@ -106,6 +106,8 @@ struct ResilienceStats
     u64 offlinePages = 0;      ///< Degraded answers with nothing cached.
     u64 queuedMisses = 0;      ///< Misses queued for later sync.
     u64 syncedMisses = 0;      ///< Queued misses later fetched.
+    u64 corruptDeltas = 0;     ///< Delta frames failing the CRC check.
+    u64 rejectedDeltas = 0;    ///< Verified deltas failing validation.
 
     /** Counters as a mergeable bag (workbench reporting). */
     CounterBag toCounters() const;
@@ -251,21 +253,74 @@ class MobileDevice
         Bytes deltaBytes = 0;  ///< Downlink payload (delta wire size).
         SimTime time = 0;      ///< Radio + backoff + apply time.
         MicroJoules energy = 0; ///< Radio energy spent.
+        u32 corruptRejected = 0; ///< Frames rejected by the CRC check.
+        /** The verified delta failed validation (state mismatch). */
+        bool rejected = false;
+        /**
+         * The server shed the sync (admission control) before any
+         * radio traffic; retry next window. Set by the service, never
+         * by the device itself.
+         */
+        bool shed = false;
+        /** Why validation rejected it (None unless `rejected`). */
+        core::DeltaApplyError applyError = core::DeltaApplyError::None;
         core::DeltaApplyStats apply{}; ///< Application accounting.
     };
 
     /**
      * Download and apply one community-model delta from the cloud
      * update service over a radio path, with the same retry/backoff
-     * machinery (and fault plan) a query miss uses. On success the
-     * delta is applied to PocketSearch (core/delta.h rules) and the
-     * device's community version advances to delta.toVersion; on
+     * machinery (and fault plan) a query miss uses. The delta travels
+     * as a CRC-32 integrity frame (core::frameDelta); this overload
+     * frames it locally and defers to syncCommunityFrame. On success
+     * the delta is applied to PocketSearch (core/delta.h rules) and
+     * the device's community version advances to delta.toVersion; on
      * failure the cache and version are untouched and the service can
      * retry next sync window.
      */
     CommunitySyncResult
     syncCommunityUpdate(const core::CommunityDelta &delta,
                         ServePath path = ServePath::ThreeG);
+
+    /**
+     * Download and apply one framed community delta. Every radio
+     * attempt delivers `frame` through the attached fault plan (which
+     * may flip a bit in flight); a frame that fails the CRC-32 check
+     * is counted, dropped, and re-requested under the standard retry
+     * backoff — corrupt bytes never reach the cache. A frame that
+     * verifies but whose delta fails transactional validation
+     * (version skew: the device's table is not the state the delta
+     * was diffed against) is rejected whole with `rejected` set and
+     * no retry, since re-downloading the same mismatch cannot help.
+     * Both terminal outcomes advance the bad-delta streak; after
+     * kBadDeltaEscalation consecutive bad syncs needsFullInstall()
+     * turns true and the service falls back to a full install, which
+     * resets the streak when it lands.
+     *
+     * @param frame core::frameDelta() bytes as sent by the service.
+     * @param wire_bytes Modelled downlink payload for the radio
+     *        (frame plus patched flash records; deltaWireBytes).
+     * @param path Radio path.
+     */
+    CommunitySyncResult
+    syncCommunityFrame(const std::string &frame, Bytes wire_bytes,
+                       ServePath path = ServePath::ThreeG);
+
+    /** Consecutive bad syncs before escalating to a full install. */
+    static constexpr u32 kBadDeltaEscalation = 3;
+
+    /**
+     * True once kBadDeltaEscalation consecutive syncs ended in a
+     * corrupt or rejected delta: incremental updates are not landing,
+     * so the next sync should be a full install (fromVersion 0).
+     */
+    bool needsFullInstall() const
+    {
+        return badDeltaStreak_ >= kBadDeltaEscalation;
+    }
+
+    /** Consecutive syncs that ended corrupt/rejected (0 after a success). */
+    u32 badDeltaStreak() const { return badDeltaStreak_; }
 
     /** Community-model version last synced (0 = never synced). */
     u64 communityVersion() const { return communityVersion_; }
@@ -304,6 +359,8 @@ class MobileDevice
         obs::Counter *offline = nullptr;
         obs::Counter *queued = nullptr;
         obs::Counter *synced = nullptr;
+        obs::Counter *corruptDelta = nullptr;
+        obs::Counter *rejectedDelta = nullptr;
         obs::Histogram *latency[4] = {};
         obs::Histogram *energy[4] = {};
     };
@@ -346,6 +403,7 @@ class MobileDevice
     radio::RadioLink wifi_;
     SimTime now_ = 0;
     u64 communityVersion_ = 0;
+    u32 badDeltaStreak_ = 0;
     fault::FaultPlan *faults_ = nullptr;
     ResilienceStats resilience_;
     std::vector<workload::PairRef> missQueue_;

@@ -18,6 +18,8 @@ FaultPlan::FaultPlan(const FaultConfig &cfg)
               "latency spike rate must be a probability");
     pc_assert(r.latencySpikeFactor >= 1.0,
               "a latency spike cannot speed the exchange up");
+    pc_assert(r.payloadCorruptRate >= 0.0 && r.payloadCorruptRate <= 1.0,
+              "payload corruption rate must be a probability");
 
     outageEnabled_ = r.outageShare > 0.0 && r.meanOutageDuration > 0;
     if (outageEnabled_) {
@@ -91,6 +93,20 @@ FaultPlan::drawLatencySpike()
     return spike;
 }
 
+bool
+FaultPlan::maybeCorruptPayload(std::string &payload)
+{
+    if (cfg_.radio.payloadCorruptRate <= 0.0 || payload.empty())
+        return false;
+    if (!rng_.chance(cfg_.radio.payloadCorruptRate))
+        return false;
+    const u64 bit = rng_.below(u64(payload.size()) * 8);
+    payload[bit / 8] =
+        char(u8(payload[bit / 8]) ^ (1u << (bit % 8)));
+    ++stats_.payloadCorruptions;
+    return true;
+}
+
 double
 FaultPlan::jitter(double frac)
 {
@@ -159,6 +175,7 @@ FaultPlan::toCounters() const
     bag.set("fault.outage_attempts", stats_.outageAttempts);
     bag.set("fault.exchange_failures", stats_.exchangeFailures);
     bag.set("fault.latency_spikes", stats_.latencySpikes);
+    bag.set("fault.payload_corruptions", stats_.payloadCorruptions);
     bag.set("fault.bit_flips", stats_.bitFlips);
     bag.set("fault.crashes", stats_.crashes);
     return bag;

@@ -50,6 +50,13 @@ struct RadioFaultConfig
     SimTime meanOutageDuration = 45 * kSecond;
     /** Probability that a successful exchange hits congestion. */
     double latencySpikeRate = 0.0;
+    /**
+     * Probability that a delivered downlink payload suffers a
+     * single-bit flip (deep-fade demodulation error, buggy middlebox).
+     * The exchange still reports success — only an integrity check on
+     * the payload can catch it. 0 disables corruption.
+     */
+    double payloadCorruptRate = 0.0;
     /** Latency multiplier applied by a congestion spike. */
     double latencySpikeFactor = 4.0;
     /** Time the radio spends discovering there is no signal. */
@@ -83,6 +90,7 @@ struct InjectedStats
     u64 outageAttempts = 0;    ///< Exchange attempts begun with no coverage.
     u64 exchangeFailures = 0;  ///< Exchanges killed mid-flight.
     u64 latencySpikes = 0;     ///< Exchanges slowed by congestion.
+    u64 payloadCorruptions = 0; ///< Delivered payloads with a flipped bit.
     u64 bitFlips = 0;          ///< Bits flipped on storage reads.
     u64 crashes = 0;           ///< Power-loss events fired.
 };
@@ -129,6 +137,15 @@ class FaultPlan
      * Deterministic under the plan's seed.
      */
     double jitter(double frac);
+
+    /**
+     * In-flight corruption: with the configured per-delivery rate,
+     * flip one uniformly chosen bit of the payload (counted). A
+     * disabled rate consumes no randomness, so enabling corruption in
+     * one experiment cannot perturb another's fault stream.
+     * @return True if a bit was flipped.
+     */
+    bool maybeCorruptPayload(std::string &payload);
 
     /** Note an exchange attempt made during an outage (counted). */
     void noteOutageAttempt() { ++stats_.outageAttempts; }

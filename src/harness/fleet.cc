@@ -1,12 +1,18 @@
 #include "harness/fleet.h"
 
+#include <algorithm>
+#include <cstring>
 #include <map>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/table_codec.h"
 #include "server/work_queue.h"
+#include "util/crc32.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace pc::harness {
@@ -36,6 +42,57 @@ defaultOutageFaults()
 
 namespace {
 
+/** CRC-32 over wire pairs in canonical (query fnv, url hash) order. */
+u32
+digestWirePairs(std::vector<core::WirePair> pairs)
+{
+    std::sort(pairs.begin(), pairs.end(),
+              [](const core::WirePair &a, const core::WirePair &b) {
+                  if (a.queryFnv != b.queryFnv)
+                      return a.queryFnv < b.queryFnv;
+                  return a.urlHash < b.urlHash;
+              });
+    u32 crc = 0;
+    for (const auto &w : pairs) {
+        char buf[8 + 8 + 8 + 1];
+        std::memcpy(buf, &w.queryFnv, 8);
+        std::memcpy(buf + 8, &w.urlHash, 8);
+        std::memcpy(buf + 16, &w.score, 8);
+        buf[24] = w.accessed ? 1 : 0;
+        crc = crc32(std::string_view(buf, sizeof(buf)), crc);
+    }
+    return crc;
+}
+
+} // namespace
+
+u32
+contentsDigest(const core::CacheContents &contents,
+               const workload::QueryUniverse &universe)
+{
+    std::vector<core::WirePair> pairs;
+    pairs.reserve(contents.pairs.size());
+    for (const auto &sp : contents.pairs) {
+        core::WirePair w;
+        w.queryFnv = fnv1a(universe.query(sp.pair.query).text);
+        w.urlHash = urlHash(universe.result(sp.pair.result).url);
+        w.score = sp.score;
+        w.accessed = false;
+        pairs.push_back(w);
+    }
+    return digestWirePairs(std::move(pairs));
+}
+
+u32
+deviceTableDigest(const core::PocketSearch &ps)
+{
+    const auto decoded = core::decodeTable(core::encodeTable(ps.table()));
+    pc_assert(decoded.has_value(), "device table failed to round-trip");
+    return digestWirePairs(*decoded);
+}
+
+namespace {
+
 /**
  * Everything one simulated device hands to the in-order fold: the
  * window-boundary snapshots the collector diffs, the final registry
@@ -50,6 +107,17 @@ struct DeviceTelemetry
     std::unique_ptr<obs::MetricRegistry> registry;
     /** One entry per attempted monthly sync, month order. */
     std::vector<server::CloudUpdateService::SyncAccounting> syncs;
+
+    // Chaos-run evidence for the invariant checker (zero cost when
+    // chaos is off: digest never computed, flags stay default).
+    u64 finalVersion = 0;     ///< Community version after the run.
+    bool anySyncOk = false;   ///< At least one sync applied.
+    bool monotone = true;     ///< Version never moved backwards.
+    u32 tableDigest = 0;      ///< Canonical table digest (chaos only).
+    u64 corruptRejected = 0;  ///< Frames the device's CRC check caught.
+    u64 rejectedDeltas = 0;   ///< Deltas validation rejected.
+    u64 injectedCorruptions = 0; ///< Flips the fault plans injected.
+    u64 shedSyncs = 0;        ///< Syncs shed by the admission rule.
 };
 
 /**
@@ -66,10 +134,34 @@ simulateDevice(const Workbench &wb, const FleetRunConfig &cfg,
     out.classKey = userClassKey(profile.cls);
     out.registry = std::make_unique<obs::MetricRegistry>();
 
-    device::MobileDevice dev(wb.universe(), cfg.device);
+    // Chaos runs pin the cache to CommunityOnly so a synced device
+    // table is byte-comparable to the server model (the invariant the
+    // fold checks); chaos off leaves the config untouched.
+    const bool chaos = cfg.chaos.enabled;
+    core::PocketSearchConfig psCfg;
+    if (chaos)
+        psCfg.mode = core::CacheMode::CommunityOnly;
+    device::MobileDevice dev(wb.universe(), cfg.device, psCfg);
     if (!cfg.cloud)
         dev.installCommunityCache(wb.communityCache());
     dev.attachMetrics(out.registry.get());
+
+    // Version-skew cohort: every skewEvery-th device claims a model
+    // version it never installed, alternating between an in-window lie
+    // (forces transactional rejection, then escalation) and an
+    // off-window lie (forces an immediate full install).
+    u64 lastVersion = 0;
+    if (chaos && cfg.chaos.skewEvery != 0 && cfg.cloud &&
+        i % cfg.chaos.skewEvery == 0) {
+        const u64 oldest = cfg.cloud->oldestVersion();
+        if (oldest > 0) {
+            const u64 claim = ((i / cfg.chaos.skewEvery) % 2 == 0)
+                                  ? oldest
+                                  : (oldest > 1 ? oldest - 1 : oldest);
+            dev.setCommunityVersion(claim);
+            lastVersion = claim;
+        }
+    }
 
     // Per-device derived seeds: device index decorrelates streams
     // and fault schedules, the run seed shifts the whole fleet.
@@ -79,12 +171,39 @@ simulateDevice(const Workbench &wb, const FleetRunConfig &cfg,
     faultCfg.seed = devSeed + 1;
     fault::FaultPlan faults(faultCfg);
 
+    // Chaos fault plans replace the outage-episode plan for the whole
+    // run: stormPlan kills the radio outright, chaosPlan flips payload
+    // bits at the configured rate. Only built under chaos, so a
+    // disabled ChaosConfig draws nothing and changes no bytes.
+    std::optional<fault::FaultPlan> stormPlan;
+    std::optional<fault::FaultPlan> chaosPlan;
+    if (chaos) {
+        fault::FaultConfig storm;
+        storm.seed = devSeed + 2;
+        storm.radio.exchangeFailureRate = 1.0;
+        stormPlan.emplace(storm);
+        fault::FaultConfig flips;
+        flips.seed = devSeed + 3;
+        flips.radio.payloadCorruptRate = cfg.chaos.payloadCorruptRate;
+        chaosPlan.emplace(flips);
+    }
+
+    u32 nonStormMonths = 0;
     for (u32 m = 0; m < cfg.months; ++m) {
         const SimTime windowStart = SimTime(m) * workload::kMonth;
         const bool inOutage = cfg.outageMonths > 0 &&
                               m >= cfg.outageStartMonth &&
                               m < cfg.outageStartMonth + cfg.outageMonths;
-        dev.attachFaults(inOutage ? &faults : nullptr);
+        const bool inStorm =
+            chaos && cfg.chaos.stormMonths > 0 &&
+            m >= cfg.chaos.stormStartMonth &&
+            m < cfg.chaos.stormStartMonth + cfg.chaos.stormMonths;
+        if (!inStorm)
+            ++nonStormMonths;
+        if (chaos)
+            dev.attachFaults(inStorm ? &*stormPlan : &*chaosPlan);
+        else
+            dev.attachFaults(inOutage ? &faults : nullptr);
 
         // Monthly model sync through the cloud service, under the
         // month's fault plan: first contact is a full install, later
@@ -94,9 +213,29 @@ simulateDevice(const Workbench &wb, const FleetRunConfig &cfg,
         // here, so concurrent workers never share mutable state.
         if (cfg.cloud &&
             cfg.cloud->latestVersion() > dev.communityVersion()) {
-            server::CloudUpdateService::SyncAccounting acct;
-            cfg.cloud->syncDetached(dev, &acct);
-            out.syncs.push_back(acct);
+            // Deterministic admission rule: each non-storm month
+            // admits another herdBudgetPerMonth devices (by index), so
+            // a post-storm reconnect herd drains over several months.
+            // Device-local, hence thread-count independent.
+            const bool shed =
+                chaos && cfg.chaos.herdBudgetPerMonth > 0 &&
+                u64(i) >=
+                    u64(nonStormMonths) * cfg.chaos.herdBudgetPerMonth;
+            if (shed) {
+                server::CloudUpdateService::SyncAccounting acct;
+                acct.shed = true;
+                out.syncs.push_back(acct);
+                ++out.shedSyncs;
+            } else {
+                server::CloudUpdateService::SyncAccounting acct;
+                const auto res = cfg.cloud->syncDetached(dev, &acct);
+                out.syncs.push_back(acct);
+                if (res.ok)
+                    out.anySyncOk = true;
+            }
+            if (dev.communityVersion() < lastVersion)
+                out.monotone = false;
+            lastVersion = dev.communityVersion();
         }
 
         stream.setEpoch(m);
@@ -106,25 +245,52 @@ simulateDevice(const Workbench &wb, const FleetRunConfig &cfg,
             dev.serveQuery(ev.pair, device::ServePath::PocketSearch);
         }
 
-        // Coverage is back after an outage month: drain the misses
-        // the device queued while the cloud was dark.
-        if (!inOutage && !dev.missQueue().empty())
+        // Coverage is back after an outage/storm month: drain the
+        // misses the device queued while the cloud was dark.
+        const bool radioDark = chaos ? inStorm : inOutage;
+        if (!radioDark && !dev.missQueue().empty())
             dev.syncMissQueue();
 
         out.windows.emplace_back(windowStart, out.registry->snapshot());
     }
     dev.attachFaults(nullptr);
+
+    out.finalVersion = dev.communityVersion();
+    if (chaos) {
+        out.tableDigest = deviceTableDigest(dev.pocketSearch());
+        out.injectedCorruptions = chaosPlan->stats().payloadCorruptions +
+                                  stormPlan->stats().payloadCorruptions;
+        out.corruptRejected = dev.resilience().corruptDeltas;
+        out.rejectedDeltas = dev.resilience().rejectedDeltas;
+    }
     return out;
 }
 
 /**
+ * What the invariant checker compares every chaos device against:
+ * the latest server version and the canonical digest of its contents.
+ * Computed once per run, before the fold starts.
+ */
+struct ChaosCheckCtx
+{
+    bool active = false;
+    u64 latest = 0;
+    u32 expectedDigest = 0;
+};
+
+/**
  * Fold one device's telemetry into the collector, the cloud registry
  * and the scalar result. Must be called in device-index order — the
- * whole byte-identity argument rests on it.
+ * whole byte-identity argument rests on it. Under chaos (ctx.active)
+ * this is also the invariant checker: every device that ever synced
+ * successfully must have ended byte-identical to the latest server
+ * model, versions must be monotone, and every injected corruption
+ * must have been caught by the CRC frame.
  */
 void
 foldDevice(DeviceTelemetry &&t, const FleetRunConfig &cfg,
-           obs::FleetCollector &collector, FleetRunResult &result)
+           const ChaosCheckCtx &ctx, obs::FleetCollector &collector,
+           FleetRunResult &result)
 {
     collector.beginDevice(t.classKey);
     for (const auto &[windowStart, snap] : t.windows)
@@ -133,10 +299,42 @@ foldDevice(DeviceTelemetry &&t, const FleetRunConfig &cfg,
 
     for (const auto &acct : t.syncs) {
         cfg.cloud->accountSync(acct);
-        if (acct.ok)
+        if (acct.shed)
+            ++result.cloudSyncsShed;
+        else if (acct.ok)
             ++result.cloudSyncs;
         else
             ++result.cloudSyncFailures;
+        if (acct.escalated)
+            ++result.escalatedFullInstalls;
+    }
+    result.corruptRejected += t.corruptRejected;
+    result.rejectedDeltas += t.rejectedDeltas;
+
+    if (ctx.active) {
+        if (!t.monotone) {
+            pc_warn("chaos invariant: device ", t.index,
+                    " saw a non-monotone version history");
+            ++result.invariantViolations;
+        }
+        if (t.corruptRejected != t.injectedCorruptions) {
+            pc_warn("chaos invariant: device ", t.index, " caught ",
+                    t.corruptRejected, " corruptions but ",
+                    t.injectedCorruptions, " were injected");
+            ++result.invariantViolations;
+        }
+        if (t.anySyncOk) {
+            ++result.devicesVerified;
+            if (t.finalVersion != ctx.latest ||
+                t.tableDigest != ctx.expectedDigest) {
+                pc_warn("chaos invariant: device ", t.index,
+                        " synced ok but ended at version ",
+                        t.finalVersion, " digest ", t.tableDigest,
+                        " (server: version ", ctx.latest, " digest ",
+                        ctx.expectedDigest, ")");
+                ++result.invariantViolations;
+            }
+        }
     }
 
     const auto snap = t.registry->snapshot();
@@ -154,6 +352,17 @@ runFleet(const Workbench &wb, const FleetRunConfig &cfg,
 {
     pc_assert(cfg.devices > 0, "runFleet: need at least one device");
     pc_assert(cfg.months > 0, "runFleet: need at least one month");
+    pc_assert(!cfg.chaos.enabled || cfg.cloud != nullptr,
+              "runFleet: chaos needs a cloud service");
+
+    ChaosCheckCtx ctx;
+    if (cfg.chaos.enabled && cfg.cloud &&
+        cfg.cloud->latestVersion() > 0) {
+        ctx.active = true;
+        ctx.latest = cfg.cloud->latestVersion();
+        ctx.expectedDigest =
+            contentsDigest(cfg.cloud->latest().contents, wb.universe());
+    }
 
     workload::PopulationSampler sampler(wb.population());
     const auto profiles = sampler.samplePopulation(cfg.devices);
@@ -170,7 +379,7 @@ runFleet(const Workbench &wb, const FleetRunConfig &cfg,
         // In-place: one device world alive at a time.
         for (std::size_t i = 0; i < profiles.size(); ++i)
             foldDevice(simulateDevice(wb, cfg, i, profiles[i]), cfg,
-                       collector, result);
+                       ctx, collector, result);
     } else {
         // Device indices out through one bounded queue, telemetry back
         // through another. The results queue is small on purpose —
@@ -204,7 +413,7 @@ runFleet(const Workbench &wb, const FleetRunConfig &cfg,
             pending.emplace(t.index, std::move(t));
             for (auto it = pending.find(next); it != pending.end();
                  it = pending.find(next)) {
-                foldDevice(std::move(it->second), cfg, collector,
+                foldDevice(std::move(it->second), cfg, ctx, collector,
                            result);
                 pending.erase(it);
                 ++next;

@@ -52,6 +52,78 @@ std::string userClassKey(workload::UserClass cls);
 /** Default outage episode: heavy coverage loss plus flaky exchanges. */
 fault::FaultConfig defaultOutageFaults();
 
+/**
+ * Canonical CRC-32 digest of a content selection: pairs hashed the
+ * way the device table stores them (query fnv, url hash, score,
+ * accessed=false), sorted. Two digests compare equal iff the
+ * selections install to identical device tables.
+ */
+u32 contentsDigest(const core::CacheContents &contents,
+                   const workload::QueryUniverse &universe);
+
+/**
+ * The same canonical digest computed from a live device table (via
+ * the wire codec, so it sees exactly the persisted pair state). A
+ * CommunityOnly device that honestly holds server model v satisfies
+ * deviceTableDigest(dev) == contentsDigest(model(v).contents).
+ */
+u32 deviceTableDigest(const core::PocketSearch &ps);
+
+/**
+ * Seeded chaos layered on a fleet run, plus the invariant checker
+ * that proves the sync path survived it (see runFleet). When enabled,
+ * devices run in CommunityOnly mode — personalization off — so that
+ * after any successful sync the device table must be *byte-identical*
+ * to the server model at the synced version, which is exactly what
+ * the checker asserts. Chaos replaces the outage-episode fault
+ * attachment for the run; everything stays a pure function of (device
+ * index, month, config), so chaos runs are byte-deterministic at any
+ * thread count, and a disabled ChaosConfig changes nothing at all.
+ */
+struct ChaosConfig
+{
+    bool enabled = false;
+
+    /**
+     * Correlated outage storm: months [stormStartMonth,
+     * stormStartMonth + stormMonths) run every device's radio fully
+     * dead (exchangeFailureRate 1), so the first month after the
+     * storm is a fleet-wide thundering-herd reconnect.
+     */
+    u32 stormStartMonth = 1;
+    u32 stormMonths = 1;
+
+    /**
+     * Bit-flip storm: per-delivery payload corruption rate applied to
+     * every sync outside storm months (inside them nothing is ever
+     * delivered). The CRC frame must catch every flip.
+     */
+    double payloadCorruptRate = 0.0;
+
+    /**
+     * Version-skew cohort: every skewEvery-th device (0 disables)
+     * starts claiming a model version it never installed. Cohort
+     * members alternate between an in-window claim (the service's
+     * oldest version — the incremental delta will not fit the empty
+     * table, forcing transactional rejection and, after
+     * kBadDeltaEscalation strikes, a full-install escalation) and an
+     * off-window claim (one below the window — the service answers
+     * with a full install immediately).
+     */
+    u32 skewEvery = 0;
+
+    /**
+     * Deterministic admission control for the reconnect herd: device
+     * i may sync in month m only if i < herdBudgetPerMonth * (number
+     * of non-storm months in [0, m]). 0 disables shedding. The rule
+     * is device-local, so workers need no shared admission state and
+     * telemetry stays byte-identical at any thread count; shed syncs
+     * are replayed into the service registry ("server.sync.shed") in
+     * device-index order like every other accounting.
+     */
+    u64 herdBudgetPerMonth = 0;
+};
+
 /** Fleet run shape. */
 struct FleetRunConfig
 {
@@ -90,6 +162,12 @@ struct FleetRunConfig
      * the original behaviour byte for byte.
      */
     server::CloudUpdateService *cloud = nullptr;
+
+    /**
+     * Chaos schedule + invariant checking (requires `cloud`).
+     * Disabled by default; see ChaosConfig.
+     */
+    ChaosConfig chaos{};
 };
 
 /** Scalar outcome of a fleet run (series live in the collector). */
@@ -101,6 +179,20 @@ struct FleetRunResult
     u64 degradedServes = 0;
     u64 cloudSyncs = 0;        ///< Successful community syncs (cloud set).
     u64 cloudSyncFailures = 0; ///< Syncs that exhausted their retries.
+    u64 cloudSyncsShed = 0;    ///< Syncs dropped by admission control.
+    u64 corruptRejected = 0;   ///< Delta frames the CRC check rejected.
+    u64 rejectedDeltas = 0;    ///< Verified deltas failing validation.
+    u64 escalatedFullInstalls = 0; ///< Bad-streak full-install syncs.
+    u64 devicesVerified = 0;   ///< Devices digest-checked against the
+                               ///< server model (chaos runs only).
+    /**
+     * Chaos invariant trips: a successfully synced device whose table
+     * is not byte-identical to the server model, a non-monotone
+     * version history, or an injected corruption that was not caught.
+     * Always 0 unless the sync path is broken; tests and the chaos
+     * bench gate on it.
+     */
+    u64 invariantViolations = 0;
 };
 
 /**

@@ -36,6 +36,8 @@ struct WorkerState
     std::vector<std::unordered_map<u64, u64>> counts;
     /** Records routed to each shard by this worker. */
     std::vector<u64> shardRecords;
+    /** Poisoned records this worker dropped (ids out of range). */
+    u64 skipped = 0;
 };
 
 } // namespace
@@ -93,6 +95,14 @@ CommunityModelBuilder::build(const workload::SearchLog &log, u64 version,
                 while (queue.pop(b)) {
                     for (std::size_t i = b.begin; i < b.end; ++i) {
                         const auto &pair = records[i].pair;
+                        // Poisoned record (ids the universe cannot
+                        // interpret): skip and count. shardOf would
+                        // otherwise fault on the query lookup.
+                        if (pair.query >= universe_.numQueries() ||
+                            pair.result >= universe_.numResults()) {
+                            ++w.skipped;
+                            continue;
+                        }
                         const u32 s = shardOf(pair.query);
                         ++w.counts[s][pairKey(pair)];
                         ++w.shardRecords[s];
@@ -157,6 +167,11 @@ CommunityModelBuilder::build(const workload::SearchLog &log, u64 version,
         for (const auto &w : workers)
             st.records += w.shardRecords[s];
     }
+    for (const auto &w : workers)
+        model.stats.skippedRecords += w.skipped;
+    if (model.stats.skippedRecords > 0)
+        pc_warn("model build v", version, " skipped ",
+                model.stats.skippedRecords, " poisoned log records");
 
     // ---- Stage 3: deterministic k-way shard merge. Shards partition
     // the pair space and rowOrder is a strict total order, so merging

@@ -42,6 +42,13 @@ struct BuildStats
     u32 shards = 0;        ///< Shard count used.
     u32 threads = 0;       ///< Worker threads used.
     u64 distinctPairs = 0; ///< Rows in the merged triplet table.
+    /**
+     * Poisoned log records dropped at ingest: pair ids outside the
+     * universe (a corrupted log line, a collector bug). Counted, never
+     * built into the model — and never asserted on, because one bad
+     * record in a month of logs must not take the pipeline down.
+     */
+    u64 skippedRecords = 0;
     std::vector<ShardStats> shardStats; ///< Per-shard, by shard index.
 
     // Timing-dependent diagnostics: exact but not deterministic.

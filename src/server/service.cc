@@ -19,46 +19,81 @@ CloudUpdateService::ingest(const workload::SearchLog &log)
     auto [it, inserted] = history_.emplace(version, std::move(m));
     pc_assert(inserted, "model version already published");
     latest_ = version;
+    syncsThisVersion_ = 0; // fresh version, fresh admission budget
     while (history_.size() > cfg_.maxVersions)
         history_.erase(history_.begin());
     publishBuildMetrics(it->second);
     return it->second;
 }
 
+const CommunityModel *
+CloudUpdateService::findModel(u64 version) const
+{
+    const auto it = history_.find(version);
+    return it == history_.end() ? nullptr : &it->second;
+}
+
 const CommunityModel &
 CloudUpdateService::model(u64 version) const
 {
-    const auto it = history_.find(version);
-    pc_assert(it != history_.end(), "model version not in history");
-    return it->second;
+    const CommunityModel *m = findModel(version);
+    pc_assert(m != nullptr, "model version not in history");
+    return *m;
 }
 
-core::CommunityDelta
-CloudUpdateService::makeDelta(u64 from_version, u64 to_version) const
+std::optional<core::CommunityDelta>
+CloudUpdateService::tryMakeDelta(u64 from_version, u64 to_version) const
 {
     if (to_version == 0)
         to_version = latest_;
-    const CommunityModel &to = model(to_version);
+    const CommunityModel *to = findModel(to_version);
+    if (to == nullptr)
+        return std::nullopt;
     if (from_version == to_version) {
         core::CommunityDelta d;
         d.fromVersion = from_version;
         d.toVersion = to_version;
         return d;
     }
-    if (from_version == 0 || !hasVersion(from_version)) {
+    const CommunityModel *from = findModel(from_version);
+    if (from_version == 0 || from == nullptr) {
         // Never synced, or the device's version fell off the history
         // window: full install (diff against the empty model).
         const core::CacheContents empty;
-        return core::diffContents(empty, to.contents, 0, to_version);
+        return core::diffContents(empty, to->contents, 0, to_version);
     }
-    return core::diffContents(model(from_version).contents, to.contents,
+    return core::diffContents(from->contents, to->contents,
                               from_version, to_version);
+}
+
+core::CommunityDelta
+CloudUpdateService::makeDelta(u64 from_version, u64 to_version) const
+{
+    auto d = tryMakeDelta(from_version, to_version);
+    pc_assert(d.has_value(), "delta target version not in history");
+    return *std::move(d);
 }
 
 device::MobileDevice::CommunitySyncResult
 CloudUpdateService::syncDevice(device::MobileDevice &dev,
                                u64 target_version, device::ServePath path)
 {
+    if (cfg_.syncBudgetPerVersion != 0 &&
+        syncsThisVersion_ >= cfg_.syncBudgetPerVersion) {
+        // Budget spent: shed before generating a delta or touching
+        // the radio. The device stays at its version and retries
+        // after the next publish.
+        SyncAccounting acct;
+        acct.shed = true;
+        accountSync(acct);
+        device::MobileDevice::CommunitySyncResult res;
+        res.shed = true;
+        res.fromVersion = dev.communityVersion();
+        res.toVersion = dev.communityVersion();
+        return res;
+    }
+    if (cfg_.syncBudgetPerVersion != 0)
+        ++syncsThisVersion_;
     SyncAccounting acct;
     const auto res = syncDetached(dev, &acct, target_version, path);
     accountSync(acct);
@@ -72,16 +107,37 @@ CloudUpdateService::syncDetached(device::MobileDevice &dev,
 {
     if (target_version == 0)
         target_version = latest_;
-    const core::CommunityDelta delta =
-        makeDelta(dev.communityVersion(), target_version);
-    const auto res = dev.syncCommunityUpdate(delta, path);
+    u64 from_version = dev.communityVersion();
+    bool escalated = false;
+    if (from_version != 0 && dev.needsFullInstall()) {
+        // The device's incremental syncs keep dying corrupt/rejected;
+        // stop diffing against state we evidently disagree about and
+        // ship the whole target model.
+        from_version = 0;
+        escalated = true;
+    }
+    const auto delta = tryMakeDelta(from_version, target_version);
+    if (!delta.has_value()) {
+        // Target version off the window (or nothing published):
+        // typed failure, no radio traffic, device untouched.
+        device::MobileDevice::CommunitySyncResult res;
+        res.fromVersion = dev.communityVersion();
+        res.toVersion = dev.communityVersion();
+        if (acct)
+            acct->noVersion = true;
+        return res;
+    }
+    const auto res = dev.syncCommunityUpdate(*delta, path);
     if (acct) {
         acct->ok = res.ok;
         acct->deltaBytes = res.deltaBytes;
-        acct->adds = delta.adds.size();
-        acct->evicts = delta.evicts.size();
-        acct->reranks = delta.reranks.size();
-        acct->fullInstall = delta.fromVersion == 0;
+        acct->adds = delta->adds.size();
+        acct->evicts = delta->evicts.size();
+        acct->reranks = delta->reranks.size();
+        acct->fullInstall = delta->fromVersion == 0;
+        acct->rejected = res.rejected;
+        acct->escalated = escalated;
+        acct->corruptRetries = res.corruptRejected;
     }
     return res;
 }
@@ -89,6 +145,20 @@ CloudUpdateService::syncDetached(device::MobileDevice &dev,
 void
 CloudUpdateService::accountSync(const SyncAccounting &acct)
 {
+    if (acct.shed) {
+        registry_.counter("server.sync.shed").bump();
+        return;
+    }
+    if (acct.corruptRetries > 0)
+        registry_.counter("server.sync.corrupt_retries")
+            .bump(acct.corruptRetries);
+    if (acct.rejected)
+        registry_.counter("server.sync.rejected").bump();
+    if (acct.escalated)
+        registry_.counter("server.deltas.escalated_full_installs")
+            .bump();
+    if (acct.noVersion)
+        registry_.counter("server.sync.no_version").bump();
     if (acct.ok) {
         registry_.counter("server.syncs.ok").bump();
         registry_.counter("server.deltas.served").bump();
@@ -112,6 +182,9 @@ CloudUpdateService::publishBuildMetrics(const CommunityModel &m)
     registry_.counter("server.ingest.builds").bump();
     registry_.counter("server.ingest.records").bump(st.records);
     registry_.counter("server.ingest.batches").bump(st.batches);
+    if (st.skippedRecords > 0)
+        registry_.counter("server.ingest.skipped_records")
+            .bump(st.skippedRecords);
     registry_.gauge("server.model.version").set(double(m.version));
     registry_.gauge("server.model.pairs").set(double(st.distinctPairs));
     registry_.gauge("server.model.cached_pairs")

@@ -25,6 +25,7 @@
 #define PC_SERVER_SERVICE_H
 
 #include <map>
+#include <optional>
 
 #include "core/delta.h"
 #include "device/mobile_device.h"
@@ -46,6 +47,16 @@ struct ServiceConfig
      * window get a full install instead of a delta.
      */
     std::size_t maxVersions = 16;
+    /**
+     * Admission control: syncs admitted per published version through
+     * syncDevice() (0 = unbounded). Once a version's budget is spent,
+     * further syncs are shed — counted under "server.sync.shed", no
+     * delta generated, no radio traffic, device untouched — so a
+     * thundering-herd reconnect after a fleet-wide outage degrades
+     * into retry-next-window instead of an unbounded sync queue. The
+     * budget resets at every ingest().
+     */
+    u64 syncBudgetPerVersion = 0;
 };
 
 /**
@@ -76,6 +87,20 @@ class CloudUpdateService
         return history_.count(version) != 0;
     }
 
+    /** Oldest version still in the history window; 0 before ingest. */
+    u64
+    oldestVersion() const
+    {
+        return history_.empty() ? 0 : history_.begin()->first;
+    }
+
+    /**
+     * A model by version, or nullptr when the version is out of the
+     * history window (evicted, never published, or 0). The clean
+     * lookup path for anything driven by device-supplied versions.
+     */
+    const CommunityModel *findModel(u64 version) const;
+
     /** A model by version. @pre hasVersion(version). */
     const CommunityModel &model(u64 version) const;
 
@@ -83,11 +108,21 @@ class CloudUpdateService
     const CommunityModel &latest() const { return model(latest_); }
 
     /**
-     * Delta from `from_version` to `to_version` (0 = latest). A
-     * from-version of 0 or one that fell off the history produces a
-     * full install (delta against the empty model, fromVersion 0).
-     * Deterministic: the same two versions always yield byte-identical
-     * deltas (encodeDelta).
+     * Delta from `from_version` to `to_version` (0 = latest), or
+     * nullopt when the *target* version is unavailable (off-window
+     * request, or no model published yet) — a typed error instead of
+     * a crashed pipeline on a bad device request. A from-version of 0
+     * or one that fell off the history produces a full install (delta
+     * against the empty model, fromVersion 0). Deterministic: the
+     * same two versions always yield byte-identical deltas
+     * (encodeDelta).
+     */
+    std::optional<core::CommunityDelta>
+    tryMakeDelta(u64 from_version, u64 to_version = 0) const;
+
+    /**
+     * Asserting form of tryMakeDelta for callers that know the target
+     * exists. @pre the target version is in the history window.
      */
     core::CommunityDelta makeDelta(u64 from_version,
                                    u64 to_version = 0) const;
@@ -114,6 +149,13 @@ class CloudUpdateService
         std::size_t evicts = 0;
         std::size_t reranks = 0;
         bool fullInstall = false; ///< Delta was a from-v0 install.
+        bool shed = false;        ///< Admission control dropped the sync.
+        bool noVersion = false;   ///< Target version off the window.
+        bool rejected = false;    ///< Device rejected the delta (skew).
+        bool escalated = false;   ///< Full install forced by a bad-delta
+                                  ///< streak (device escalation).
+        u32 corruptRetries = 0;   ///< Frames the device re-requested
+                                  ///< after CRC failures.
     };
 
     /**
@@ -159,6 +201,8 @@ class CloudUpdateService
     /** version -> model; ordered so eviction drops the oldest. */
     std::map<u64, CommunityModel> history_;
     u64 latest_ = 0;
+    /** Syncs admitted against the current version (admission control). */
+    u64 syncsThisVersion_ = 0;
     obs::MetricRegistry registry_;
 };
 

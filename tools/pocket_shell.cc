@@ -21,6 +21,12 @@
  *   server [s] [t]    run the cloud update service with s shards and
  *                     t worker threads: mine two model versions and
  *                     print shard stats + delta sync sizes
+ *   chaos [n] [m] [f] [b]  chaos-test the sync path: n devices x m
+ *                     months under a month-1 outage storm, payload
+ *                     bit-flip rate f, shed budget b, with a
+ *                     version-skew cohort; prints what the resilience
+ *                     machinery did and whether the sync invariants
+ *                     held
  *   help / quit
  *
  * Also usable non-interactively:  echo "search foo" | pocket_shell
@@ -67,6 +73,11 @@ help()
         "  server [s] [t]  cloud update service: mine two community\n"
         "                  model versions with s shards x t threads,\n"
         "                  print shard stats and delta sync sizes\n"
+        "  chaos [n] [m] [f] [b]  chaos-test the sync path: n devices\n"
+        "                  x m months, month-1 outage storm, payload\n"
+        "                  bit-flip rate f (0..1), shed budget b\n"
+        "                  devices/month (0 = off), plus a version-\n"
+        "                  skew cohort; reports sync-invariant status\n"
         "  help, quit\n");
 }
 
@@ -195,6 +206,78 @@ runServerCommand(harness::Workbench &wb, u32 shards, u32 threads)
             humanBytes(core::deltaWireBytes(monthly, wb.universe()))
                 .c_str()});
     dt.print();
+}
+
+/**
+ * The `chaos` command: a small chaos-engineering run against the sync
+ * path — outage storm, bit flips, a version-skew cohort, optional
+ * admission control — ending with the invariant verdict.
+ */
+void
+runChaosCommand(harness::Workbench &wb, std::size_t devices, u32 months,
+                double flipRate, u64 budget)
+{
+    server::ServiceConfig scfg;
+    scfg.build.shards = 4;
+    scfg.build.threads = 2;
+    scfg.maxVersions = 2; // slide the window: skew claims fall off it
+    server::CloudUpdateService svc(wb.universe(), scfg);
+    std::printf("mining 3 community months (window keeps 2)...\n");
+    svc.ingest(wb.buildLog());
+    svc.ingest(wb.nextCommunityMonth());
+    svc.ingest(wb.nextCommunityMonth());
+
+    harness::FleetRunConfig cfg;
+    cfg.devices = devices;
+    cfg.months = months;
+    cfg.cloud = &svc;
+    cfg.chaos.enabled = true;
+    cfg.chaos.stormStartMonth = 1;
+    cfg.chaos.stormMonths = 1;
+    cfg.chaos.payloadCorruptRate = flipRate;
+    cfg.chaos.skewEvery = 5;
+    cfg.chaos.herdBudgetPerMonth = budget;
+
+    obs::FleetConfig fc;
+    fc.windowWidth = workload::kMonth;
+    obs::FleetCollector collector(fc);
+    std::printf("%zu devices x %u months: month-1 storm, %.0f%% bit "
+                "flips, shed budget %s...\n",
+                devices, months, 100.0 * flipRate,
+                budget ? strformat("%llu/month",
+                                   (unsigned long long)budget)
+                             .c_str()
+                       : "off");
+    const auto run = harness::runFleet(wb, cfg, collector);
+
+    AsciiTable t("what the resilience machinery did");
+    t.header({"event", "count"});
+    t.row({"syncs applied",
+           strformat("%llu", (unsigned long long)run.cloudSyncs)});
+    t.row({"syncs failed (radio/corrupt)",
+           strformat("%llu",
+                     (unsigned long long)run.cloudSyncFailures)});
+    t.row({"syncs shed (admission)",
+           strformat("%llu", (unsigned long long)run.cloudSyncsShed)});
+    t.row({"corrupt frames caught (CRC)",
+           strformat("%llu", (unsigned long long)run.corruptRejected)});
+    t.row({"deltas rejected (validation)",
+           strformat("%llu", (unsigned long long)run.rejectedDeltas)});
+    t.row({"escalated full installs",
+           strformat("%llu",
+                     (unsigned long long)run.escalatedFullInstalls)});
+    t.row({"devices verified vs server",
+           strformat("%llu/%zu", (unsigned long long)run.devicesVerified,
+                     run.devices)});
+    t.print();
+    std::printf("sync invariants: %s\n",
+                run.invariantViolations
+                    ? strformat("** %llu VIOLATIONS **",
+                                (unsigned long long)
+                                    run.invariantViolations)
+                          .c_str()
+                    : "held (every synced device byte-identical to "
+                      "the server model)");
 }
 
 } // namespace
@@ -371,6 +454,30 @@ main()
                 continue;
             }
             runServerCommand(wb, shards, threads);
+        } else if (cmd == "chaos") {
+            std::size_t n = 0;
+            u32 months = 0;
+            double flip = 0.0;
+            u64 budget = 0;
+            if (!(iss >> n))
+                n = 20;
+            if (!(iss >> months))
+                months = 6;
+            if (!(iss >> flip))
+                flip = 0.3;
+            if (!(iss >> budget))
+                budget = 0;
+            if (n == 0 || months == 0 || flip < 0.0 || flip > 1.0) {
+                std::printf("need >=1 device, >=1 month and a flip "
+                            "rate in [0,1]\n");
+                continue;
+            }
+            if (n > 5000 || months > 24) {
+                std::printf("keeping it interactive: max 5000 devices,"
+                            " 24 months\n");
+                continue;
+            }
+            runChaosCommand(wb, n, months, flip, budget);
         } else if (cmd == "update") {
             const auto fresh_log = wb.nextCommunityMonth();
             const auto fresh =
