@@ -18,10 +18,18 @@
  *  - a tight shed budget drains the post-storm thundering herd over
  *    several months instead of admitting everyone at once.
  *
- * Everything is seeded and single-threaded here (the thread-identity
- * property is bench_fleet_telemetry's and chaos_grid_test's job); two
- * runs of this binary print identical bytes, and CI double-runs it to
- * prove that. The BENCH_ablation_chaos.json report is gated against
+ * A second, deliberately-broken sweep proves the postmortem engine:
+ * sabotage cells silently corrupt every s-th converged device's table
+ * after its run (a corruption no CRC frame ever saw), and the bench
+ * exits non-zero unless every sabotage — and nothing else — trips the
+ * digest invariant, each violation arriving as an InvariantReport
+ * whose causal chain spans both tiers. The combined reports land as
+ * BENCH_ablation_chaos_postmortem.json next to the bench report
+ * (tools/trace_explain renders it).
+ *
+ * Everything is seeded; --threads/PC_THREADS only changes wall time,
+ * never bytes (CI double-runs at --threads 1 vs 4 and diffs both
+ * artifacts). The BENCH_ablation_chaos.json report is gated against
  * the committed baseline by bench_diff.
  */
 
@@ -42,6 +50,7 @@ struct Cell
 {
     double flipRate;
     u64 herdBudget;
+    u32 sabotageEvery = 0;
     FleetRunResult run;
 };
 
@@ -58,7 +67,8 @@ slicedLog(const Workbench &wb, std::size_t n)
 
 FleetRunResult
 runCell(Workbench &wb, const workload::SearchLog &thirdMonth,
-        double flipRate, u64 herdBudget)
+        double flipRate, u64 herdBudget, u32 sabotageEvery,
+        unsigned threads)
 {
     // Fresh service per cell (its registry accumulates accounting).
     // maxVersions=2 slides the history window so the skew cohort's
@@ -83,6 +93,8 @@ runCell(Workbench &wb, const workload::SearchLog &thirdMonth,
     cfg.chaos.payloadCorruptRate = flipRate;
     cfg.chaos.skewEvery = 5;
     cfg.chaos.herdBudgetPerMonth = herdBudget;
+    cfg.chaos.sabotageEvery = sabotageEvery;
+    cfg.threads = threads;
 
     obs::FleetConfig fc;
     fc.windowWidth = workload::kMonth;
@@ -94,18 +106,34 @@ runCell(Workbench &wb, const workload::SearchLog &thirdMonth,
 std::string
 cellKey(const Cell &c)
 {
+    if (c.sabotageEvery != 0)
+        return strformat("flip%.0f.sabotage%u", 100.0 * c.flipRate,
+                         c.sabotageEvery);
     return strformat("flip%.0f.budget%llu", 100.0 * c.flipRate,
                      (unsigned long long)c.herdBudget);
+}
+
+/** True iff the chain has at least one event from each tier. */
+bool
+chainSpansBothTiers(const std::vector<obs::SyncEvent> &chain)
+{
+    bool dev = false, srv = false;
+    for (const auto &ev : chain) {
+        dev = dev || ev.tier == obs::SyncTier::Device;
+        srv = srv || ev.tier == obs::SyncTier::Server;
+    }
+    return dev && srv;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned threads = bench::threadsKnob(argc, argv, 1);
     bench::banner("Chaos ablation",
                   "60 devices, 6 months, month-1 outage storm, "
-                  "bit-flip rate x shed budget");
+                  "bit-flip rate x shed budget + sabotage postmortems");
     Workbench wb(smallWorkbenchConfig());
     // Generated once: every cell's service must ingest identical logs.
     const workload::SearchLog thirdMonth = wb.nextCommunityMonth();
@@ -119,9 +147,24 @@ main()
             Cell c;
             c.flipRate = rate;
             c.herdBudget = budget;
-            c.run = runCell(wb, thirdMonth, rate, budget);
+            c.run = runCell(wb, thirdMonth, rate, budget, 0, threads);
             cells.push_back(c);
         }
+
+    // Sabotage cells: broken on purpose — the invariant MUST trip,
+    // once per sabotaged device, and every trip must come back
+    // explained with a two-tier causal chain.
+    const u32 kSabotage[] = {7, 3};
+    std::vector<Cell> sabCells;
+    for (const u32 every : kSabotage) {
+        Cell c;
+        c.flipRate = 0.25;
+        c.herdBudget = 0;
+        c.sabotageEvery = every;
+        c.run = runCell(wb, thirdMonth, c.flipRate, c.herdBudget,
+                        every, threads);
+        sabCells.push_back(c);
+    }
 
     u64 violations = 0;
     AsciiTable t("Chaos sweep (flip rate x shed budget)");
@@ -151,6 +194,42 @@ main()
     std::printf("\nchaos invariants: %s\n",
                 violations ? "** VIOLATED **" : "held across the sweep");
 
+    // Postmortem gate: in every sabotage cell, violations ==
+    // sabotaged devices (ground truth), all of them explained as
+    // sabotage with a causal chain spanning both tiers.
+    u64 unexplained = 0;
+    std::vector<InvariantReport> allReports;
+    AsciiTable pt("Sabotage postmortems (deliberately broken)");
+    pt.header({"every", "sabotaged", "violations", "explained",
+               "verdict"});
+    for (const Cell &c : sabCells) {
+        u64 explained = 0;
+        for (const InvariantReport &r : c.run.invariantReports) {
+            const bool ok = r.sabotaged &&
+                            r.kind == InvariantKind::DigestMismatch &&
+                            chainSpansBothTiers(r.chain);
+            explained += ok;
+            allReports.push_back(r);
+        }
+        const bool pass =
+            c.run.devicesSabotaged > 0 &&
+            c.run.invariantViolations == c.run.devicesSabotaged &&
+            explained == c.run.invariantReports.size();
+        if (!pass)
+            ++unexplained;
+        pt.row({strformat("%u", c.sabotageEvery),
+                strformat("%llu",
+                          (unsigned long long)c.run.devicesSabotaged),
+                strformat("%llu",
+                          (unsigned long long)c.run.invariantViolations),
+                strformat("%llu", (unsigned long long)explained),
+                pass ? "explained" : "** UNEXPLAINED **"});
+    }
+    pt.print();
+    std::printf("\nsabotage postmortems: %s\n",
+                unexplained ? "** UNEXPLAINED VIOLATIONS **"
+                            : "every violation explained, both tiers");
+
     obs::BenchReport report("ablation_chaos",
                             "Sync robustness under seeded chaos");
     report.note("devices", "60");
@@ -170,7 +249,22 @@ main()
         report.metric(key + ".invariant_violations",
                       double(c.run.invariantViolations));
     }
+    for (const Cell &c : sabCells) {
+        const std::string key = cellKey(c);
+        report.metric(key + ".sabotaged",
+                      double(c.run.devicesSabotaged));
+        report.metric(key + ".violations",
+                      double(c.run.invariantViolations));
+    }
     bench::emitReport(report);
 
-    return violations ? 2 : 0;
+    // The explained postmortems, as a machine-readable artifact
+    // (deliberately not a "bench" document — bench_diff skips it; the
+    // BENCH_ prefix keeps it under CI's JSON validation glob).
+    const std::string pmPath = obs::BenchReport::outputDir() +
+                               "/BENCH_ablation_chaos_postmortem.json";
+    if (writePostmortemFile(pmPath, allReports))
+        std::printf("wrote %s\n", pmPath.c_str());
+
+    return (violations || unexplained) ? 2 : 0;
 }

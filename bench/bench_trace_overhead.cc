@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Trace overhead — proof that causal sync tracing is free when off
+ * and allocation/RNG-neutral when on.
+ *
+ * Runs the same seeded sync workload twice — flight recorder detached,
+ * then attached — over fresh devices syncing against an identical
+ * two-version cloud service under radio faults (failures, retries,
+ * payload corruption), and gates the cost contract from obs/causal.h:
+ *
+ *  - behaviour identity: both phases produce byte-identical sync
+ *    outcomes (successes, wire bytes, sim time, backoff) and consume
+ *    exactly the same number of fault-plan RNG draws — attaching a
+ *    recorder cannot perturb a seeded experiment;
+ *  - zero allocations: a global operator-new counter sees the same
+ *    allocation count in both phases — the ring is preallocated and
+ *    SyncEvent is a POD, so recording never touches the heap;
+ *  - bounded wall cost: the attached phase must stay within 1.5x the
+ *    detached phase plus slack (console-only number — wall time never
+ *    goes in the deterministic report).
+ *
+ * Exits non-zero when any gate trips. The BENCH_trace_overhead.json
+ * report carries only deterministic metrics (deltas, event counts)
+ * and is gated against its committed baseline by bench_diff.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <optional>
+
+#include "bench_common.h"
+#include "fault/fault_plan.h"
+#include "harness/workbench.h"
+#include "obs/causal.h"
+#include "server/service.h"
+
+// Count every heap allocation in the process: the whole point of this
+// bench is that the attached and detached phases show the same count.
+namespace {
+std::atomic<unsigned long long> g_allocs{0};
+}
+
+void *
+operator new(std::size_t n)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+using namespace pc;
+using namespace pc::harness;
+
+namespace {
+
+constexpr std::size_t kDevices = 40;
+
+struct Phase
+{
+    u64 okSyncs = 0;
+    u64 attempts = 0;
+    u64 wireBytes = 0;
+    SimTime simTime = 0;
+    SimTime backoff = 0;
+    u64 rngDraws = 0;
+    u64 allocs = 0;   ///< Heap allocations inside the sync windows.
+    u64 recorded = 0; ///< Flight-recorder events (attached phase).
+    u64 dropped = 0;
+    double wallMs = 0.0;
+};
+
+/**
+ * One phase: kDevices fresh devices, each under its own seeded fault
+ * plan, syncing once against a fresh service built from the same two
+ * logs. Only the syncDevice() calls sit inside the measurement
+ * window; recorder construction (which allocates its ring, once) and
+ * event extraction stay outside it.
+ */
+Phase
+runPhase(const Workbench &wb, const workload::SearchLog &secondMonth,
+         bool attach)
+{
+    server::ServiceConfig scfg;
+    scfg.build.shards = 4;
+    scfg.build.threads = 2;
+    server::CloudUpdateService svc(wb.universe(), scfg);
+    svc.ingest(wb.buildLog());
+    svc.ingest(secondMonth);
+
+    Phase out;
+    for (std::size_t i = 0; i < kDevices; ++i) {
+        device::MobileDevice dev(wb.universe());
+        fault::FaultConfig fc;
+        fc.seed = 77 + u64(i);
+        fc.radio.exchangeFailureRate = 0.3;
+        fc.radio.payloadCorruptRate = 0.25;
+        fault::FaultPlan plan(fc);
+        dev.attachFaults(&plan);
+
+        std::optional<obs::FlightRecorder> rec;
+        if (attach) {
+            rec.emplace(u64(i));
+            dev.attachFlightRecorder(&*rec);
+        }
+
+        const u64 allocs0 = g_allocs.load(std::memory_order_relaxed);
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto res = svc.syncDevice(dev);
+        const auto t1 = std::chrono::steady_clock::now();
+        out.allocs +=
+            g_allocs.load(std::memory_order_relaxed) - allocs0;
+        out.wallMs += std::chrono::duration<double, std::milli>(
+                          t1 - t0).count();
+
+        out.okSyncs += res.ok;
+        out.attempts += res.attempts;
+        out.wireBytes += res.deltaBytes;
+        out.simTime += res.time;
+        out.backoff += res.backoffTime;
+        out.rngDraws += plan.rngDraws();
+        if (rec.has_value()) {
+            out.recorded += rec->recorded();
+            out.dropped += rec->dropped();
+            dev.attachFlightRecorder(nullptr);
+        }
+        dev.attachFaults(nullptr);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Trace overhead",
+                  "flight recorder detached vs attached over one "
+                  "seeded faulty sync workload");
+    Workbench wb(smallWorkbenchConfig());
+    const workload::SearchLog secondMonth = wb.nextCommunityMonth();
+
+    const Phase off = runPhase(wb, secondMonth, /*attach=*/false);
+    const Phase on = runPhase(wb, secondMonth, /*attach=*/true);
+
+    AsciiTable t("detached vs attached (must not diverge)");
+    t.header({"metric", "detached", "attached"});
+    t.row({"syncs ok",
+           strformat("%llu/%zu", (unsigned long long)off.okSyncs,
+                     kDevices),
+           strformat("%llu/%zu", (unsigned long long)on.okSyncs,
+                     kDevices)});
+    t.row({"radio attempts",
+           strformat("%llu", (unsigned long long)off.attempts),
+           strformat("%llu", (unsigned long long)on.attempts)});
+    t.row({"wire bytes",
+           strformat("%llu", (unsigned long long)off.wireBytes),
+           strformat("%llu", (unsigned long long)on.wireBytes)});
+    t.row({"sim time", humanTime(off.simTime).c_str(),
+           humanTime(on.simTime).c_str()});
+    t.row({"rng draws",
+           strformat("%llu", (unsigned long long)off.rngDraws),
+           strformat("%llu", (unsigned long long)on.rngDraws)});
+    t.row({"heap allocations",
+           strformat("%llu", (unsigned long long)off.allocs),
+           strformat("%llu", (unsigned long long)on.allocs)});
+    t.row({"events recorded", "0",
+           strformat("%llu", (unsigned long long)on.recorded)});
+    t.row({"wall clock", strformat("%.1f ms", off.wallMs),
+           strformat("%.1f ms", on.wallMs)});
+    t.print();
+
+    const bool sameBehaviour =
+        off.okSyncs == on.okSyncs && off.attempts == on.attempts &&
+        off.wireBytes == on.wireBytes && off.simTime == on.simTime &&
+        off.backoff == on.backoff;
+    const bool drawNeutral = off.rngDraws == on.rngDraws;
+    const bool allocNeutral = off.allocs == on.allocs;
+    // Recording is a handful of POD copies per multi-millisecond
+    // sync; 1.5x plus fixed slack is already very generous.
+    const bool wallBounded = on.wallMs <= off.wallMs * 1.5 + 50.0;
+
+    std::printf("\nbehaviour identical: %s\n",
+                sameBehaviour ? "yes" : "** NO **");
+    std::printf("rng-draw neutral:    %s (delta %+lld)\n",
+                drawNeutral ? "yes" : "** NO **",
+                (long long)(on.rngDraws - off.rngDraws));
+    std::printf("allocation neutral:  %s (delta %+lld)\n",
+                allocNeutral ? "yes" : "** NO **",
+                (long long)(on.allocs - off.allocs));
+    std::printf("wall cost bounded:   %s (%.1f ms -> %.1f ms)\n",
+                wallBounded ? "yes" : "** NO **", off.wallMs,
+                on.wallMs);
+
+    obs::BenchReport report("trace_overhead",
+                            "Flight-recorder cost: off is free, on is "
+                            "alloc/RNG neutral");
+    report.note("devices", strformat("%zu", kDevices));
+    report.note("faults", "30% exchange failures, 25% payload flips");
+    report.metric("alloc_delta", double(on.allocs - off.allocs));
+    report.metric("rng_draw_delta",
+                  double(on.rngDraws - off.rngDraws));
+    report.metric("events_recorded", double(on.recorded));
+    report.metric("events_dropped", double(on.dropped));
+    report.metric("syncs_ok", double(on.okSyncs));
+    report.metric("radio_attempts", double(on.attempts));
+    bench::emitReport(report);
+
+    return (sameBehaviour && drawNeutral && allocNeutral && wallBounded)
+               ? 0
+               : 2;
+}

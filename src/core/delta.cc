@@ -355,16 +355,50 @@ frameDelta(const CommunityDelta &delta)
 std::optional<CommunityDelta>
 unframeDelta(std::string_view frame)
 {
-    if (frame.size() < kDeltaFrameOverhead ||
-        std::memcmp(frame.data(), kFrameMagic, 4) != 0)
+    FrameError err;
+    return unframeDelta(frame, &err);
+}
+
+const char *
+frameErrorName(FrameError e)
+{
+    switch (e) {
+      case FrameError::None: return "crc_ok";
+      case FrameError::TooShort: return "crc_too_short";
+      case FrameError::BadMagic: return "crc_bad_magic";
+      case FrameError::LengthMismatch: return "crc_length_mismatch";
+      case FrameError::BadChecksum: return "crc_bad_checksum";
+      case FrameError::BadPayload: return "crc_bad_payload";
+    }
+    return "?";
+}
+
+std::optional<CommunityDelta>
+unframeDelta(std::string_view frame, FrameError *error)
+{
+    *error = FrameError::None;
+    if (frame.size() < kDeltaFrameOverhead) {
+        *error = FrameError::TooShort;
         return std::nullopt;
+    }
+    if (std::memcmp(frame.data(), kFrameMagic, 4) != 0) {
+        *error = FrameError::BadMagic;
+        return std::nullopt;
+    }
     const u32 len = get<u32>(frame.data() + 4);
-    if (frame.size() != std::size_t(len) + kDeltaFrameOverhead)
+    if (frame.size() != std::size_t(len) + kDeltaFrameOverhead) {
+        *error = FrameError::LengthMismatch;
         return std::nullopt;
+    }
     const std::string_view payload = frame.substr(8, len);
-    if (get<u32>(frame.data() + 8 + len) != crc32(payload))
+    if (get<u32>(frame.data() + 8 + len) != crc32(payload)) {
+        *error = FrameError::BadChecksum;
         return std::nullopt;
-    return decodeDelta(payload);
+    }
+    auto delta = decodeDelta(payload);
+    if (!delta)
+        *error = FrameError::BadPayload;
+    return delta;
 }
 
 Bytes

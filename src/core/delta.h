@@ -169,6 +169,28 @@ std::string frameDelta(const CommunityDelta &delta);
  */
 std::optional<CommunityDelta> unframeDelta(std::string_view frame);
 
+/** Which integrity check a received frame failed. */
+enum class FrameError : u8
+{
+    None = 0,       ///< Frame verified and decoded.
+    TooShort,       ///< Shorter than header + checksum.
+    BadMagic,       ///< Frame magic mismatch.
+    LengthMismatch, ///< Declared length != delivered bytes.
+    BadChecksum,    ///< CRC-32 of the payload does not match.
+    BadPayload,     ///< Checksum fine but the payload fails decode.
+};
+
+/** Display name of a frame error ("crc_bad_checksum", ...). */
+const char *frameErrorName(FrameError e);
+
+/**
+ * unframeDelta with a typed verdict: `*error` reports which check
+ * failed (FrameError::None on success) so trace events can carry the
+ * cause instead of a bare reject.
+ */
+std::optional<CommunityDelta> unframeDelta(std::string_view frame,
+                                           FrameError *error);
+
 /**
  * Modelled radio payload of one delta sync: the integrity frame plus
  * the result records shipped alongside the adds (the "patch files" of

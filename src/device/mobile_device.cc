@@ -459,6 +459,34 @@ MobileDevice::syncMissQueue(ServePath path)
     return res;
 }
 
+void
+MobileDevice::beginSyncTrace()
+{
+    if (recorder_ == nullptr)
+        return;
+    syncCtx_ = recorder_->beginTrace();
+    obs::SyncEvent ev;
+    ev.stage = obs::SyncStage::SyncRequest;
+    ev.tier = obs::SyncTier::Device;
+    ev.fromVersion = communityVersion_;
+    ev.toVersion = communityVersion_;
+    ev.start = now_;
+    recordSyncStage(ev);
+}
+
+void
+MobileDevice::recordSyncStage(obs::SyncEvent ev)
+{
+    if (recorder_ == nullptr || !syncCtx_.valid())
+        return;
+    ev.traceId = syncCtx_.traceId;
+    ev.span = syncCtx_.newSpan();
+    ev.parent = syncCtx_.rootSpan;
+    recorder_->record(ev);
+    if (syncCtx_.rootSpan == 0)
+        syncCtx_.rootSpan = ev.span;
+}
+
 MobileDevice::CommunitySyncResult
 MobileDevice::syncCommunityUpdate(const core::CommunityDelta &delta,
                                   ServePath path)
@@ -479,6 +507,12 @@ MobileDevice::syncCommunityFrame(const std::string &frame,
     res.toVersion = communityVersion_;
     res.deltaBytes = wire_bytes;
 
+    // A device-initiated sync (no service orchestrating) opens its
+    // own trace; a service-driven one arrives with the context already
+    // holding the server-tier stages.
+    if (recorder_ != nullptr && !syncCtx_.valid())
+        beginSyncTrace();
+
     radio::RadioLink &radio = link(path);
     fault::FaultyLink flink(radio, faults_);
     const RetryPolicy &rp = cfg_.retry;
@@ -492,12 +526,25 @@ MobileDevice::syncCommunityFrame(const std::string &frame,
             ++resilience_.retries;
             bumpCtr(metrics_.retries);
         }
+        const SimTime attemptStart = now_ + elapsed;
         const auto oc =
-            flink.attempt(now_ + elapsed, cfg_.syncRequestBytes,
+            flink.attempt(attemptStart, cfg_.syncRequestBytes,
                           res.deltaBytes, cfg_.serverTime);
         res.time += oc.xfer.latency;
         res.energy += oc.xfer.radioEnergy;
         elapsed += oc.xfer.latency;
+        if (recorder_ != nullptr) {
+            obs::SyncEvent ev;
+            ev.stage = obs::SyncStage::FrameDelivery;
+            ev.ok = oc.ok;
+            ev.attempt = attempt;
+            ev.fromVersion = res.fromVersion;
+            ev.bytes = res.deltaBytes;
+            ev.detail = oc.noCoverage ? 1 : oc.failed ? 2 : 0;
+            ev.start = attemptStart;
+            ev.duration = oc.xfer.latency;
+            recordSyncStage(ev);
+        }
         if (oc.ok) {
             if (oc.latencySpike) {
                 ++resilience_.latencySpikes;
@@ -508,7 +555,18 @@ MobileDevice::syncCommunityFrame(const std::string &frame,
             std::string received = frame;
             if (faults_)
                 faults_->maybeCorruptPayload(received);
-            delta = core::unframeDelta(received);
+            core::FrameError ferr;
+            delta = core::unframeDelta(received, &ferr);
+            if (recorder_ != nullptr) {
+                obs::SyncEvent ev;
+                ev.stage = obs::SyncStage::CrcCheck;
+                ev.ok = delta.has_value();
+                ev.attempt = attempt;
+                ev.fromVersion = res.fromVersion;
+                ev.detail = u64(ferr);
+                ev.start = now_ + elapsed;
+                recordSyncStage(ev);
+            }
             if (delta.has_value()) {
                 res.ok = true;
                 break;
@@ -539,6 +597,16 @@ MobileDevice::syncCommunityFrame(const std::string &frame,
         if (faults_)
             backoff = SimTime(std::llround(double(backoff) *
                                            faults_->jitter(rp.jitter)));
+        if (recorder_ != nullptr) {
+            obs::SyncEvent ev;
+            ev.stage = obs::SyncStage::Backoff;
+            ev.attempt = attempt;
+            ev.fromVersion = res.fromVersion;
+            ev.start = now_ + elapsed;
+            ev.duration = backoff;
+            recordSyncStage(ev);
+        }
+        res.backoffTime += backoff;
         elapsed += backoff;
     }
     now_ += elapsed;
@@ -549,11 +617,32 @@ MobileDevice::syncCommunityFrame(const std::string &frame,
         // out. Pure radio failure retries as-is next window.
         if (res.corruptRejected > 0)
             ++badDeltaStreak_;
+        if (recorder_ != nullptr) {
+            obs::SyncEvent ev;
+            ev.stage = obs::SyncStage::Abort;
+            ev.ok = false;
+            ev.attempt = res.attempts;
+            ev.fromVersion = res.fromVersion;
+            ev.detail = res.corruptRejected;
+            ev.start = now_;
+            recordSyncStage(ev);
+        }
+        clearSyncTrace();
         return res;
     }
 
     SimTime apply = 0;
     const auto ar = core::tryApplyCommunityDelta(*ps_, *delta, apply);
+    if (recorder_ != nullptr) {
+        obs::SyncEvent ev;
+        ev.stage = obs::SyncStage::Validate;
+        ev.ok = ar.ok;
+        ev.fromVersion = delta->fromVersion;
+        ev.toVersion = delta->toVersion;
+        ev.detail = u64(ar.error);
+        ev.start = now_;
+        recordSyncStage(ev);
+    }
     if (!ar.ok) {
         // Verified frame, but the delta does not fit this device's
         // state (version skew). Transactional apply left the cache
@@ -564,8 +653,31 @@ MobileDevice::syncCommunityFrame(const std::string &frame,
         ++resilience_.rejectedDeltas;
         bumpCtr(metrics_.rejectedDelta);
         ++badDeltaStreak_;
+        if (recorder_ != nullptr) {
+            obs::SyncEvent ev;
+            ev.stage = obs::SyncStage::Reject;
+            ev.ok = false;
+            ev.fromVersion = delta->fromVersion;
+            ev.toVersion = delta->toVersion;
+            ev.detail = u64(ar.error);
+            ev.start = now_;
+            recordSyncStage(ev);
+        }
+        clearSyncTrace();
         return res;
     }
+    if (recorder_ != nullptr) {
+        obs::SyncEvent ev;
+        ev.stage = obs::SyncStage::Commit;
+        ev.fromVersion = delta->fromVersion;
+        ev.toVersion = delta->toVersion;
+        ev.detail = u64(ar.stats.added + ar.stats.evicted +
+                        ar.stats.reranked);
+        ev.start = now_;
+        ev.duration = apply;
+        recordSyncStage(ev);
+    }
+    clearSyncTrace();
     res.apply = ar.stats;
     res.time += apply;
     now_ += apply;

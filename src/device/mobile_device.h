@@ -22,6 +22,7 @@
 #include "core/pocket_search.h"
 #include "device/browser.h"
 #include "fault/faulty_link.h"
+#include "obs/causal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "radio/link.h"
@@ -215,6 +216,43 @@ class MobileDevice
     void attachTracer(obs::Tracer *tracer,
                       const std::string &track_label = "device");
 
+    /**
+     * Attach a flight recorder: every community sync records typed
+     * causal events (obs/causal.h) covering both tiers of the
+     * pipeline. nullptr detaches; a detached device pays exactly one
+     * pointer test per sync stage — no allocation, no RNG draw, no
+     * behaviour change (bench_trace_overhead gates this).
+     */
+    void attachFlightRecorder(obs::FlightRecorder *rec)
+    {
+        recorder_ = rec;
+    }
+
+    /** The attached flight recorder (may be nullptr). */
+    obs::FlightRecorder *flightRecorder() const { return recorder_; }
+
+    /**
+     * Open the causal trace of the next community sync and record its
+     * root SyncRequest event. The cloud service calls this before the
+     * version lookup so server-tier stages land in the same trace; a
+     * device-initiated sync opens one lazily. No-op without a
+     * recorder.
+     */
+    void beginSyncTrace();
+
+    /** Discard the active sync trace (shed / no-version outcomes). */
+    void clearSyncTrace() { syncCtx_ = obs::TraceContext{}; }
+
+    /**
+     * Record one stage into the active sync trace: the context's
+     * trace/span ids are filled in here, then the event is copied into
+     * the recorder. No-op when no recorder or no open trace. The
+     * service uses this to land server-tier stages in the device's
+     * ring — the recorder is private to the device's worker, so the
+     * cross-tier chain stays thread-free and deterministic.
+     */
+    void recordSyncStage(obs::SyncEvent ev);
+
     /** What the device did about injected faults. */
     const ResilienceStats &resilience() const { return resilience_; }
 
@@ -251,7 +289,8 @@ class MobileDevice
         u64 toVersion = 0;   ///< Version after (== from on failure).
         u32 attempts = 0;    ///< Radio attempts made.
         Bytes deltaBytes = 0;  ///< Downlink payload (delta wire size).
-        SimTime time = 0;      ///< Radio + backoff + apply time.
+        SimTime time = 0;      ///< Radio + apply time.
+        SimTime backoffTime = 0; ///< Wait between retry attempts.
         MicroJoules energy = 0; ///< Radio energy spent.
         u32 corruptRejected = 0; ///< Frames rejected by the CRC check.
         /** The verified delta failed validation (state mismatch). */
@@ -411,6 +450,8 @@ class MobileDevice
     Metrics metrics_;
     obs::Tracer *tracer_ = nullptr;
     u32 traceTrack_ = 0;
+    obs::FlightRecorder *recorder_ = nullptr;
+    obs::TraceContext syncCtx_;
 };
 
 } // namespace pc::device

@@ -184,6 +184,13 @@ class FaultPlan
     /** Faults injected so far. */
     const InjectedStats &stats() const { return stats_; }
 
+    /**
+     * Raw RNG draws consumed so far. Draw-neutrality gate: a feature
+     * that must not perturb the fault stream (e.g. trace recording)
+     * leaves this count unchanged (bench_trace_overhead enforces it).
+     */
+    u64 rngDraws() const { return rng_.draws(); }
+
     /** Injected-fault counters as a mergeable bag. */
     CounterBag toCounters() const;
 

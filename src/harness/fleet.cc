@@ -118,6 +118,9 @@ struct DeviceTelemetry
     u64 rejectedDeltas = 0;   ///< Deltas validation rejected.
     u64 injectedCorruptions = 0; ///< Flips the fault plans injected.
     u64 shedSyncs = 0;        ///< Syncs shed by the admission rule.
+    bool sabotaged = false;   ///< Chaos silently corrupted this table.
+    /** Flight-recorder window (chaos only), for postmortems. */
+    std::vector<obs::SyncEvent> events;
 };
 
 /**
@@ -145,6 +148,17 @@ simulateDevice(const Workbench &wb, const FleetRunConfig &cfg,
     if (!cfg.cloud)
         dev.installCommunityCache(wb.communityCache());
     dev.attachMetrics(out.registry.get());
+
+    // Chaos attaches the flight recorder: every sync leaves a causal
+    // event chain (both tiers), so an invariant trip comes back as an
+    // explained postmortem instead of a bare count. The recorder is
+    // private to this worker — recording stays deterministic and
+    // thread-free.
+    std::optional<obs::FlightRecorder> recorder;
+    if (chaos) {
+        recorder.emplace(u64(i), cfg.recorderCapacity);
+        dev.attachFlightRecorder(&*recorder);
+    }
 
     // Version-skew cohort: every skewEvery-th device claims a model
     // version it never installed, alternating between an in-window lie
@@ -255,6 +269,38 @@ simulateDevice(const Workbench &wb, const FleetRunConfig &cfg,
     }
     dev.attachFaults(nullptr);
 
+    // Deliberate sabotage: silently bump one cached pair's score —
+    // a corruption the CRC frame never saw. The digest invariant must
+    // trip and the postmortem must explain it; the Sabotage event is
+    // the ground-truth marker the report carries.
+    if (chaos && cfg.chaos.sabotageEvery != 0 && cfg.cloud &&
+        i % cfg.chaos.sabotageEvery == 0 &&
+        cfg.cloud->latestVersion() > 0 &&
+        dev.communityVersion() == cfg.cloud->latestVersion()) {
+        const auto &pairs = cfg.cloud->latest().contents.pairs;
+        if (!pairs.empty()) {
+            const auto &victim = pairs.front();
+            if (dev.pocketSearch().setPairScore(victim.pair,
+                                                victim.score + 1.0)) {
+                out.sabotaged = true;
+                if (recorder.has_value()) {
+                    obs::TraceContext ctx = recorder->beginTrace();
+                    obs::SyncEvent ev;
+                    ev.traceId = ctx.traceId;
+                    ev.span = ctx.newSpan();
+                    ev.tier = obs::SyncTier::Device;
+                    ev.stage = obs::SyncStage::Sabotage;
+                    ev.ok = false;
+                    ev.fromVersion = dev.communityVersion();
+                    ev.toVersion = dev.communityVersion();
+                    ev.detail = u64(victim.pair.query);
+                    ev.start = dev.now();
+                    recorder->record(ev);
+                }
+            }
+        }
+    }
+
     out.finalVersion = dev.communityVersion();
     if (chaos) {
         out.tableDigest = deviceTableDigest(dev.pocketSearch());
@@ -262,6 +308,13 @@ simulateDevice(const Workbench &wb, const FleetRunConfig &cfg,
                                   stormPlan->stats().payloadCorruptions;
         out.corruptRejected = dev.resilience().corruptDeltas;
         out.rejectedDeltas = dev.resilience().rejectedDeltas;
+        if (recorder.has_value()) {
+            out.events = recorder->events();
+            // Ring pressure into the device registry, so the fleet
+            // snapshot exposes trace loss ("obs.flight.*").
+            recorder->publishMetrics(*out.registry);
+        }
+        dev.attachFlightRecorder(nullptr);
     }
     return out;
 }
@@ -312,16 +365,37 @@ foldDevice(DeviceTelemetry &&t, const FleetRunConfig &cfg,
     result.rejectedDeltas += t.rejectedDeltas;
 
     if (ctx.active) {
+        // Violations come back explained: the verdict plus the
+        // device's causal event chain (postmortem.h). Reports are
+        // appended here, in device-index order, so the postmortem
+        // artifact is byte-identical at any thread count.
+        const auto report = [&](InvariantKind kind) {
+            InvariantReport r;
+            r.device = t.index;
+            r.kind = kind;
+            r.sabotaged = t.sabotaged;
+            r.deviceVersion = t.finalVersion;
+            r.serverVersion = ctx.latest;
+            r.deviceDigest = t.tableDigest;
+            r.serverDigest = ctx.expectedDigest;
+            r.corruptCaught = t.corruptRejected;
+            r.corruptInjected = t.injectedCorruptions;
+            r.chain = t.events;
+            result.invariantReports.push_back(std::move(r));
+            ++result.invariantViolations;
+        };
+        if (t.sabotaged)
+            ++result.devicesSabotaged;
         if (!t.monotone) {
             pc_warn("chaos invariant: device ", t.index,
                     " saw a non-monotone version history");
-            ++result.invariantViolations;
+            report(InvariantKind::NonMonotoneVersion);
         }
         if (t.corruptRejected != t.injectedCorruptions) {
             pc_warn("chaos invariant: device ", t.index, " caught ",
                     t.corruptRejected, " corruptions but ",
                     t.injectedCorruptions, " were injected");
-            ++result.invariantViolations;
+            report(InvariantKind::UncaughtCorruption);
         }
         if (t.anySyncOk) {
             ++result.devicesVerified;
@@ -332,7 +406,7 @@ foldDevice(DeviceTelemetry &&t, const FleetRunConfig &cfg,
                         t.finalVersion, " digest ", t.tableDigest,
                         " (server: version ", ctx.latest, " digest ",
                         ctx.expectedDigest, ")");
-                ++result.invariantViolations;
+                report(InvariantKind::DigestMismatch);
             }
         }
     }

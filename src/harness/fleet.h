@@ -39,6 +39,7 @@
 
 #include "device/mobile_device.h"
 #include "fault/fault_plan.h"
+#include "harness/postmortem.h"
 #include "harness/workbench.h"
 #include "obs/fleet.h"
 #include "server/service.h"
@@ -122,6 +123,17 @@ struct ChaosConfig
      * device-index order like every other accounting.
      */
     u64 herdBudgetPerMonth = 0;
+
+    /**
+     * Deliberate silent sabotage: after its monthly loop, every
+     * sabotageEvery-th device (0 disables) that synced successfully
+     * gets one cached pair's score silently bumped — a corruption no
+     * CRC frame ever saw, so the digest invariant MUST trip and the
+     * postmortem engine must explain it. This is the ground truth the
+     * postmortem tests gate on: violations == sabotaged devices, each
+     * with a causal chain spanning both tiers.
+     */
+    u32 sabotageEvery = 0;
 };
 
 /** Fleet run shape. */
@@ -168,6 +180,14 @@ struct FleetRunConfig
      * Disabled by default; see ChaosConfig.
      */
     ChaosConfig chaos{};
+
+    /**
+     * Flight-recorder ring capacity for chaos runs (events per
+     * device). Chaos attaches a recorder to every device so invariant
+     * violations come back explained (see postmortem.h); chaos off
+     * attaches nothing and records nothing.
+     */
+    std::size_t recorderCapacity = obs::FlightRecorder::kDefaultCapacity;
 };
 
 /** Scalar outcome of a fleet run (series live in the collector). */
@@ -185,14 +205,23 @@ struct FleetRunResult
     u64 escalatedFullInstalls = 0; ///< Bad-streak full-install syncs.
     u64 devicesVerified = 0;   ///< Devices digest-checked against the
                                ///< server model (chaos runs only).
+    u64 devicesSabotaged = 0;  ///< Tables chaos silently corrupted —
+                               ///< the postmortem ground truth.
     /**
      * Chaos invariant trips: a successfully synced device whose table
      * is not byte-identical to the server model, a non-monotone
      * version history, or an injected corruption that was not caught.
-     * Always 0 unless the sync path is broken; tests and the chaos
-     * bench gate on it.
+     * Always 0 unless the sync path is broken (or chaos sabotage made
+     * it so deliberately); tests and the chaos bench gate on it.
      */
     u64 invariantViolations = 0;
+
+    /**
+     * One explained report per invariant trip, in device-index order
+     * (byte-deterministic at any thread count). Chaos runs only —
+     * empty whenever invariantViolations is 0.
+     */
+    std::vector<InvariantReport> invariantReports;
 };
 
 /**

@@ -1,0 +1,121 @@
+#include "harness/postmortem.h"
+
+#include <fstream>
+
+#include "obs/jsonparse.h"
+
+namespace pc::harness {
+
+const char *
+invariantKindName(InvariantKind k)
+{
+    switch (k) {
+      case InvariantKind::NonMonotoneVersion:
+        return "non_monotone_version";
+      case InvariantKind::UncaughtCorruption:
+        return "uncaught_corruption";
+      case InvariantKind::DigestMismatch:
+        return "digest_mismatch";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+invariantKindFromName(const std::string &name, InvariantKind &out)
+{
+    static constexpr InvariantKind kAll[] = {
+        InvariantKind::NonMonotoneVersion,
+        InvariantKind::UncaughtCorruption,
+        InvariantKind::DigestMismatch,
+    };
+    for (InvariantKind k : kAll) {
+        if (name == invariantKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+void
+writePostmortem(obs::JsonWriter &w,
+                const std::vector<InvariantReport> &reports)
+{
+    w.beginObject();
+    w.key("postmortem");
+    w.beginObject();
+    w.kv("violations", u64(reports.size()));
+    w.key("reports");
+    w.beginArray();
+    for (const InvariantReport &r : reports) {
+        w.beginObject();
+        w.kv("device", u64(r.device));
+        w.kv("kind", invariantKindName(r.kind));
+        w.kv("sabotaged", r.sabotaged);
+        w.kv("device_version", r.deviceVersion);
+        w.kv("server_version", r.serverVersion);
+        w.kv("device_digest", u64(r.deviceDigest));
+        w.kv("server_digest", u64(r.serverDigest));
+        w.kv("corrupt_caught", r.corruptCaught);
+        w.kv("corrupt_injected", r.corruptInjected);
+        w.key("chain");
+        writeSyncEvents(w, r.chain);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    w.endObject();
+}
+
+bool
+writePostmortemFile(const std::string &path,
+                    const std::vector<InvariantReport> &reports)
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    obs::JsonWriter w(f, /*pretty=*/true);
+    writePostmortem(w, reports);
+    f << '\n';
+    return bool(f);
+}
+
+bool
+readPostmortem(const obs::JsonValue &doc,
+               std::vector<InvariantReport> &out)
+{
+    out.clear();
+    const obs::JsonValue *pm = doc.find("postmortem");
+    if (pm == nullptr)
+        return false;
+    const obs::JsonValue *reports = pm->find("reports");
+    if (reports == nullptr || !reports->isArray())
+        return false;
+    for (const obs::JsonValue &v : reports->array()) {
+        if (!v.isObject())
+            return false;
+        InvariantReport r;
+        r.device = std::size_t(v.numberOr("device", 0));
+        if (!invariantKindFromName(v.strOr("kind", ""), r.kind))
+            return false;
+        const obs::JsonValue *sab = v.find("sabotaged");
+        r.sabotaged = sab != nullptr && sab->isBool() && sab->boolean();
+        r.deviceVersion = u64(v.numberOr("device_version", 0));
+        r.serverVersion = u64(v.numberOr("server_version", 0));
+        r.deviceDigest = u32(v.numberOr("device_digest", 0));
+        r.serverDigest = u32(v.numberOr("server_digest", 0));
+        r.corruptCaught = u64(v.numberOr("corrupt_caught", 0));
+        r.corruptInjected = u64(v.numberOr("corrupt_injected", 0));
+        const obs::JsonValue *chain = v.find("chain");
+        if (chain == nullptr || !readSyncEvents(*chain, r.chain))
+            return false;
+        out.push_back(std::move(r));
+    }
+    return true;
+}
+
+} // namespace pc::harness

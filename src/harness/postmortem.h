@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Postmortem engine: explained chaos invariant violations.
+ *
+ * A chaos run used to report failures as a bare count
+ * (FleetRunResult::invariantViolations). With the per-device flight
+ * recorder attached, the fold can do better: when a device trips an
+ * invariant, it assembles the device's recent causal event chain —
+ * device- and server-tier stages of its syncs, in causal order — plus
+ * the version/digest evidence from both tiers into a typed
+ * InvariantReport. Reports are built in device-index order during the
+ * deterministic fold, so the postmortem artifact is byte-identical at
+ * every thread count, like the rest of the fleet telemetry.
+ *
+ * writePostmortemFile() is the artifact the chaos bench ships and CI
+ * diffs across thread counts; tools/trace_explain reads it back and
+ * prints per-stage critical-path breakdowns of the implicated syncs.
+ */
+
+#ifndef PC_HARNESS_POSTMORTEM_H
+#define PC_HARNESS_POSTMORTEM_H
+
+#include <string>
+#include <vector>
+
+#include "obs/causal.h"
+#include "obs/json.h"
+
+namespace pc::harness {
+
+/** Which chaos invariant a device tripped. */
+enum class InvariantKind
+{
+    NonMonotoneVersion, ///< Community version moved backwards.
+    UncaughtCorruption, ///< Injected flips != frames caught by CRC.
+    DigestMismatch,     ///< Synced device table != server model.
+};
+
+/** Display name ("non_monotone_version", ...). */
+const char *invariantKindName(InvariantKind k);
+
+/**
+ * One explained invariant violation: the verdict, the two-tier
+ * version/digest evidence, and the device's causal event chain (the
+ * flight-recorder window, spanning both tiers of every recent sync).
+ */
+struct InvariantReport
+{
+    std::size_t device = 0;
+    InvariantKind kind = InvariantKind::DigestMismatch;
+    /** Chaos deliberately corrupted this device (ground truth). */
+    bool sabotaged = false;
+    u64 deviceVersion = 0; ///< Community version the device ended at.
+    u64 serverVersion = 0; ///< Latest published server version.
+    u32 deviceDigest = 0;  ///< Canonical digest of the device table.
+    u32 serverDigest = 0;  ///< Canonical digest of the server model.
+    u64 corruptCaught = 0;   ///< Frames the device's CRC check caught.
+    u64 corruptInjected = 0; ///< Payload flips the fault plans made.
+    /** Flight-recorder window, oldest first (both tiers). */
+    std::vector<obs::SyncEvent> chain;
+};
+
+/**
+ * Serialize reports as a deterministic postmortem document:
+ * {"postmortem": {"reports": [...]}} — deliberately NOT a "bench"
+ * document, so bench_diff skips it while the json.tool CI sweep still
+ * validates it.
+ */
+void writePostmortem(obs::JsonWriter &w,
+                     const std::vector<InvariantReport> &reports);
+
+/** writePostmortem into a file. @return False on I/O failure. */
+bool writePostmortemFile(const std::string &path,
+                         const std::vector<InvariantReport> &reports);
+
+/**
+ * Parse a writePostmortem() document back (tools/trace_explain).
+ * @return False on shape mismatch.
+ */
+bool readPostmortem(const obs::JsonValue &doc,
+                    std::vector<InvariantReport> &out);
+
+} // namespace pc::harness
+
+#endif // PC_HARNESS_POSTMORTEM_H

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace pc::obs {
@@ -30,11 +31,31 @@ void
 Tracer::record(TraceSpan span)
 {
     ++recorded_;
+    if (recordedCounter_ != nullptr)
+        recordedCounter_->bump();
     if (spans_.size() >= capacity_) {
         spans_.pop_front();
         ++dropped_;
+        if (droppedCounter_ != nullptr)
+            droppedCounter_->bump();
     }
     spans_.push_back(std::move(span));
+}
+
+void
+Tracer::attachMetrics(MetricRegistry *reg)
+{
+    if (reg == nullptr) {
+        recordedCounter_ = nullptr;
+        droppedCounter_ = nullptr;
+        return;
+    }
+    recordedCounter_ = &reg->counter("obs.trace.recorded");
+    droppedCounter_ = &reg->counter("obs.trace.dropped");
+    // An attachment mid-run must not lose history: fold in the spans
+    // recorded before the registry arrived.
+    recordedCounter_->bump(recorded_);
+    droppedCounter_->bump(dropped_);
 }
 
 void

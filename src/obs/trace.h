@@ -31,6 +31,9 @@
 
 namespace pc::obs {
 
+class MetricRegistry;
+class Counter;
+
 /** One completed span on a simulated-time track. */
 struct TraceSpan
 {
@@ -87,6 +90,15 @@ class Tracer
     void clear() { spans_.clear(); }
 
     /**
+     * Publish ring pressure live: every record() bumps the
+     * "obs.trace.recorded" counter in `reg`, and every ring eviction
+     * bumps "obs.trace.dropped" — so fleet snapshots expose trace
+     * loss without polling the tracer. Counter handles are cached;
+     * nullptr detaches. The registry must outlive the attachment.
+     */
+    void attachMetrics(MetricRegistry *reg);
+
+    /**
      * Export as Chrome `trace_event` JSON ("X" complete events, one
      * metadata event naming each track). Timestamps are microseconds
      * with nanosecond decimals — SimTime is ns, Chrome wants us.
@@ -102,6 +114,8 @@ class Tracer
     std::vector<std::string> trackLabels_;
     u64 recorded_ = 0;
     u64 dropped_ = 0;
+    Counter *recordedCounter_ = nullptr;
+    Counter *droppedCounter_ = nullptr;
 };
 
 } // namespace pc::obs

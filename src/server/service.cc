@@ -1,5 +1,6 @@
 #include "server/service.h"
 
+#include "obs/causal.h"
 #include "util/logging.h"
 
 namespace pc::server {
@@ -80,6 +81,21 @@ CloudUpdateService::syncDevice(device::MobileDevice &dev,
 {
     if (cfg_.syncBudgetPerVersion != 0 &&
         syncsThisVersion_ >= cfg_.syncBudgetPerVersion) {
+        if (dev.flightRecorder() != nullptr) {
+            // Even a shed sync leaves a causal record: the device
+            // asked, admission control said no.
+            dev.beginSyncTrace();
+            obs::SyncEvent ev;
+            ev.tier = obs::SyncTier::Server;
+            ev.stage = obs::SyncStage::Shed;
+            ev.ok = false;
+            ev.fromVersion = dev.communityVersion();
+            ev.toVersion = latest_;
+            ev.detail = cfg_.syncBudgetPerVersion;
+            ev.start = dev.now();
+            dev.recordSyncStage(ev);
+            dev.clearSyncTrace();
+        }
         // Budget spent: shed before generating a delta or touching
         // the radio. The device stays at its version and retries
         // after the next publish.
@@ -108,6 +124,9 @@ CloudUpdateService::syncDetached(device::MobileDevice &dev,
     if (target_version == 0)
         target_version = latest_;
     u64 from_version = dev.communityVersion();
+    const bool tracing = dev.flightRecorder() != nullptr;
+    if (tracing)
+        dev.beginSyncTrace();
     bool escalated = false;
     if (from_version != 0 && dev.needsFullInstall()) {
         // The device's incremental syncs keep dying corrupt/rejected;
@@ -117,6 +136,27 @@ CloudUpdateService::syncDetached(device::MobileDevice &dev,
         escalated = true;
     }
     const auto delta = tryMakeDelta(from_version, target_version);
+    if (tracing) {
+        obs::SyncEvent ev;
+        ev.tier = obs::SyncTier::Server;
+        ev.stage = obs::SyncStage::VersionLookup;
+        ev.ok = delta.has_value();
+        ev.fromVersion = from_version;
+        ev.toVersion = target_version;
+        ev.detail = history_.size();
+        ev.start = dev.now();
+        dev.recordSyncStage(ev);
+        if (escalated) {
+            obs::SyncEvent esc;
+            esc.tier = obs::SyncTier::Server;
+            esc.stage = obs::SyncStage::Escalate;
+            esc.fromVersion = dev.communityVersion();
+            esc.toVersion = target_version;
+            esc.detail = dev.badDeltaStreak();
+            esc.start = dev.now();
+            dev.recordSyncStage(esc);
+        }
+    }
     if (!delta.has_value()) {
         // Target version off the window (or nothing published):
         // typed failure, no radio traffic, device untouched.
@@ -125,7 +165,30 @@ CloudUpdateService::syncDetached(device::MobileDevice &dev,
         res.toVersion = dev.communityVersion();
         if (acct)
             acct->noVersion = true;
+        if (tracing) {
+            obs::SyncEvent ev;
+            ev.tier = obs::SyncTier::Server;
+            ev.stage = obs::SyncStage::NoVersion;
+            ev.ok = false;
+            ev.fromVersion = from_version;
+            ev.toVersion = target_version;
+            ev.start = dev.now();
+            dev.recordSyncStage(ev);
+            dev.clearSyncTrace();
+        }
         return res;
+    }
+    if (tracing) {
+        // Op counts only — computing wire bytes here would allocate,
+        // and the delivery events carry them anyway.
+        obs::SyncEvent ev;
+        ev.tier = obs::SyncTier::Server;
+        ev.stage = obs::SyncStage::DeltaBuild;
+        ev.fromVersion = delta->fromVersion;
+        ev.toVersion = delta->toVersion;
+        ev.detail = delta->ops();
+        ev.start = dev.now();
+        dev.recordSyncStage(ev);
     }
     const auto res = dev.syncCommunityUpdate(*delta, path);
     if (acct) {

@@ -31,6 +31,7 @@ Rng::Rng(u64 seed)
 u64
 Rng::next()
 {
+    ++draws_;
     const u64 result = rotl(s_[1] * 5, 7) * 9;
     const u64 t = s_[1] << 17;
     s_[2] ^= s_[0];

@@ -32,6 +32,13 @@ class Rng
     /** Next raw 64-bit value. */
     u64 next();
 
+    /**
+     * Raw draws consumed so far (every helper funnels through next()).
+     * Experiments use the count to prove a feature is draw-neutral:
+     * equal draws before/after means the fault stream cannot shift.
+     */
+    u64 draws() const { return draws_; }
+
     /** Uniform double in [0, 1). */
     double uniform();
 
@@ -90,6 +97,7 @@ class Rng
 
   private:
     u64 s_[4];
+    u64 draws_ = 0;
 };
 
 } // namespace pc

@@ -5,7 +5,10 @@
  * fleet invariant checker must stay silent and every parallel run must
  * reproduce the threads=1 bytes (series CSV, fleet snapshot, service
  * registry), extending PR 5's byte-identity contract to chaos runs.
- * CI re-runs this under ThreadSanitizer and AddressSanitizer.
+ * A sabotage cell then breaks a device table on purpose and checks
+ * the postmortem engine explains every violation with a two-tier
+ * causal chain — byte-identically at any thread count. CI re-runs
+ * this under ThreadSanitizer and AddressSanitizer.
  */
 
 #include <gtest/gtest.h>
@@ -59,6 +62,7 @@ struct RunBytes
     std::string snapshotJson;
     std::string seriesCsv;
     std::string cloudJson;
+    std::string postmortemJson;
     FleetRunResult result;
 };
 
@@ -89,7 +93,8 @@ scrubTimingLines(const std::string &json)
 }
 
 RunBytes
-runCell(unsigned threads, double corruptRate, u64 herdBudget)
+runCell(unsigned threads, double corruptRate, u64 herdBudget,
+        u32 sabotageEvery = 0)
 {
     Workbench &wb = sharedWorkbench();
 
@@ -117,6 +122,7 @@ runCell(unsigned threads, double corruptRate, u64 herdBudget)
     cfg.chaos.payloadCorruptRate = corruptRate;
     cfg.chaos.skewEvery = 5;
     cfg.chaos.herdBudgetPerMonth = herdBudget;
+    cfg.chaos.sabotageEvery = sabotageEvery;
 
     obs::FleetConfig fc;
     fc.windowWidth = workload::kMonth;
@@ -138,6 +144,12 @@ runCell(unsigned threads, double corruptRate, u64 herdBudget)
         std::ostringstream os;
         svc->metrics().snapshot().writeJson(os, true);
         out.cloudJson = scrubTimingLines(os.str());
+    }
+    {
+        std::ostringstream os;
+        obs::JsonWriter w(os, /*pretty=*/true);
+        writePostmortem(w, out.result.invariantReports);
+        out.postmortemJson = os.str();
     }
     return out;
 }
@@ -185,6 +197,53 @@ TEST_P(ChaosGrid, InvariantsHoldAndParallelRunsMatchSequentialBytes)
                   want.result.escalatedFullInstalls);
         EXPECT_EQ(got.result.queries, want.result.queries);
         EXPECT_EQ(got.result.cacheHits, want.result.cacheHits);
+    }
+}
+
+/**
+ * The deliberately-broken cell: sabotage silently corrupts every 3rd
+ * converged device's table. Ground truth for the postmortem engine —
+ * violations must equal sabotaged devices exactly, each must come
+ * back as an explained DigestMismatch whose causal chain spans both
+ * tiers, and the postmortem bytes must not depend on the thread
+ * count.
+ */
+TEST(ChaosSabotage, EveryViolationExplainedAndBytesThreadInvariant)
+{
+    const RunBytes want = runCell(1, 0.5, 0, /*sabotageEvery=*/3);
+
+    EXPECT_GT(want.result.devicesSabotaged, 0u);
+    EXPECT_EQ(want.result.invariantViolations,
+              want.result.devicesSabotaged)
+        << "every sabotage — and nothing else — must trip the digest "
+           "invariant";
+    ASSERT_EQ(want.result.invariantReports.size(),
+              want.result.invariantViolations);
+    for (const InvariantReport &r : want.result.invariantReports) {
+        EXPECT_EQ(r.kind, InvariantKind::DigestMismatch);
+        EXPECT_TRUE(r.sabotaged);
+        EXPECT_NE(r.deviceDigest, r.serverDigest);
+        EXPECT_FALSE(r.chain.empty());
+        bool dev = false, srv = false, marker = false;
+        for (const auto &ev : r.chain) {
+            dev = dev || ev.tier == obs::SyncTier::Device;
+            srv = srv || ev.tier == obs::SyncTier::Server;
+            marker = marker || ev.stage == obs::SyncStage::Sabotage;
+        }
+        EXPECT_TRUE(dev && srv) << "chain must span both tiers";
+        EXPECT_TRUE(marker) << "chain must carry the sabotage marker";
+    }
+
+    for (const unsigned threads : {4u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        const RunBytes got = runCell(threads, 0.5, 0, 3);
+        EXPECT_EQ(got.postmortemJson, want.postmortemJson)
+            << "postmortem artifact must be byte-identical at any "
+               "thread count";
+        EXPECT_EQ(got.snapshotJson, want.snapshotJson);
+        EXPECT_EQ(got.seriesCsv, want.seriesCsv);
+        EXPECT_EQ(got.result.devicesSabotaged,
+                  want.result.devicesSabotaged);
     }
 }
 

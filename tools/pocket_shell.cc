@@ -11,7 +11,11 @@
  *                     personalization component / re-ranks)
  *   stats             cache + device counters + metrics registry
  *   trace <n> [file]  serve the n-th cached pair end to end and show
- *                     its trace spans (optionally export Chrome JSON)
+ *                     its trace spans with args plus a per-category
+ *                     duration rollup (optionally export Chrome JSON)
+ *   explain           run one community sync with the flight recorder
+ *                     attached and print its causal event chain plus
+ *                     the per-stage critical-path breakdown
  *   update            run the nightly Figure 14 sync against fresh logs
  *   seed <n>          jump to the n-th most popular community query
  *   fleet [n] [m] [t] simulate a fleet of n devices for m months (with
@@ -21,17 +25,20 @@
  *   server [s] [t]    run the cloud update service with s shards and
  *                     t worker threads: mine two model versions and
  *                     print shard stats + delta sync sizes
- *   chaos [n] [m] [f] [b]  chaos-test the sync path: n devices x m
- *                     months under a month-1 outage storm, payload
+ *   chaos [n] [m] [f] [b] [s]  chaos-test the sync path: n devices x
+ *                     m months under a month-1 outage storm, payload
  *                     bit-flip rate f, shed budget b, with a
- *                     version-skew cohort; prints what the resilience
- *                     machinery did and whether the sync invariants
- *                     held
+ *                     version-skew cohort; s > 0 sabotages every s-th
+ *                     device's table to prove the postmortem engine
+ *                     explains violations; prints what the resilience
+ *                     machinery did, whether the sync invariants held,
+ *                     and the causal postmortem of any violation
  *   help / quit
  *
  * Also usable non-interactively:  echo "search foo" | pocket_shell
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -41,8 +48,10 @@
 #include "core/delta.h"
 #include "device/mobile_device.h"
 #include "harness/fleet.h"
+#include "harness/postmortem.h"
 #include "harness/workbench.h"
 #include "server/service.h"
+#include "obs/causal.h"
 #include "obs/fleet.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -63,8 +72,11 @@ help()
         "  click <n>       click result #n of the last search\n"
         "  seed <n>        print the n-th most popular cached query\n"
         "  stats           cache/device counters + metrics registry\n"
-        "  trace <n> [f]   serve cached pair #n and print its spans\n"
+        "  trace <n> [f]   serve cached pair #n and print its spans,\n"
+        "                  args and per-category duration rollup\n"
         "                  (write Chrome trace JSON to file f if given)\n"
+        "  explain         one community sync under the flight\n"
+        "                  recorder: causal chain + critical path\n"
         "  update          nightly community sync (Figure 14)\n"
         "  fleet [n] [m] [t]  telemetry roll-up of an n-device fleet\n"
         "                  over m months with an injected outage, on t\n"
@@ -73,11 +85,14 @@ help()
         "  server [s] [t]  cloud update service: mine two community\n"
         "                  model versions with s shards x t threads,\n"
         "                  print shard stats and delta sync sizes\n"
-        "  chaos [n] [m] [f] [b]  chaos-test the sync path: n devices\n"
-        "                  x m months, month-1 outage storm, payload\n"
-        "                  bit-flip rate f (0..1), shed budget b\n"
-        "                  devices/month (0 = off), plus a version-\n"
-        "                  skew cohort; reports sync-invariant status\n"
+        "  chaos [n] [m] [f] [b] [s]  chaos-test the sync path: n\n"
+        "                  devices x m months, month-1 outage storm,\n"
+        "                  payload bit-flip rate f (0..1), shed budget\n"
+        "                  b devices/month (0 = off), plus a version-\n"
+        "                  skew cohort; sabotage every s-th device\n"
+        "                  (0 = off) to exercise the postmortem\n"
+        "                  engine; reports invariant status and the\n"
+        "                  causal postmortem of any violation\n"
         "  help, quit\n");
 }
 
@@ -209,13 +224,83 @@ runServerCommand(harness::Workbench &wb, u32 shards, u32 threads)
 }
 
 /**
+ * Print one causal sync chain: stage rows from both tiers, then the
+ * critical-path breakdown explainSync computes for its last trace.
+ */
+void
+printSyncChain(const std::vector<obs::SyncEvent> &events)
+{
+    AsciiTable ct("causal event chain (flight recorder)");
+    ct.header({"tier", "stage", "ok", "from", "to", "dur", "detail"});
+    for (const auto &ev : events)
+        ct.row({obs::syncTierName(ev.tier), obs::syncStageName(ev.stage),
+                ev.ok ? "yes" : "NO",
+                strformat("v%llu", (unsigned long long)ev.fromVersion),
+                strformat("v%llu", (unsigned long long)ev.toVersion),
+                humanTime(ev.duration).c_str(),
+                strformat("%llu", (unsigned long long)ev.detail)});
+    ct.print();
+
+    const auto ex = obs::explainSync(events);
+    if (ex.criticalPath <= 0)
+        return;
+    AsciiTable et(strformat("critical path of trace 0x%016llx (%s)",
+                            (unsigned long long)ex.traceId,
+                            humanTime(ex.criticalPath).c_str()));
+    et.header({"stage", "duration", "share"});
+    for (const auto &row : ex.rows) {
+        if (row.event.traceId != ex.traceId ||
+            row.event.tier != obs::SyncTier::Device ||
+            row.event.duration == 0)
+            continue;
+        et.row({strformat("%s #%u", obs::syncStageName(row.event.stage),
+                          row.event.attempt),
+                humanTime(row.event.duration).c_str(),
+                strformat("%.1f%%", 100.0 * row.share)});
+    }
+    et.print();
+}
+
+/**
+ * The `explain` command: one community sync on a scratch device with
+ * the flight recorder attached — the causal chain spans the server
+ * (lookup, build) and the device (delivery, CRC, validate, commit).
+ */
+void
+runExplainCommand(harness::Workbench &wb)
+{
+    server::ServiceConfig scfg;
+    scfg.build.shards = 4;
+    scfg.build.threads = 2;
+    server::CloudUpdateService svc(wb.universe(), scfg);
+    std::printf("mining one community month...\n");
+    svc.ingest(wb.buildLog());
+
+    device::MobileDevice dev(wb.universe());
+    obs::FlightRecorder rec(/*device_id=*/0);
+    dev.attachFlightRecorder(&rec);
+    const auto res = svc.syncDevice(dev);
+    dev.attachFlightRecorder(nullptr);
+
+    std::printf("sync v%llu -> v%llu: %s, %u attempt%s, %s wire, %s\n",
+                (unsigned long long)res.fromVersion,
+                (unsigned long long)res.toVersion,
+                res.ok ? "ok" : "FAILED", res.attempts,
+                res.attempts == 1 ? "" : "s",
+                humanBytes(res.deltaBytes).c_str(),
+                humanTime(res.time).c_str());
+    printSyncChain(rec.events());
+}
+
+/**
  * The `chaos` command: a small chaos-engineering run against the sync
  * path — outage storm, bit flips, a version-skew cohort, optional
- * admission control — ending with the invariant verdict.
+ * admission control, optional sabotage — ending with the invariant
+ * verdict and the causal postmortem of any violation.
  */
 void
 runChaosCommand(harness::Workbench &wb, std::size_t devices, u32 months,
-                double flipRate, u64 budget)
+                double flipRate, u64 budget, u32 sabotage)
 {
     server::ServiceConfig scfg;
     scfg.build.shards = 4;
@@ -237,17 +322,20 @@ runChaosCommand(harness::Workbench &wb, std::size_t devices, u32 months,
     cfg.chaos.payloadCorruptRate = flipRate;
     cfg.chaos.skewEvery = 5;
     cfg.chaos.herdBudgetPerMonth = budget;
+    cfg.chaos.sabotageEvery = sabotage;
 
     obs::FleetConfig fc;
     fc.windowWidth = workload::kMonth;
     obs::FleetCollector collector(fc);
     std::printf("%zu devices x %u months: month-1 storm, %.0f%% bit "
-                "flips, shed budget %s...\n",
+                "flips, shed budget %s, sabotage %s...\n",
                 devices, months, 100.0 * flipRate,
                 budget ? strformat("%llu/month",
                                    (unsigned long long)budget)
                              .c_str()
-                       : "off");
+                       : "off",
+                sabotage ? strformat("every %u", sabotage).c_str()
+                         : "off");
     const auto run = harness::runFleet(wb, cfg, collector);
 
     AsciiTable t("what the resilience machinery did");
@@ -278,6 +366,21 @@ runChaosCommand(harness::Workbench &wb, std::size_t devices, u32 months,
                           .c_str()
                     : "held (every synced device byte-identical to "
                       "the server model)");
+    std::size_t chainsShown = 0;
+    for (const auto &r : run.invariantReports) {
+        std::printf("postmortem: device %zu — %s%s (device v%llu "
+                    "digest %u, server v%llu digest %u)\n",
+                    r.device, harness::invariantKindName(r.kind),
+                    r.sabotaged ? " [sabotaged]" : "",
+                    (unsigned long long)r.deviceVersion, r.deviceDigest,
+                    (unsigned long long)r.serverVersion,
+                    r.serverDigest);
+        if (++chainsShown <= 2)
+            printSyncChain(r.chain);
+        else
+            std::printf("  (chain: %zu events — kept brief)\n",
+                        r.chain.size());
+    }
 }
 
 } // namespace
@@ -292,6 +395,7 @@ main()
     obs::Tracer tracer;
     dev.attachMetrics(&registry);
     dev.attachTracer(&tracer, "shell");
+    tracer.attachMetrics(&registry);
     dev.installCommunityCache(wb.communityCache());
     core::CacheManager manager(wb.universe());
     auto &ps = dev.pocketSearch();
@@ -406,6 +510,7 @@ main()
                         out.cacheHit ? "HIT" : "MISS",
                         humanTime(out.latency).c_str(),
                         out.energy / 1000.0);
+            std::vector<std::pair<std::string, SimTime>> rollup;
             for (std::size_t i = before; i < tracer.spans().size();
                  ++i) {
                 const auto &sp = tracer.spans()[i];
@@ -413,7 +518,19 @@ main()
                             sp.category.c_str(), sp.name.c_str(),
                             humanTime(sp.start).c_str(),
                             humanTime(sp.duration).c_str());
+                for (const auto &[k, v] : sp.args)
+                    std::printf("    %s=%s\n", k.c_str(), v.c_str());
+                auto it = std::find_if(
+                    rollup.begin(), rollup.end(),
+                    [&](const auto &r) { return r.first == sp.category; });
+                if (it == rollup.end())
+                    rollup.emplace_back(sp.category, sp.duration);
+                else
+                    it->second += sp.duration;
             }
+            for (const auto &[cat, dur] : rollup)
+                std::printf("  rollup: %-10s %s\n", cat.c_str(),
+                            humanTime(dur).c_str());
             if (!out_file.empty()) {
                 if (tracer.writeChromeTraceFile(out_file))
                     std::printf("wrote %s\n", out_file.c_str());
@@ -459,6 +576,7 @@ main()
             u32 months = 0;
             double flip = 0.0;
             u64 budget = 0;
+            u32 sabotage = 0;
             if (!(iss >> n))
                 n = 20;
             if (!(iss >> months))
@@ -467,6 +585,8 @@ main()
                 flip = 0.3;
             if (!(iss >> budget))
                 budget = 0;
+            if (!(iss >> sabotage))
+                sabotage = 0;
             if (n == 0 || months == 0 || flip < 0.0 || flip > 1.0) {
                 std::printf("need >=1 device, >=1 month and a flip "
                             "rate in [0,1]\n");
@@ -477,7 +597,9 @@ main()
                             " 24 months\n");
                 continue;
             }
-            runChaosCommand(wb, n, months, flip, budget);
+            runChaosCommand(wb, n, months, flip, budget, sabotage);
+        } else if (cmd == "explain") {
+            runExplainCommand(wb);
         } else if (cmd == "update") {
             const auto fresh_log = wb.nextCommunityMonth();
             const auto fresh =

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * trace_explain — turn a causal sync artifact into a human postmortem.
+ *
+ * Reads either a postmortem document (the `{"postmortem": ...}` file
+ * the chaos bench and fleet harness emit, one explained report per
+ * invariant violation) or a bare sync-event array (the
+ * writeSyncEvents() chain format) and prints, for each trace, the
+ * cross-tier causal event chain plus the per-stage critical-path
+ * breakdown computed by obs::explainSync.
+ *
+ * Usage:
+ *   trace_explain <file.json> [--trace 0x<16-hex-id>]
+ *
+ * With --trace, only the chain belonging to that trace id is
+ * explained; without it, postmortem reports print every chain and a
+ * bare event array explains its last trace. Exit status: 0 on
+ * success, 1 on unreadable/unrecognized input, 2 when --trace names
+ * an id the file does not contain.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/postmortem.h"
+#include "obs/causal.h"
+#include "obs/jsonparse.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace pc;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <file.json> [--trace 0x<16-hex-id>]\n"
+                 "  file.json: a postmortem document or a sync-event "
+                 "array\n",
+                 argv0);
+    return 1;
+}
+
+/** Print one chain: both-tier event rows, then the explain table. */
+void
+printChain(const std::vector<obs::SyncEvent> &events, u64 trace_id)
+{
+    AsciiTable ct("causal event chain");
+    ct.header({"trace", "span", "tier", "stage", "ok", "from", "to",
+               "dur", "detail"});
+    for (const auto &ev : events) {
+        if (trace_id != 0 && ev.traceId != trace_id)
+            continue;
+        ct.row({strformat("0x%016llx", (unsigned long long)ev.traceId),
+                strformat("%u", ev.span), obs::syncTierName(ev.tier),
+                obs::syncStageName(ev.stage), ev.ok ? "yes" : "NO",
+                strformat("v%llu", (unsigned long long)ev.fromVersion),
+                strformat("v%llu", (unsigned long long)ev.toVersion),
+                humanTime(ev.duration).c_str(),
+                strformat("%llu", (unsigned long long)ev.detail)});
+    }
+    ct.print();
+
+    const auto ex = obs::explainSync(events, trace_id);
+    if (ex.criticalPath <= 0) {
+        std::printf("(no device-tier time on this trace — nothing on "
+                    "the critical path)\n");
+        return;
+    }
+    AsciiTable et(strformat("critical path of trace 0x%016llx (%s)",
+                            (unsigned long long)ex.traceId,
+                            humanTime(ex.criticalPath).c_str()));
+    et.header({"stage", "duration", "share"});
+    for (const auto &row : ex.rows) {
+        if (row.event.traceId != ex.traceId ||
+            row.event.tier != obs::SyncTier::Device ||
+            row.event.duration == 0)
+            continue;
+        et.row({strformat("%s #%u", obs::syncStageName(row.event.stage),
+                          row.event.attempt),
+                humanTime(row.event.duration).c_str(),
+                strformat("%.1f%%", 100.0 * row.share)});
+    }
+    et.print();
+}
+
+bool
+chainHasTrace(const std::vector<obs::SyncEvent> &events, u64 trace_id)
+{
+    for (const auto &ev : events)
+        if (ev.traceId == trace_id)
+            return true;
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    u64 want_trace = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            want_trace = std::strtoull(argv[++i], nullptr, 16);
+            if (want_trace == 0) {
+                std::fprintf(stderr, "bad --trace id '%s'\n", argv[i]);
+                return 1;
+            }
+        } else if (path.empty() && argv[i][0] != '-') {
+            path = argv[i];
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (path.empty())
+        return usage(argv[0]);
+
+    obs::JsonValue doc;
+    std::string err;
+    if (!obs::parseJsonFile(path, doc, &err)) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+        return 1;
+    }
+
+    // Postmortem document: one explained report per violation.
+    std::vector<harness::InvariantReport> reports;
+    if (doc.find("postmortem") != nullptr) {
+        if (!harness::readPostmortem(doc, reports)) {
+            std::fprintf(stderr, "%s: malformed postmortem document\n",
+                         path.c_str());
+            return 1;
+        }
+        std::printf("%s: %zu invariant violation(s)\n", path.c_str(),
+                    reports.size());
+        bool found = want_trace == 0;
+        for (const auto &r : reports) {
+            if (want_trace != 0 && !chainHasTrace(r.chain, want_trace))
+                continue;
+            found = true;
+            std::printf("\ndevice %zu — %s%s (device v%llu digest %u, "
+                        "server v%llu digest %u; corruptions %llu "
+                        "caught / %llu injected)\n",
+                        r.device, harness::invariantKindName(r.kind),
+                        r.sabotaged ? " [sabotaged]" : "",
+                        (unsigned long long)r.deviceVersion,
+                        r.deviceDigest,
+                        (unsigned long long)r.serverVersion,
+                        r.serverDigest,
+                        (unsigned long long)r.corruptCaught,
+                        (unsigned long long)r.corruptInjected);
+            printChain(r.chain, want_trace);
+        }
+        if (!found) {
+            std::fprintf(stderr,
+                         "trace 0x%016llx not found in any report\n",
+                         (unsigned long long)want_trace);
+            return 2;
+        }
+        return 0;
+    }
+
+    // Bare event array: the writeSyncEvents() chain format.
+    std::vector<obs::SyncEvent> events;
+    if (doc.isArray() && obs::readSyncEvents(doc, events)) {
+        if (want_trace != 0 && !chainHasTrace(events, want_trace)) {
+            std::fprintf(stderr, "trace 0x%016llx not found\n",
+                         (unsigned long long)want_trace);
+            return 2;
+        }
+        std::printf("%s: %zu sync event(s)\n", path.c_str(),
+                    events.size());
+        printChain(events, want_trace);
+        return 0;
+    }
+
+    std::fprintf(stderr,
+                 "%s: neither a postmortem document nor a sync-event "
+                 "array\n",
+                 path.c_str());
+    return 1;
+}
