@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Fleet health observatory — utilization ledgers, SLO scoreboard, and
+ * the bottleneck analyzer, validated by a saturation flip.
+ *
+ * Two scenarios over the same 200-device x 6-month fleet, each swept
+ * over simulation worker threads:
+ *
+ *  - **baseline**: healthy radios, a cloud update service with health
+ *    accounting on. Query misses ride the 3G link at ~6-7 s per
+ *    exchange while the CPU's share of a query is under half a
+ *    second, so the analyzer must rank `device.radio.3g` as the
+ *    saturating component and report its headroom multiplier ("the
+ *    radio saturates first, at ~N x today's load").
+ *  - **storm**: a full-run radio outage (outage share 0.999, mean
+ *    episode ~10 months — the fleet is dark essentially the whole
+ *    run). No-coverage probes never commit to a link, so radio busy
+ *    time collapses while every query still pays its CPU spans to
+ *    serve degraded answers — the reported bottleneck MUST flip away
+ *    from the radio (to `device.cpu`), and the availability SLO must
+ *    burn its error budget and record deterministic SloBreach events.
+ *
+ * Gates (the acceptance criteria of the health observatory):
+ *   exit 2 — the BENCH_fleet_health.json artifact is not
+ *            byte-identical across thread counts;
+ *   exit 1 — the baseline bottleneck is not the 3G radio, the storm
+ *            fails to flip it, or the storm fails to burn the
+ *            availability budget while the baseline meets it.
+ *
+ * The artifact embeds only counters-derived numbers and sketch
+ *quantiles — never wall clocks or queue-depth gauges — and is gated
+ * against the committed baseline by bench_diff (flattenHealthReport).
+ * Wall-clock scaling tables print to the console only.
+ */
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.h"
+#include "harness/fleet.h"
+#include "harness/workbench.h"
+#include "obs/fleet.h"
+#include "obs/health.h"
+#include "obs/slo.h"
+#include "server/service.h"
+
+using namespace pc;
+using namespace pc::harness;
+namespace health = pc::obs::health;
+
+namespace {
+
+constexpr std::size_t kDevices = 200;
+constexpr u32 kMonths = 6;
+
+workload::SearchLog
+slicedLog(const Workbench &wb, std::size_t n)
+{
+    workload::SearchLog log(wb.universe());
+    const auto &records = wb.buildLog().records();
+    log.reserve(n);
+    for (std::size_t i = 0; i < records.size() && i < n; ++i)
+        log.add(records[i]);
+    return log;
+}
+
+/** One scenario run at one thread count. */
+struct ScenarioPoint
+{
+    double wallMs = 0.0;
+    FleetRunResult run;
+    health::HealthAnalysis analysis;
+    u64 breachEvents = 0;
+};
+
+ScenarioPoint
+runScenario(Workbench &wb, bool storm, unsigned threads)
+{
+    // Fresh service per run: its registry accumulates sync/ingest
+    // accounting, and every point must start from the same bytes.
+    server::ServiceConfig scfg;
+    scfg.build.shards = 4;
+    scfg.build.threads = 2;
+    scfg.healthAccounting = true;
+    auto svc = std::make_unique<server::CloudUpdateService>(
+        wb.universe(), scfg);
+    svc->ingest(slicedLog(wb, wb.buildLog().size() / 2));
+    svc->ingest(wb.buildLog());
+
+    FleetRunConfig cfg;
+    cfg.devices = kDevices;
+    cfg.months = kMonths;
+    cfg.threads = threads;
+    cfg.cloud = svc.get();
+    cfg.health = true;
+    if (storm) {
+        // A totally dark fleet: outage episodes average ~10 months
+        // against ~hours of coverage, across the whole run. Share
+        // stays below 1.0 — the schedule needs a finite uptime mean.
+        cfg.outageStartMonth = 0;
+        cfg.outageMonths = kMonths;
+        cfg.outageFaults.radio.outageShare = 0.999;
+        cfg.outageFaults.radio.meanOutageDuration =
+            10ll * workload::kMonth;
+        cfg.outageFaults.radio.exchangeFailureRate = 0.0;
+        cfg.outageFaults.radio.latencySpikeRate = 0.0;
+    }
+
+    obs::FleetConfig fc;
+    fc.windowWidth = workload::kMonth;
+    obs::FleetCollector collector(fc);
+
+    ScenarioPoint p;
+    const auto t0 = std::chrono::steady_clock::now();
+    p.run = runFleet(wb, cfg, collector);
+    p.wallMs = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+
+    // SLO breaches land in a fleet-level flight recorder; its ids
+    // derive from the synthetic device id + sequence, so the breach
+    // stream is deterministic too.
+    obs::FlightRecorder breaches(u64(kDevices) + 1, 1024);
+    const obs::MetricsSnapshot snap =
+        collector.fleetRegistry().snapshot();
+    p.analysis = health::analyzeHealth(
+        snap, kDevices, SimTime(kMonths) * workload::kMonth);
+    p.analysis.slos = health::evaluateSlos(
+        health::defaultFleetSlos(), collector.fleetSeries(), snap,
+        &breaches);
+    p.breachEvents = breaches.recorded();
+    return p;
+}
+
+health::HealthReport
+buildReport(const ScenarioPoint &base, const ScenarioPoint &storm)
+{
+    health::HealthReport r;
+    r.id = "fleet_health";
+    r.notes.emplace_back("devices", strformat("%zu", kDevices));
+    r.notes.emplace_back("months", strformat("%u", kMonths));
+    r.notes.emplace_back("baseline", "healthy radios, cloud sync");
+    r.notes.emplace_back("storm",
+                         "full-run outage, share 0.999, ~10-month "
+                         "episodes");
+    r.scenarios.emplace_back("baseline", base.analysis);
+    r.scenarios.emplace_back("storm", storm.analysis);
+    return r;
+}
+
+std::string
+reportBytes(const health::HealthReport &r)
+{
+    std::ostringstream os;
+    health::writeHealthJson(os, r);
+    return os.str();
+}
+
+void
+printComponents(const char *title, const health::HealthAnalysis &a)
+{
+    AsciiTable t(title);
+    t.header({"rank", "component", "busy", "ops", "util ppm",
+              "service", "demand/query"});
+    for (std::size_t i = 0; i < a.ranked.size(); ++i) {
+        const auto &c = a.ranked[i];
+        t.row({strformat("%zu", i + 1), c.name,
+               humanTime(SimTime(c.busyNs)),
+               strformat("%llu", (unsigned long long)c.ops),
+               strformat("%.2f", 1e6 * c.utilization),
+               humanTime(SimTime(c.serviceNs)),
+               humanTime(SimTime(c.demandNs))});
+    }
+    t.print();
+    if (!a.bottleneck.empty())
+        std::printf("bottleneck: %s (headroom ~%.0fx current load)\n\n",
+                    a.bottleneck.c_str(), a.headroom);
+}
+
+void
+printSlos(const char *title, const std::vector<health::SloStatus> &slos)
+{
+    AsciiTable t(title);
+    t.header({"slo", "objective", "attainment", "budget left",
+              "short burn", "long burn", "state"});
+    for (const auto &st : slos) {
+        const bool lat =
+            st.spec.kind == health::SloKind::LatencyQuantile;
+        t.row({st.spec.name,
+               lat ? strformat("p%.0f<=%.0fms", 100.0 * st.spec.quantile,
+                               st.spec.targetMs)
+                   : bench::pct(st.spec.objective),
+               lat ? strformat("%.0fms", st.attainment)
+                   : bench::pct(st.attainment),
+               strformat("%.1f/%.1f", st.budgetRemaining,
+                         st.budgetAllowed),
+               strformat("%.2f", st.shortBurn),
+               strformat("%.2f", st.longBurn),
+               st.burning  ? "** BURNING **"
+               : st.met    ? "met"
+                           : "missed"});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+const health::SloStatus *
+findSlo(const std::vector<health::SloStatus> &slos,
+        const std::string &name)
+{
+    for (const auto &st : slos) {
+        if (st.spec.name == name)
+            return &st;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const unsigned maxThreads = bench::threadsKnob(argc, argv, 4);
+    bench::banner("Fleet health observatory",
+                  "utilization ledgers + SLO budgets + bottleneck "
+                  "analyzer, outage-storm saturation flip");
+    Workbench wb(smallWorkbenchConfig());
+
+    struct Point
+    {
+        unsigned threads;
+        ScenarioPoint base;
+        ScenarioPoint storm;
+        std::string artifact;
+    };
+    std::vector<Point> points;
+    for (unsigned t = 1; t <= maxThreads; t *= 2) {
+        Point p;
+        p.threads = t;
+        p.base = runScenario(wb, /*storm=*/false, t);
+        p.storm = runScenario(wb, /*storm=*/true, t);
+        p.artifact = reportBytes(buildReport(p.base, p.storm));
+        points.push_back(std::move(p));
+        if (t != maxThreads && t * 2 > maxThreads) {
+            Point q;
+            q.threads = maxThreads;
+            q.base = runScenario(wb, false, maxThreads);
+            q.storm = runScenario(wb, true, maxThreads);
+            q.artifact = reportBytes(buildReport(q.base, q.storm));
+            points.push_back(std::move(q));
+            break;
+        }
+    }
+
+    const Point &ref = points.front();
+    printComponents("Baseline component ranking", ref.base.analysis);
+    printSlos("Baseline SLO scoreboard", ref.base.analysis.slos);
+    printComponents("Storm component ranking", ref.storm.analysis);
+    printSlos("Storm SLO scoreboard", ref.storm.analysis.slos);
+
+    AsciiTable scale("Thread sweep (console only, never in artifacts)");
+    scale.header({"threads", "baseline ms", "storm ms", "artifact"});
+    bool identical = true;
+    for (const Point &p : points) {
+        const bool same = p.artifact == ref.artifact;
+        identical = identical && same;
+        scale.row({strformat("%u", p.threads),
+                   strformat("%.0f", p.base.wallMs),
+                   strformat("%.0f", p.storm.wallMs),
+                   same ? "identical" : "** DIVERGED **"});
+    }
+    scale.print();
+
+    // Saturation-flip gate: the healthy fleet saturates its 3G radio
+    // first; a fleet with no coverage cannot — its bottleneck must
+    // move to the device CPU, and the availability budget must burn.
+    const std::string &baseBn = ref.base.analysis.bottleneck;
+    const std::string &stormBn = ref.storm.analysis.bottleneck;
+    const auto *baseAvail =
+        findSlo(ref.base.analysis.slos, "query_availability");
+    const auto *stormAvail =
+        findSlo(ref.storm.analysis.slos, "query_availability");
+    const bool flip = baseBn == "device.radio.3g" &&
+                      stormBn == "device.cpu" && baseBn != stormBn;
+    const bool budgets = baseAvail && baseAvail->met &&
+                         stormAvail && !stormAvail->met &&
+                         stormAvail->burning &&
+                         ref.storm.breachEvents > 0;
+    std::printf("\nsaturation flip: %s -> %s (%s); availability "
+                "budget: baseline %s, storm %s (%llu breach events)\n",
+                baseBn.c_str(), stormBn.c_str(),
+                flip ? "flipped" : "** NO FLIP **",
+                baseAvail && baseAvail->met ? "met" : "** MISSED **",
+                stormAvail && !stormAvail->met ? "burned"
+                                               : "** NOT BURNED **",
+                (unsigned long long)ref.storm.breachEvents);
+
+    const std::string path =
+        health::writeHealthFile(buildReport(ref.base, ref.storm));
+    if (!path.empty())
+        std::printf("wrote %s\n", path.c_str());
+
+    if (!identical) {
+        std::printf("** thread sweep diverged: health artifact is not "
+                    "byte-identical **\n");
+        return 2;
+    }
+    if (!flip || !budgets) {
+        std::printf("** saturation-flip gate failed **\n");
+        return 1;
+    }
+    return 0;
+}

@@ -146,6 +146,25 @@ MobileDevice::attachMetrics(obs::MetricRegistry *reg)
 }
 
 void
+MobileDevice::attachHealth(obs::health::HealthAccountant *acct)
+{
+    health_ = acct;
+    // Radio busy is charged inside RadioLink::commit so every
+    // committed exchange — query miss, community sync, miss-queue
+    // drain — lands in the per-link ledger exactly once.
+    for (ServePath p :
+         {ServePath::ThreeG, ServePath::Edge, ServePath::Wifi}) {
+        radio::RadioLink &l = link(p);
+        if (acct) {
+            const auto ledger = acct->radioLedger(l.name());
+            l.attachHealth(ledger.first, ledger.second);
+        } else {
+            l.attachHealth(nullptr, nullptr);
+        }
+    }
+}
+
+void
 MobileDevice::attachTracer(obs::Tracer *tracer,
                            const std::string &track_label)
 {
@@ -173,6 +192,19 @@ MobileDevice::finishQueryObs(const workload::PairRef &pair, ServePath path,
             bumpCtr(metrics_.cacheHits);
         metrics_.latency[idx]->observe(toMillis(out.latency));
         metrics_.energy[idx]->observe(out.energy / 1000.0);
+    }
+    if (health_) {
+        obs::health::QueryHealthSample s;
+        s.cacheHit = out.cacheHit;
+        s.degraded = out.degraded;
+        s.probe = out.hashLookupTime;
+        s.fetch = out.fetchTime;
+        s.radio = out.radioTime;
+        s.backoff = out.backoffTime;
+        s.render = out.renderTime;
+        s.misc = out.miscTime;
+        s.total = out.latency;
+        health_->onQuery(s);
     }
     if (tracer_ && out.latency > 0) {
         obs::TraceSpan span;
@@ -456,6 +488,8 @@ MobileDevice::syncMissQueue(ServePath path)
     missQueue_.erase(missQueue_.begin(),
                      missQueue_.begin() + std::ptrdiff_t(done));
     res.remaining = missQueue_.size();
+    if (health_ && (res.synced > 0 || res.time > 0))
+        health_->onMissSync(res.synced, res.time);
     return res;
 }
 
@@ -628,6 +662,14 @@ MobileDevice::syncCommunityFrame(const std::string &frame,
             recordSyncStage(ev);
         }
         clearSyncTrace();
+        // Abort: res.time is pure radio time — no delta was applied.
+        if (health_) {
+            obs::health::SyncHealthSample s;
+            s.ok = false;
+            s.radio = res.time;
+            s.backoff = res.backoffTime;
+            health_->onSync(s);
+        }
         return res;
     }
 
@@ -664,6 +706,15 @@ MobileDevice::syncCommunityFrame(const std::string &frame,
             recordSyncStage(ev);
         }
         clearSyncTrace();
+        // Reject: apply time is not part of res.time (the rollback
+        // leaves the cache untouched), so the ledger matches it.
+        if (health_) {
+            obs::health::SyncHealthSample s;
+            s.ok = false;
+            s.radio = res.time;
+            s.backoff = res.backoffTime;
+            health_->onSync(s);
+        }
         return res;
     }
     if (recorder_ != nullptr) {
@@ -678,6 +729,17 @@ MobileDevice::syncCommunityFrame(const std::string &frame,
         recordSyncStage(ev);
     }
     clearSyncTrace();
+    // Commit: res.time still holds the radio share here; apply joins
+    // it below and is charged to the CPU ledger.
+    if (health_) {
+        obs::health::SyncHealthSample s;
+        s.ok = true;
+        s.radio = res.time;
+        s.backoff = res.backoffTime;
+        s.apply = apply;
+        s.bytes = res.deltaBytes;
+        health_->onSync(s);
+    }
     res.apply = ar.stats;
     res.time += apply;
     now_ += apply;

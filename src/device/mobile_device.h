@@ -23,6 +23,7 @@
 #include "device/browser.h"
 #include "fault/faulty_link.h"
 #include "obs/causal.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "radio/link.h"
@@ -230,6 +231,20 @@ class MobileDevice
 
     /** The attached flight recorder (may be nullptr). */
     obs::FlightRecorder *flightRecorder() const { return recorder_; }
+
+    /**
+     * Attach a health accountant (obs/health.h): every served query
+     * and community sync folds its already-measured spans into the
+     * busy-time/demand ledgers, and each radio link's committed
+     * exchanges bump its per-link ledger. nullptr detaches. Same cost
+     * contract as the flight recorder: detached is one pointer test,
+     * attached is cached-counter adds — zero allocations, zero RNG
+     * draws, zero behaviour change (health_test gates this).
+     */
+    void attachHealth(obs::health::HealthAccountant *acct);
+
+    /** The attached health accountant (may be nullptr). */
+    obs::health::HealthAccountant *health() const { return health_; }
 
     /**
      * Open the causal trace of the next community sync and record its
@@ -452,6 +467,7 @@ class MobileDevice
     u32 traceTrack_ = 0;
     obs::FlightRecorder *recorder_ = nullptr;
     obs::TraceContext syncCtx_;
+    obs::health::HealthAccountant *health_ = nullptr;
 };
 
 } // namespace pc::device

@@ -160,6 +160,15 @@ simulateDevice(const Workbench &wb, const FleetRunConfig &cfg,
         dev.attachFlightRecorder(&*recorder);
     }
 
+    // Health ledgers are plain registry counters, so they ride the
+    // same snapshots and device-index-ordered fold as every other
+    // metric — no extra plumbing keeps them deterministic.
+    std::optional<obs::health::HealthAccountant> health;
+    if (cfg.health) {
+        health.emplace(*out.registry);
+        dev.attachHealth(&*health);
+    }
+
     // Version-skew cohort: every skewEvery-th device claims a model
     // version it never installed, alternating between an in-window lie
     // (forces transactional rejection, then escalation) and an
@@ -316,6 +325,8 @@ simulateDevice(const Workbench &wb, const FleetRunConfig &cfg,
         }
         dev.attachFlightRecorder(nullptr);
     }
+    if (health.has_value())
+        dev.attachHealth(nullptr);
     return out;
 }
 

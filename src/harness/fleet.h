@@ -188,6 +188,16 @@ struct FleetRunConfig
      * attaches nothing and records nothing.
      */
     std::size_t recorderCapacity = obs::FlightRecorder::kDefaultCapacity;
+
+    /**
+     * Attach a health accountant (obs/health.h) to every device: the
+     * fleet snapshot and windowed series gain `health.*` busy-time /
+     * demand ledgers for the bottleneck analyzer, still folded in
+     * device-index order so artifacts stay byte-identical at any
+     * thread count. Off (the default) registers nothing and keeps
+     * every pre-existing baseline byte-identical, like `cloud`.
+     */
+    bool health = false;
 };
 
 /** Scalar outcome of a fleet run (series live in the collector). */

@@ -23,6 +23,35 @@ flattenHistogram(const JsonValue &h, const std::string &prefix,
     }
 }
 
+/** Copy every numeric member of `o` under `prefix.`. */
+void
+flattenNumericFields(const JsonValue &o, const std::string &prefix,
+                     std::map<std::string, double> &out)
+{
+    for (const auto &[k, v] : o.object()) {
+        if (v.isNumber())
+            out[prefix + "." + k] = v.number();
+    }
+}
+
+/** Flatten a name-keyed object array ("components", "slos", ...). */
+void
+flattenNamedArray(const JsonValue &scenario, const char *arrayKey,
+                  const std::string &prefix,
+                  std::map<std::string, double> &out)
+{
+    const JsonValue *arr = scenario.find(arrayKey);
+    if (!arr || !arr->isArray())
+        return;
+    for (const JsonValue &item : arr->array()) {
+        if (!item.isObject())
+            continue;
+        const std::string name = item.strOr("name", "");
+        if (!name.empty())
+            flattenNumericFields(item, prefix + "." + name, out);
+    }
+}
+
 } // namespace
 
 bool
@@ -78,6 +107,43 @@ flattenBenchReport(const JsonValue &root, BenchMetrics &out,
                     flattenHistogram(h, "registry." + name, out.values);
             }
         }
+    }
+    return true;
+}
+
+bool
+flattenHealthReport(const JsonValue &root, BenchMetrics &out,
+                    std::string *error)
+{
+    const JsonValue *health =
+        root.isObject() ? root.find("health") : nullptr;
+    if (!health || !health->isObject()) {
+        if (error)
+            *error = "not a health report (no \"health\" object)";
+        return false;
+    }
+    out.bench = health->strOr("id", "health");
+    out.values.clear();
+
+    const JsonValue *scens = health->find("scenarios");
+    if (!scens || !scens->isObject()) {
+        if (error)
+            *error = "health report without \"scenarios\"";
+        return false;
+    }
+    for (const auto &[sname, sv] : scens->object()) {
+        if (!sv.isObject())
+            continue;
+        flattenNumericFields(sv, sname, out.values);
+        if (const JsonValue *b = sv.find("bottleneck");
+            b && b->isObject())
+            flattenNumericFields(*b, sname + ".bottleneck",
+                                 out.values);
+        flattenNamedArray(sv, "components", sname + ".component",
+                          out.values);
+        flattenNamedArray(sv, "pipelines", sname + ".pipeline",
+                          out.values);
+        flattenNamedArray(sv, "slos", sname + ".slo", out.values);
     }
     return true;
 }

@@ -47,6 +47,17 @@ struct BenchMetrics
 bool flattenBenchReport(const JsonValue &root, BenchMetrics &out,
                         std::string *error = nullptr);
 
+/**
+ * Flatten a {"health":...} artifact (obs/health.h): per scenario, the
+ * bottleneck verdict, every component's rank/busy/ops/utilization,
+ * and every SLO's attainment/budget/burn become comparable numbers —
+ * so a bottleneck flip or a budget regression trips the same gate a
+ * metric drift does. @return False when the document has no "health"
+ * object.
+ */
+bool flattenHealthReport(const JsonValue &root, BenchMetrics &out,
+                         std::string *error = nullptr);
+
 /** Glob match with '*' wildcards (matches any run, including empty). */
 bool globMatch(const std::string &pattern, const std::string &name);
 

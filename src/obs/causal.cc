@@ -36,6 +36,7 @@ syncStageName(SyncStage s)
       case SyncStage::Reject: return "reject";
       case SyncStage::Abort: return "abort";
       case SyncStage::Sabotage: return "sabotage";
+      case SyncStage::SloBreach: return "slo_breach";
     }
     return "?";
 }
@@ -51,6 +52,7 @@ syncStageFromName(std::string_view name, SyncStage &out)
         SyncStage::CrcCheck,    SyncStage::Validate,
         SyncStage::Commit,      SyncStage::Reject,
         SyncStage::Abort,       SyncStage::Sabotage,
+        SyncStage::SloBreach,
     };
     for (SyncStage s : kAll) {
         if (name == syncStageName(s)) {

@@ -72,6 +72,7 @@ enum class SyncStage : u8
     Reject,          ///< Verified delta rejected (version skew).
     Abort,           ///< Sync gave up (retries/budget exhausted).
     Sabotage,        ///< Chaos injected a silent table corruption.
+    SloBreach,       ///< SLO burn-rate breach window (obs/slo.h).
 };
 
 /** Metric-safe display name of a stage ("sync_request", ...). */

@@ -118,6 +118,15 @@ RadioLink::attachMetrics(obs::MetricRegistry *reg,
 }
 
 void
+RadioLink::attachHealth(obs::Counter *busy_ns, obs::Counter *ops)
+{
+    pc_assert(!busy_ns == !ops,
+              "RadioLink::attachHealth: both counters or neither");
+    healthBusy_ = busy_ns;
+    healthOps_ = ops;
+}
+
+void
 RadioLink::commit(SimTime now, const TransferResult &res)
 {
     if (wakeupsCtr_ && needsWakeup(now))
@@ -129,6 +138,11 @@ RadioLink::commit(SimTime now, const TransferResult &res)
         requestsCtr_->bump();
     if (energyGauge_)
         energyGauge_->set(totalEnergy_ / 1000.0);
+    if (healthBusy_) {
+        if (res.latency > 0)
+            healthBusy_->bump(u64(res.latency));
+        healthOps_->bump();
+    }
 }
 
 TransferResult

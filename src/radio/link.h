@@ -130,6 +130,16 @@ class RadioLink
     void attachMetrics(obs::MetricRegistry *reg,
                        const std::string &prefix);
 
+    /**
+     * Attach busy-time/ops ledger counters (obs/health.h): every
+     * committed exchange bumps `busy_ns` by its latency and `ops` by
+     * one. Commit is the single choke point for radio activity —
+     * query misses, community syncs, and miss-queue drains all pass
+     * through it, and fault-layer no-coverage probes (which never
+     * commit) don't. Both pointers or neither; nullptr detaches.
+     */
+    void attachHealth(obs::Counter *busy_ns, obs::Counter *ops);
+
   private:
     LinkConfig cfg_;
     SimTime readyUntil_ = -1; ///< End of the last tail; -1 = cold.
@@ -138,6 +148,8 @@ class RadioLink
     obs::Counter *requestsCtr_ = nullptr;
     obs::Counter *wakeupsCtr_ = nullptr;
     obs::Gauge *energyGauge_ = nullptr;
+    obs::Counter *healthBusy_ = nullptr;
+    obs::Counter *healthOps_ = nullptr;
 };
 
 /** Transfer time of `bytes` at `bps` (bits per second). */

@@ -1,7 +1,9 @@
 #include "server/service.h"
 
 #include "obs/causal.h"
+#include "obs/health.h"
 #include "util/logging.h"
+#include "util/strings.h"
 
 namespace pc::server {
 
@@ -210,7 +212,19 @@ CloudUpdateService::accountSync(const SyncAccounting &acct)
 {
     if (acct.shed) {
         registry_.counter("server.sync.shed").bump();
+        // Shed syncs cost the sync pipeline nothing — that is the
+        // whole point of admission control, and it is what lets a
+        // shed-budget squeeze move the server bottleneck.
         return;
+    }
+    if (cfg_.healthAccounting) {
+        // Modeled demand: base cost per admitted sync plus a per-op
+        // cost for the delta the service actually served.
+        const u64 ops = acct.adds + acct.evicts + acct.reranks;
+        registry_.counter("health.server.sync.busy_ns")
+            .bump(u64(obs::health::kServerSyncBaseNs) +
+                  ops * u64(obs::health::kServerPerDeltaOpNs));
+        registry_.counter("health.server.sync.ops").bump();
     }
     if (acct.corruptRetries > 0)
         registry_.counter("server.sync.corrupt_retries")
@@ -266,6 +280,27 @@ CloudUpdateService::publishBuildMetrics(const CommunityModel &m)
     auto &shardRows = registry_.histogram("server.ingest.shard_rows");
     for (const auto &ss : st.shardStats)
         shardRows.observe(double(ss.rows));
+    if (cfg_.healthAccounting) {
+        // Modeled ingest demand from deterministic op counts: the
+        // wall-clock gauges above are real-thread timings and cannot
+        // feed a byte-gated ledger.
+        registry_.counter("health.server.ingest.busy_ns")
+            .bump(st.records * u64(obs::health::kServerPerRecordNs));
+        registry_.counter("health.server.ingest.ops")
+            .bump(st.records);
+        registry_.counter("health.server.queue.busy_ns")
+            .bump(st.batches * u64(obs::health::kServerPerBatchNs));
+        registry_.counter("health.server.queue.ops").bump(st.batches);
+        for (std::size_t i = 0; i < st.shardStats.size(); ++i) {
+            const std::string base =
+                strformat("health.server.shard.%zu", i);
+            registry_.counter(base + ".busy_ns")
+                .bump(st.shardStats[i].records *
+                      u64(obs::health::kServerPerRecordNs));
+            registry_.counter(base + ".ops")
+                .bump(st.shardStats[i].records);
+        }
+    }
 }
 
 } // namespace pc::server

@@ -57,6 +57,14 @@ struct ServiceConfig
      * budget resets at every ingest().
      */
     u64 syncBudgetPerVersion = 0;
+    /**
+     * Publish health.server.* busy-time/demand ledgers (obs/health.h)
+     * from the service's deterministic op counts, using the modeled
+     * per-op costs in obs/health.h — never the measured wall clocks,
+     * which are banned from byte-gated artifacts. Off by default so
+     * every committed baseline stays byte-identical.
+     */
+    bool healthAccounting = false;
 };
 
 /**

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "obs/benchdiff.h"
+#include "obs/health.h"
 #include "obs/jsonparse.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -126,6 +127,67 @@ TEST(FlattenBenchReport, NamespacesEverySection)
     JsonValue notAReport;
     ASSERT_TRUE(parseJson("{\"x\":1}", notAReport));
     EXPECT_FALSE(flattenBenchReport(notAReport, m, &err));
+}
+
+TEST(FlattenHealthReport, NamespacesScenariosComponentsAndSlos)
+{
+    health::HealthReport hr;
+    hr.id = "fleet_health";
+    health::HealthAnalysis a;
+    a.devices = 8;
+    a.horizon = 1000;
+    a.queries = 42;
+    health::ComponentHealth radio;
+    radio.name = "device.radio.3g";
+    radio.busyNs = 800;
+    radio.ops = 4;
+    radio.utilization = 0.1;
+    radio.serviceNs = 200.0;
+    radio.demandNs = 19.0;
+    a.ranked.push_back(radio);
+    health::ComponentHealth pipe;
+    pipe.name = "device.query";
+    pipe.busyNs = 900;
+    a.pipelines.push_back(pipe);
+    a.bottleneck = "device.radio.3g";
+    a.maxUtilization = 0.1;
+    a.headroom = 10.0;
+    health::SloStatus slo;
+    slo.spec = health::defaultFleetSlos()[0];
+    slo.events = 42;
+    slo.attainment = 1.0;
+    slo.met = true;
+    a.slos.push_back(slo);
+    hr.scenarios.emplace_back("baseline", a);
+
+    std::ostringstream os;
+    health::writeHealthJson(os, hr);
+    JsonValue root;
+    ASSERT_TRUE(parseJson(os.str(), root));
+    BenchMetrics m;
+    std::string err;
+    ASSERT_TRUE(flattenHealthReport(root, m, &err)) << err;
+    EXPECT_EQ(m.bench, "fleet_health");
+    EXPECT_DOUBLE_EQ(m.values.at("baseline.devices"), 8.0);
+    EXPECT_DOUBLE_EQ(m.values.at("baseline.queries"), 42.0);
+    EXPECT_DOUBLE_EQ(m.values.at("baseline.bottleneck.utilization"),
+                     0.1);
+    EXPECT_DOUBLE_EQ(m.values.at("baseline.bottleneck.headroom_x"),
+                     10.0);
+    EXPECT_DOUBLE_EQ(
+        m.values.at("baseline.component.device.radio.3g.rank"), 1.0);
+    EXPECT_DOUBLE_EQ(
+        m.values.at("baseline.component.device.radio.3g.busy_ns"),
+        800.0);
+    EXPECT_DOUBLE_EQ(
+        m.values.at("baseline.pipeline.device.query.busy_ns"), 900.0);
+    EXPECT_DOUBLE_EQ(
+        m.values.at("baseline.slo.query_availability.met"), 1.0);
+
+    // A bench report is not a health report, and vice versa.
+    JsonValue bench;
+    ASSERT_TRUE(parseJson(reportJson(sampleReport()), bench));
+    EXPECT_FALSE(flattenHealthReport(bench, m, &err));
 }
 
 /** Flatten a report straight from its JSON. */

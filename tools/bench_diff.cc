@@ -54,9 +54,11 @@ usage(const char *argv0)
 enum class Load { Ok, NotAReport, Error };
 
 /**
- * Load + flatten one report file. NotAReport means valid JSON without
- * a "bench" key — benches drop other artifacts (trace dumps) next to
- * their reports, and directory scans must step over those.
+ * Load + flatten one report file: a "bench" report or a "health"
+ * artifact (obs/health.h), both gate-comparable once flattened.
+ * NotAReport means valid JSON that is neither — benches drop other
+ * artifacts (trace dumps, postmortems) next to their reports, and
+ * directory scans must step over those.
  */
 Load
 loadReport(const std::string &path, BenchMetrics &out)
@@ -67,6 +69,14 @@ loadReport(const std::string &path, BenchMetrics &out)
         std::fprintf(stderr, "bench_diff: %s: %s\n", path.c_str(),
                      err.c_str());
         return Load::Error;
+    }
+    if (root.isObject() && root.find("health")) {
+        if (!flattenHealthReport(root, out, &err)) {
+            std::fprintf(stderr, "bench_diff: %s: %s\n", path.c_str(),
+                         err.c_str());
+            return Load::Error;
+        }
+        return Load::Ok;
     }
     if (root.isObject() && !root.find("bench"))
         return Load::NotAReport;

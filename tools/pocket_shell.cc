@@ -18,6 +18,14 @@
  *                     the per-stage critical-path breakdown
  *   update            run the nightly Figure 14 sync against fresh logs
  *   seed <n>          jump to the n-th most popular community query
+ *   health [n] [m] [t] [storm]  fleet health observatory: run an
+ *                     n-device x m-month fleet (cloud sync attached)
+ *                     on t threads with busy-time ledgers on, then
+ *                     print the SLO scoreboard (error budgets + burn
+ *                     rates) and the bottleneck ranking; storm != 0
+ *                     injects a full-run radio outage so the
+ *                     bottleneck flips and the availability budget
+ *                     burns
  *   fleet [n] [m] [t] simulate a fleet of n devices for m months (with
  *                     an injected outage) on t worker threads and
  *                     print the telemetry roll-up + drift-scan
@@ -53,6 +61,8 @@
 #include "server/service.h"
 #include "obs/causal.h"
 #include "obs/fleet.h"
+#include "obs/health.h"
+#include "obs/slo.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/strings.h"
@@ -78,6 +88,12 @@ help()
         "  explain         one community sync under the flight\n"
         "                  recorder: causal chain + critical path\n"
         "  update          nightly community sync (Figure 14)\n"
+        "  health [n] [m] [t] [storm]  fleet health observatory: SLO\n"
+        "                  scoreboard (error budgets, burn rates) and\n"
+        "                  bottleneck ranking of an n-device fleet over\n"
+        "                  m months on t threads; storm != 0 injects a\n"
+        "                  full-run radio outage (watch the bottleneck\n"
+        "                  flip and the availability budget burn)\n"
         "  fleet [n] [m] [t]  telemetry roll-up of an n-device fleet\n"
         "                  over m months with an injected outage, on t\n"
         "                  worker threads (0 = all cores; the output\n"
@@ -167,6 +183,107 @@ runFleetCommand(const harness::Workbench &wb, std::size_t devices,
     for (const auto &[cls, n] : collector.classDevices())
         std::printf(" %s=%zu", cls.c_str(), n);
     std::printf("\n");
+}
+
+/**
+ * The `health` command: the fleet health observatory, interactively.
+ * Runs a fleet with busy-time ledgers and a cloud service attached,
+ * evaluates the default SLO set over the monthly series, and prints
+ * the scoreboard plus the analyzer's bottleneck ranking. With storm,
+ * a full-run radio outage shows the saturation flip live.
+ */
+void
+runHealthCommand(const harness::Workbench &wb, std::size_t devices,
+                 u32 months, unsigned threads, bool storm)
+{
+    server::ServiceConfig scfg;
+    scfg.build.shards = 4;
+    scfg.build.threads = 2;
+    scfg.healthAccounting = true;
+    server::CloudUpdateService svc(wb.universe(), scfg);
+    svc.ingest(wb.buildLog());
+
+    harness::FleetRunConfig cfg;
+    cfg.devices = devices;
+    cfg.months = months;
+    cfg.threads = threads;
+    cfg.cloud = &svc;
+    cfg.health = true;
+    if (storm) {
+        cfg.outageStartMonth = 0;
+        cfg.outageMonths = months;
+        cfg.outageFaults.radio.outageShare = 0.999;
+        cfg.outageFaults.radio.meanOutageDuration =
+            10ll * workload::kMonth;
+        cfg.outageFaults.radio.exchangeFailureRate = 0.0;
+        cfg.outageFaults.radio.latencySpikeRate = 0.0;
+    }
+
+    obs::FleetConfig fc;
+    fc.windowWidth = workload::kMonth;
+    obs::FleetCollector collector(fc);
+    std::printf("simulating %zu devices x %u months%s with health "
+                "ledgers on (%u thread%s)...\n",
+                devices, months, storm ? " under a radio storm" : "",
+                threads, threads == 1 ? "" : "s");
+    const auto run = harness::runFleet(wb, cfg, collector);
+    std::printf("served %llu queries, %llu cloud syncs (%llu failed)\n",
+                (unsigned long long)run.queries,
+                (unsigned long long)run.cloudSyncs,
+                (unsigned long long)run.cloudSyncFailures);
+
+    const obs::MetricsSnapshot snap =
+        collector.fleetRegistry().snapshot();
+    auto analysis = obs::health::analyzeHealth(
+        snap, devices, SimTime(months) * workload::kMonth);
+    obs::FlightRecorder breaches(u64(devices) + 1);
+    analysis.slos = obs::health::evaluateSlos(
+        obs::health::defaultFleetSlos(), collector.fleetSeries(), snap,
+        &breaches);
+
+    AsciiTable sb("SLO scoreboard");
+    sb.header({"slo", "objective", "attainment", "budget left",
+               "short burn", "long burn", "state"});
+    for (const auto &st : analysis.slos) {
+        const bool lat =
+            st.spec.kind == obs::health::SloKind::LatencyQuantile;
+        sb.row({st.spec.name,
+                lat ? strformat("p%.0f<=%.0fms",
+                                100.0 * st.spec.quantile,
+                                st.spec.targetMs)
+                    : strformat("%.1f%%", 100.0 * st.spec.objective),
+                lat ? strformat("%.0fms", st.attainment)
+                    : strformat("%.1f%%", 100.0 * st.attainment),
+                strformat("%.1f/%.1f", st.budgetRemaining,
+                          st.budgetAllowed),
+                strformat("%.2f", st.shortBurn),
+                strformat("%.2f", st.longBurn),
+                st.burning  ? "BURNING"
+                : st.met    ? "met"
+                            : "missed"});
+    }
+    sb.print();
+
+    AsciiTable rk("bottleneck ranking (busy time vs capacity)");
+    rk.header({"rank", "component", "busy", "ops", "util ppm",
+               "per-op"});
+    for (std::size_t i = 0; i < analysis.ranked.size(); ++i) {
+        const auto &c = analysis.ranked[i];
+        rk.row({strformat("%zu", i + 1), c.name,
+                humanTime(SimTime(c.busyNs)),
+                strformat("%llu", (unsigned long long)c.ops),
+                strformat("%.2f", 1e6 * c.utilization),
+                humanTime(SimTime(c.serviceNs))});
+    }
+    rk.print();
+    if (!analysis.bottleneck.empty())
+        std::printf("bottleneck: %s — saturates at ~%.0fx current "
+                    "load\n",
+                    analysis.bottleneck.c_str(), analysis.headroom);
+    if (breaches.recorded() > 0)
+        std::printf("%llu SLO breach window(s) recorded to the flight "
+                    "recorder\n",
+                    (unsigned long long)breaches.recorded());
 }
 
 /**
@@ -557,6 +674,29 @@ main()
                 continue;
             }
             runFleetCommand(wb, n, months, threads);
+        } else if (cmd == "health") {
+            std::size_t n = 24;
+            u32 months = 6;
+            unsigned threads = 1;
+            u32 storm = 0;
+            if (!(iss >> n))
+                n = 24;
+            if (!(iss >> months))
+                months = 6;
+            if (!(iss >> threads))
+                threads = 1;
+            if (!(iss >> storm))
+                storm = 0;
+            if (n == 0 || months == 0) {
+                std::printf("need at least 1 device and 1 month\n");
+                continue;
+            }
+            if (n > 5000 || months > 24 || threads > 64) {
+                std::printf("keeping it interactive: max 5000 devices,"
+                            " 24 months, 64 threads\n");
+                continue;
+            }
+            runHealthCommand(wb, n, months, threads, storm != 0);
         } else if (cmd == "server") {
             u32 shards = 8;
             u32 threads = 4;
