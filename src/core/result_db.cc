@@ -13,6 +13,13 @@ ResultDatabase::ResultDatabase(pc::simfs::FlashStore &store,
     : store_(store), cfg_(cfg), prefix_(std::move(prefix))
 {
     pc_assert(cfg_.numFiles >= 1, "database needs at least one file");
+    if (cfg_.useStoreEngine) {
+        // Slab-engine mode: the engine owns its own file family under
+        // the prefix and recovers (or starts fresh) by itself.
+        engine_ = std::make_unique<pc::store::StoreEngine>(
+            store_, cfg_.engine, prefix_);
+        return;
+    }
     dataFiles_.reserve(cfg_.numFiles);
     indexFiles_.reserve(cfg_.numFiles);
     const bool attaching = store_.lookup(dataFileName(0)) !=
@@ -56,7 +63,9 @@ ResultDatabase::recoverLocations()
             loc.offset = std::strtoull(parts[1].c_str(), nullptr, 10);
             loc.length = std::strtoull(parts[2].c_str(), nullptr, 10);
             const u64 key = std::strtoull(parts[0].c_str(), nullptr, 16);
-            locations_.emplace(key, loc);
+            // Later header lines supersede earlier ones: updateRecord
+            // appends a fresh line for the key, so last wins.
+            locations_[key] = loc;
         }
     }
 }
@@ -110,6 +119,11 @@ bool
 ResultDatabase::addRecord(const ResultInfo &r, SimTime &time)
 {
     const u64 key = urlHash(r.url);
+    if (engine_) {
+        if (engine_->contains(key))
+            return false;
+        return engine_->put(key, encode(r), time);
+    }
     if (locations_.count(key))
         return false;
 
@@ -133,14 +147,63 @@ ResultDatabase::addRecord(const ResultInfo &r, SimTime &time)
 }
 
 bool
+ResultDatabase::updateRecord(const ResultInfo &r, SimTime &time)
+{
+    const u64 key = urlHash(r.url);
+    if (engine_) {
+        const bool had = engine_->contains(key);
+        engine_->put(key, encode(r), time);
+        return had;
+    }
+    auto it = locations_.find(key);
+    if (it == locations_.end()) {
+        addRecord(r, time);
+        return false;
+    }
+    // Append-supersede: the old copy stays as dead weight in the data
+    // file (flat files cannot reclaim it — exactly the fragmentation
+    // the slab engine's GC addresses) and a fresh header line redirects
+    // the key.
+    const u32 file = fileOf(key);
+    const std::string rec = encode(r);
+
+    Location loc;
+    loc.file = file;
+    loc.offset = store_.size(dataFiles_[file]);
+    loc.length = rec.size();
+
+    store_.append(dataFiles_[file], rec, time);
+    const std::string idx_line = strformat(
+        "%016llx:%llu:%llu\n", (unsigned long long)key,
+        (unsigned long long)loc.offset, (unsigned long long)loc.length);
+    store_.append(indexFiles_[file], idx_line, time);
+
+    it->second = loc;
+    return true;
+}
+
+bool
 ResultDatabase::contains(u64 url_hash) const
 {
+    if (engine_)
+        return engine_->contains(url_hash);
     return locations_.count(url_hash) != 0;
 }
 
 bool
 ResultDatabase::fetch(u64 url_hash, ResultRecord &out, SimTime &time) const
 {
+    if (engine_) {
+        // Index probe + (cached) slot read replaces the whole
+        // open + parse-the-header sequence of flat mode.
+        std::string text;
+        if (!engine_->get(url_hash, text, time))
+            return false;
+        time += cfg_.recordParse;
+        const bool ok = decode(text, out);
+        pc_assert(ok, "corrupt database record");
+        return true;
+    }
     const auto it = locations_.find(url_hash);
     if (it == locations_.end())
         return false;
@@ -174,6 +237,8 @@ ResultDatabase::fetch(u64 url_hash, ResultRecord &out, SimTime &time) const
 Bytes
 ResultDatabase::logicalBytes() const
 {
+    if (engine_)
+        return engine_->logicalBytes();
     Bytes total = 0;
     for (u32 f = 0; f < cfg_.numFiles; ++f)
         total += store_.size(dataFiles_[f]);
@@ -183,6 +248,8 @@ ResultDatabase::logicalBytes() const
 Bytes
 ResultDatabase::physicalBytes() const
 {
+    if (engine_)
+        return engine_->physicalBytes();
     Bytes total = 0;
     for (u32 f = 0; f < cfg_.numFiles; ++f) {
         total += store_.physicalSize(dataFiles_[f]);
@@ -194,6 +261,8 @@ ResultDatabase::physicalBytes() const
 std::vector<std::string>
 ResultDatabase::fileNames() const
 {
+    if (engine_)
+        return engine_->fileNames();
     std::vector<std::string> names;
     for (u32 f = 0; f < cfg_.numFiles; ++f) {
         names.push_back(dataFileName(f));

@@ -17,11 +17,13 @@
 #ifndef PC_CORE_RESULT_DB_H
 #define PC_CORE_RESULT_DB_H
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "simfs/flash_store.h"
+#include "store/engine.h"
 #include "workload/universe.h"
 
 namespace pc::core {
@@ -46,6 +48,16 @@ struct DbConfig
     SimTime parsePerByte = 100;
     /** Fixed record deserialization cost. */
     SimTime recordParse = 100 * kMicrosecond;
+    /**
+     * Opt-in: back the database with the pc::store slab engine instead
+     * of the paper's flat files. Lookups then pay an in-memory index
+     * probe plus a (possibly cached) slot read instead of the
+     * open + parse-the-whole-header sequence. Off by default so every
+     * committed baseline keeps the paper's storage model.
+     */
+    bool useStoreEngine = false;
+    /** Engine shape when useStoreEngine is set. */
+    pc::store::StoreEngineConfig engine{};
 };
 
 /**
@@ -74,6 +86,16 @@ class ResultDatabase
      */
     bool addRecord(const ResultInfo &r, SimTime &time);
 
+    /**
+     * Overwrite the record keyed by urlHash(r.url) (server refreshed a
+     * cached result). Falls back to addRecord when absent. Flat mode
+     * appends the new copy and a superseding header line (last wins on
+     * recovery); engine mode is a native out-of-place update.
+     * @param[out] time Accumulates flash latency.
+     * @return True if the record replaced an existing one.
+     */
+    bool updateRecord(const ResultInfo &r, SimTime &time);
+
     /** True if a record with this key exists. */
     bool contains(u64 url_hash) const;
 
@@ -87,7 +109,10 @@ class ResultDatabase
     bool fetch(u64 url_hash, ResultRecord &out, SimTime &time) const;
 
     /** Number of stored records. */
-    std::size_t records() const { return locations_.size(); }
+    std::size_t records() const
+    {
+        return engine_ ? std::size_t(engine_->items()) : locations_.size();
+    }
 
     /** Sum of record payload bytes (headers excluded). */
     Bytes logicalBytes() const;
@@ -103,6 +128,10 @@ class ResultDatabase
 
     /** Names of all database files. */
     std::vector<std::string> fileNames() const;
+
+    /** The slab engine, or nullptr in flat-file mode. */
+    pc::store::StoreEngine *engine() { return engine_.get(); }
+    const pc::store::StoreEngine *engine() const { return engine_.get(); }
 
   private:
     struct Location
@@ -129,6 +158,7 @@ class ResultDatabase
     std::vector<pc::simfs::FileId> dataFiles_;
     std::vector<pc::simfs::FileId> indexFiles_;
     std::unordered_map<u64, Location> locations_;
+    std::unique_ptr<pc::store::StoreEngine> engine_;
 };
 
 } // namespace pc::core

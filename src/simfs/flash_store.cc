@@ -38,13 +38,21 @@ FlashStore::attachMetrics(obs::MetricRegistry *reg)
     metrics_.removes = &reg->counter("simfs.removes");
     metrics_.bytesRead = &reg->counter("simfs.bytes_read");
     metrics_.bytesWritten = &reg->counter("simfs.bytes_written");
+    metrics_.createConflicts = &reg->counter("simfs.create_conflicts");
+    metrics_.readNs = &reg->counter("simfs.read_ns");
+    metrics_.writeNs = &reg->counter("simfs.write_ns");
+    metrics_.truncateNs = &reg->counter("simfs.truncate_ns");
+    metrics_.removeNs = &reg->counter("simfs.remove_ns");
 }
 
 FileId
 FlashStore::create(const std::string &name)
 {
-    if (byName_.find(name) != byName_.end())
+    if (byName_.find(name) != byName_.end()) {
+        if (metrics_.createConflicts)
+            metrics_.createConflicts->bump();
         return kNoFile;
+    }
     FileId id = FileId(files_.size());
     files_.push_back(File{name, {}, {}, true});
     byName_[name] = id;
@@ -155,6 +163,7 @@ FlashStore::append(FileId id, std::string_view data, SimTime &time)
     std::string_view payload = data;
     if (faults_)
         payload = data.substr(0, faults_->programBudget(data.size()));
+    const SimTime t0 = time;
     const Bytes start = f.data.size();
     if (metrics_.writes) {
         metrics_.writes->bump();
@@ -172,6 +181,44 @@ FlashStore::append(FileId id, std::string_view data, SimTime &time)
         remaining -= chunk;
     }
     f.data.append(payload);
+    if (metrics_.writeNs)
+        metrics_.writeNs->bump(u64(time - t0));
+}
+
+void
+FlashStore::writeAt(FileId id, Bytes offset, std::string_view data,
+                    SimTime &time)
+{
+    File &f = fileAt(id);
+    if (faults_ && faults_->powerLost())
+        return;
+    std::string_view payload = data;
+    if (faults_)
+        payload = data.substr(0, faults_->programBudget(data.size()));
+    if (payload.empty())
+        return;
+    const SimTime t0 = time;
+    if (metrics_.writes) {
+        metrics_.writes->bump();
+        metrics_.bytesWritten->bump(payload.size());
+    }
+    const Bytes end = offset + payload.size();
+    reserve(f, end, time, true);
+    if (f.data.size() < end)
+        f.data.resize(end, '\0'); // sparse extension; never programmed
+    // Charge programs block-run by block-run over the written range.
+    Bytes off = offset;
+    Bytes remaining = payload.size();
+    while (remaining > 0) {
+        const Bytes in_block = cfg_.allocUnit - off % cfg_.allocUnit;
+        const Bytes chunk = std::min<Bytes>(remaining, in_block);
+        time += device_.write(flashAddr(f, off), chunk);
+        off += chunk;
+        remaining -= chunk;
+    }
+    f.data.replace(offset, payload.size(), payload);
+    if (metrics_.writeNs)
+        metrics_.writeNs->bump(u64(time - t0));
 }
 
 Bytes
@@ -180,6 +227,7 @@ FlashStore::read(FileId id, Bytes offset, Bytes len, std::string &out,
 {
     const File &f = fileAt(id);
     out.clear();
+    const SimTime t0 = time;
     if (metrics_.reads)
         metrics_.reads->bump();
     if (offset >= f.data.size())
@@ -212,6 +260,8 @@ FlashStore::read(FileId id, Bytes offset, Bytes len, std::string &out,
         off += chunk;
         remaining -= chunk;
     }
+    if (metrics_.readNs)
+        metrics_.readNs->bump(u64(time - t0));
     return n;
 }
 
@@ -221,6 +271,7 @@ FlashStore::truncateAndWrite(FileId id, std::string_view data, SimTime &time)
     File &f = fileAt(id);
     if (faults_ && faults_->powerLost())
         return;
+    const SimTime t0 = time;
     if (metrics_.truncates)
         metrics_.truncates->bump();
     // Old blocks must be erased before reuse; charge and free them.
@@ -231,20 +282,52 @@ FlashStore::truncateAndWrite(FileId id, std::string_view data, SimTime &time)
     f.blocks.clear();
     f.data.clear();
     append(id, data, time);
+    if (metrics_.truncateNs)
+        metrics_.truncateNs->bump(u64(time - t0));
+}
+
+void
+FlashStore::remove(FileId id, SimTime &time)
+{
+    File &f = fileAt(id);
+    const SimTime t0 = time;
+    if (metrics_.removes)
+        metrics_.removes->bump();
+    // Freed blocks must be erased before reuse; charge the erases here
+    // (truncateAndWrite charges them; untimed remove historically did
+    // not — the gap pc::store's GC must not inherit).
+    for (u64 b : f.blocks) {
+        time += device_.eraseBlockAt(b * cfg_.allocUnit);
+        freeBlocks_.push_back(b);
+    }
+    byName_.erase(f.name);
+    f.blocks.clear();
+    f.data.clear();
+    f.live = false;
+    if (metrics_.removeNs)
+        metrics_.removeNs->bump(u64(time - t0));
 }
 
 void
 FlashStore::remove(FileId id)
 {
-    File &f = fileAt(id);
-    if (metrics_.removes)
-        metrics_.removes->bump();
+    SimTime discarded = 0;
+    remove(id, discarded);
+}
+
+double
+FlashStore::avgWear(FileId id) const
+{
+    const File &f = fileAt(id);
+    if (f.blocks.empty())
+        return 0.0;
+    const Bytes dev_block =
+        device_.config().pageSize * device_.config().pagesPerBlock;
+    double total = 0.0;
     for (u64 b : f.blocks)
-        freeBlocks_.push_back(b);
-    byName_.erase(f.name);
-    f.blocks.clear();
-    f.data.clear();
-    f.live = false;
+        total += double(
+            device_.blockEraseCount(b * cfg_.allocUnit / dev_block));
+    return total / double(f.blocks.size());
 }
 
 Bytes

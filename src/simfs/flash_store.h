@@ -82,7 +82,8 @@ class FlashStore
     /**
      * Create an empty file.
      * @return The new file's id, or kNoFile if a live file already has
-     *         this name (the existing file is untouched).
+     *         this name (the existing file is untouched; the conflict is
+     *         counted under "simfs.create_conflicts").
      */
     FileId create(const std::string &name);
 
@@ -106,6 +107,20 @@ class FlashStore
     void append(FileId id, std::string_view data, SimTime &time);
 
     /**
+     * Write bytes at an arbitrary offset (pwrite). Extends the file —
+     * sparsely, zero-filled — when the range reaches past the current
+     * end; only the written range is charged as programs (plus the
+     * amortized erase of freshly allocated blocks). This is what a
+     * slab-structured store needs: fixed slots rewritten in place
+     * without rewriting the file. Honors the attached fault plan
+     * exactly like append (power loss drops the write, an armed crash
+     * may tear it).
+     * @param[out] time Accumulates the flash program latency.
+     */
+    void writeAt(FileId id, Bytes offset, std::string_view data,
+                 SimTime &time);
+
+    /**
      * Read `len` bytes at `offset` into `out`, clamped to file size.
      * @param[out] time Accumulates the flash read latency.
      * @return Bytes actually read.
@@ -120,8 +135,27 @@ class FlashStore
      */
     void truncateAndWrite(FileId id, std::string_view data, SimTime &time);
 
-    /** Delete a file, returning its blocks to the free list. */
+    /**
+     * Delete a file, returning its blocks to the free list and charging
+     * the erase latency of every freed block — freed blocks must be
+     * erased before reuse, exactly as truncateAndWrite charges them.
+     * @param[out] time Accumulates the erase latency.
+     */
+    void remove(FileId id, SimTime &time);
+
+    /**
+     * Untimed delete (legacy signature): same reclamation, the erase
+     * cost is discarded. Prefer the timed overload on any path whose
+     * latency is being modelled — the GC path in pc::store uses it.
+     */
     void remove(FileId id);
+
+    /**
+     * Mean erase count of the device blocks backing a file's
+     * allocation units; 0 for an empty file. The pc::store GC uses it
+     * to relocate live data into the least-worn destination slab.
+     */
+    double avgWear(FileId id) const;
 
     /** Logical size of a file. */
     Bytes size(FileId id) const;
@@ -154,7 +188,12 @@ class FlashStore
     /**
      * Register store counters under "simfs.*" (creates, opens, reads,
      * writes, truncates, removes, bytes_read, bytes_written), bumped
-     * per operation. nullptr detaches.
+     * per operation, plus create_conflicts (duplicate-name creates,
+     * which otherwise vanish silently as kNoFile) and per-op latency
+     * accumulators (read_ns, write_ns, truncate_ns, remove_ns — total
+     * simulated nanoseconds charged per op class, so cache-hit savings
+     * in pc::store show up in fleet snapshots through the
+     * FleetCollector fold). nullptr detaches.
      */
     void attachMetrics(obs::MetricRegistry *reg);
 
@@ -190,6 +229,11 @@ class FlashStore
         obs::Counter *removes = nullptr;
         obs::Counter *bytesRead = nullptr;
         obs::Counter *bytesWritten = nullptr;
+        obs::Counter *createConflicts = nullptr;
+        obs::Counter *readNs = nullptr;
+        obs::Counter *writeNs = nullptr;
+        obs::Counter *truncateNs = nullptr;
+        obs::Counter *removeNs = nullptr;
     };
 
     pc::nvm::FlashDevice &device_;

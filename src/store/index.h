@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Pluggable in-memory index backends for the pc::store engine.
+ *
+ * KVell's central design point is that the persistent structure stays
+ * dumb (slab files of fixed-size slots) while all ordering/lookup
+ * intelligence lives in a rebuildable in-memory index — the engine
+ * recovers the index by scanning slabs at attach time. The `Index`
+ * interface captures exactly what the engine needs (upsert / find /
+ * erase by 64-bit key) so backends are interchangeable: a hash table
+ * for O(1) point lookups and an ordered tree for sorted iteration,
+ * selectable per StoreEngineConfig. Each backend also models its probe
+ * cost in simulated time, so the backend choice is visible in the
+ * YCSB-style sweep, not just in host wall-clock.
+ */
+
+#ifndef PC_STORE_INDEX_H
+#define PC_STORE_INDEX_H
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/types.h"
+
+namespace pc::store {
+
+/** Where an item lives: slab id, slot within it, payload length. */
+struct ItemLoc
+{
+    u32 slab = 0;  ///< Engine-wide slab id.
+    u32 slot = 0;  ///< Slot index within the slab.
+    u32 len = 0;   ///< Payload length in bytes (header excluded).
+};
+
+/** Index implementation selector. */
+enum class IndexBackend
+{
+    Hash,    ///< Open hash table: O(1) probes, unordered.
+    Ordered, ///< Balanced tree: O(log n) probes, sorted iteration.
+};
+
+/** Display name of a backend ("hash" / "ordered"). */
+const char *indexBackendName(IndexBackend b);
+
+/**
+ * The in-memory key → location map. Implementations are rebuilt from
+ * slab scans at attach time; nothing here is persistent.
+ */
+class Index
+{
+  public:
+    virtual ~Index() = default;
+
+    /** Insert or overwrite the location of `key`. */
+    virtual void upsert(u64 key, const ItemLoc &loc) = 0;
+
+    /** Remove `key`. @return True if it was present. */
+    virtual bool erase(u64 key) = 0;
+
+    /** Location of `key`, or nullptr. Pointer valid until mutation. */
+    virtual const ItemLoc *find(u64 key) const = 0;
+
+    /** Number of indexed keys. */
+    virtual std::size_t size() const = 0;
+
+    /** Approximate DRAM footprint of the index structure. */
+    virtual Bytes memoryBytes() const = 0;
+
+    /**
+     * Visit every (key, loc) pair. Ordered backends visit in ascending
+     * key order; hash backends in unspecified (but per-run stable)
+     * order — callers that need determinism across runs must sort.
+     */
+    virtual void
+    forEach(const std::function<void(u64, const ItemLoc &)> &fn) const = 0;
+
+    /**
+     * Modelled cost of one probe at the current size (charged to the
+     * simulated clock by the engine, not measured on the host).
+     */
+    virtual SimTime probeCost(std::size_t items) const = 0;
+
+    /** Backend selector this index implements. */
+    virtual IndexBackend backend() const = 0;
+};
+
+/** Construct an index of the requested backend. */
+std::unique_ptr<Index> makeIndex(IndexBackend b);
+
+} // namespace pc::store
+
+#endif // PC_STORE_INDEX_H

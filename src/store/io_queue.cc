@@ -1,0 +1,50 @@
+#include "store/io_queue.h"
+
+namespace pc::store {
+
+WriteBatch::WriteBatch(pc::simfs::FlashStore &store, u32 window)
+    : store_(store), window_(window)
+{
+}
+
+void
+WriteBatch::enqueue(pc::simfs::FileId file, Bytes offset, std::string bytes,
+                    SimTime &time)
+{
+    if (bytes.empty())
+        return;
+    ++stats_.ops;
+    pending_.push_back(Op{file, offset, std::move(bytes)});
+    if (window_ == 0 || pending_.size() >= window_)
+        flush(time);
+}
+
+void
+WriteBatch::flush(SimTime &time)
+{
+    if (pending_.empty())
+        return;
+    ++stats_.flushes;
+    // Walk ops in enqueue order, folding each into the current run when
+    // it extends it contiguously; anything else starts a new run. Never
+    // reorder — see the file comment for why.
+    std::size_t i = 0;
+    while (i < pending_.size()) {
+        const pc::simfs::FileId file = pending_[i].file;
+        const Bytes start = pending_[i].offset;
+        std::string run = std::move(pending_[i].bytes);
+        ++i;
+        while (i < pending_.size() && pending_[i].file == file &&
+               pending_[i].offset == start + run.size()) {
+            run += pending_[i].bytes;
+            ++i;
+        }
+        ++stats_.runs;
+        if (onFlush_)
+            onFlush_(file, start, run.size());
+        store_.writeAt(file, start, run, time);
+    }
+    pending_.clear();
+}
+
+} // namespace pc::store

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Batched write queue for slab files.
+ *
+ * KVell's slab workers never issue one syscall per operation — they
+ * enqueue, coalesce, and submit batches, amortizing the fixed
+ * per-request cost. The analogue here: slot writes are enqueued and,
+ * at flush, contiguous runs are merged into single FlashStore programs
+ * — two 32-byte header writes landing in the same flash page cost one
+ * page program instead of two.
+ *
+ * Ordering is load-bearing for crash safety and is therefore
+ * preserved exactly: ops are issued in enqueue order, and an op is
+ * merged only into the run immediately preceding it (same file,
+ * contiguous forward offset). Under an armed power-loss crash the
+ * program budget then runs out in enqueue order — an update's new
+ * version always reaches the flash before the kill of its
+ * predecessor, which is the invariant recovery relies on.
+ */
+
+#ifndef PC_STORE_IO_QUEUE_H
+#define PC_STORE_IO_QUEUE_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simfs/flash_store.h"
+#include "util/types.h"
+
+namespace pc::store {
+
+/** Cumulative batching statistics. */
+struct BatchStats
+{
+    u64 ops = 0;     ///< Writes enqueued.
+    u64 flushes = 0; ///< Flush calls that issued work.
+    u64 runs = 0;    ///< Coalesced programs actually issued.
+
+    /** Mean ops folded into one program; 1.0 = no coalescing won. */
+    double coalescing() const
+    {
+        return runs == 0 ? 0.0 : double(ops) / double(runs);
+    }
+};
+
+/**
+ * Order-preserving write coalescer in front of a FlashStore.
+ */
+class WriteBatch
+{
+  public:
+    /**
+     * @param store Destination store. Must outlive the batch.
+     * @param window Auto-flush threshold: enqueue flushes once this
+     *        many ops are pending. 0 disables batching (every enqueue
+     *        issues immediately).
+     */
+    WriteBatch(pc::simfs::FlashStore &store, u32 window);
+
+    /**
+     * Queue a write of `bytes` at `offset` of `file`; flushes
+     * automatically when the window fills, charging `time`.
+     */
+    void enqueue(pc::simfs::FileId file, Bytes offset, std::string bytes,
+                 SimTime &time);
+
+    /** Issue all pending ops as coalesced runs, in enqueue order. */
+    void flush(SimTime &time);
+
+    /** True when nothing is pending. */
+    bool empty() const { return pending_.empty(); }
+
+    /** Pending op count. */
+    std::size_t pending() const { return pending_.size(); }
+
+    /**
+     * Observer called once per issued run (file, offset, length),
+     * before the store write — the engine invalidates page-cache
+     * entries covered by the run here.
+     */
+    void onFlush(std::function<void(pc::simfs::FileId, Bytes, Bytes)> fn)
+    {
+        onFlush_ = std::move(fn);
+    }
+
+    /** Statistics. */
+    const BatchStats &stats() const { return stats_; }
+
+  private:
+    struct Op
+    {
+        pc::simfs::FileId file;
+        Bytes offset;
+        std::string bytes;
+    };
+
+    pc::simfs::FlashStore &store_;
+    u32 window_;
+    std::vector<Op> pending_;
+    std::function<void(pc::simfs::FileId, Bytes, Bytes)> onFlush_;
+    BatchStats stats_;
+};
+
+} // namespace pc::store
+
+#endif // PC_STORE_IO_QUEUE_H

@@ -1,0 +1,78 @@
+#include "store/page_cache.h"
+
+#include "util/logging.h"
+
+namespace pc::store {
+
+PageCache::PageCache(const PageCacheConfig &cfg) : cfg_(cfg)
+{
+    pc_assert(cfg_.pageSize > 0, "page size must be positive");
+}
+
+const std::string *
+PageCache::lookup(u32 file, u64 page)
+{
+    auto it = byKey_.find(keyOf(file, page));
+    if (it == byKey_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second); // refresh recency
+    return &it->second->bytes;
+}
+
+bool
+PageCache::contains(u32 file, u64 page) const
+{
+    return byKey_.find(keyOf(file, page)) != byKey_.end();
+}
+
+void
+PageCache::insert(u32 file, u64 page, std::string bytes)
+{
+    if (cfg_.capacityPages == 0)
+        return;
+    const u64 key = keyOf(file, page);
+    auto it = byKey_.find(key);
+    if (it != byKey_.end()) {
+        it->second->bytes = std::move(bytes);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (byKey_.size() >= cfg_.capacityPages) {
+        byKey_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+    lru_.push_front(Entry{key, std::move(bytes)});
+    byKey_[key] = lru_.begin();
+    ++stats_.insertions;
+}
+
+void
+PageCache::invalidate(u32 file, u64 page)
+{
+    auto it = byKey_.find(keyOf(file, page));
+    if (it == byKey_.end())
+        return;
+    lru_.erase(it->second);
+    byKey_.erase(it);
+    ++stats_.invalidations;
+}
+
+void
+PageCache::invalidateFile(u32 file)
+{
+    for (auto it = lru_.begin(); it != lru_.end();) {
+        if ((it->key >> 32) == file) {
+            byKey_.erase(it->key);
+            it = lru_.erase(it);
+            ++stats_.invalidations;
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace pc::store

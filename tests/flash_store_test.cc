@@ -255,3 +255,92 @@ TEST(WearLeveling, FlattensEraseDistribution)
 
 } // namespace
 } // namespace pc::simfs
+
+namespace pc::simfs {
+namespace {
+
+TEST(FlashStoreTimedRemove, ChargesEraseLatencyAndWearForFreedBlocks)
+{
+    pc::nvm::FlashConfig fc;
+    fc.capacity = 16 * kMiB;
+    pc::nvm::FlashDevice device(fc);
+    FlashStore store(device);
+    SimTime t = 0;
+    const FileId id = store.create("victim");
+    store.append(id, std::string(3 * store.config().allocUnit, 'x'), t);
+    const u64 wearBefore = device.blocksErased();
+
+    SimTime removeTime = 0;
+    store.remove(id, removeTime);
+    ASSERT_GT(removeTime, 0) << "freed blocks must pay their erases";
+    ASSERT_EQ(device.blocksErased(), wearBefore + 3);
+    ASSERT_FALSE(store.valid(id));
+}
+
+TEST(FlashStoreTimedRemove, UntimedOverloadStillChargesWear)
+{
+    pc::nvm::FlashConfig fc;
+    fc.capacity = 16 * kMiB;
+    pc::nvm::FlashDevice device(fc);
+    FlashStore store(device);
+    SimTime t = 0;
+    const FileId id = store.create("victim");
+    store.append(id, std::string(store.config().allocUnit, 'x'), t);
+    const u64 wearBefore = device.blocksErased();
+    store.remove(id); // legacy signature: time discarded, wear not
+    ASSERT_EQ(device.blocksErased(), wearBefore + 1);
+}
+
+TEST(FlashStoreMetrics, CreateConflictsAndLatencyAccumulatorsCount)
+{
+    pc::nvm::FlashConfig fc;
+    fc.capacity = 16 * kMiB;
+    pc::nvm::FlashDevice device(fc);
+    FlashStore store(device);
+    obs::MetricRegistry reg;
+    store.attachMetrics(&reg);
+
+    ASSERT_NE(store.create("dup"), kNoFile);
+    ASSERT_EQ(store.create("dup"), kNoFile); // duplicate name
+    ASSERT_EQ(reg.counter("simfs.create_conflicts").value(), 1u);
+
+    SimTime t = 0;
+    const FileId id = store.lookup("dup");
+    store.append(id, std::string(2000, 'x'), t);
+    std::string out;
+    store.read(id, 0, 2000, out, t);
+    SimTime rt = 0;
+    store.remove(id, rt);
+    ASSERT_GT(reg.counter("simfs.write_ns").value(), 0u);
+    ASSERT_GT(reg.counter("simfs.read_ns").value(), 0u);
+    ASSERT_EQ(reg.counter("simfs.remove_ns").value(), u64(rt));
+}
+
+TEST(FlashStoreWriteAt, InPlaceRewriteAndSparseExtension)
+{
+    pc::nvm::FlashConfig fc;
+    fc.capacity = 16 * kMiB;
+    pc::nvm::FlashDevice device(fc);
+    FlashStore store(device);
+    SimTime t = 0;
+    const FileId id = store.create("slab");
+
+    store.writeAt(id, 0, "AAAA", t);
+    ASSERT_EQ(store.size(id), 4u);
+    // Sparse extension: the gap reads back as zeros.
+    store.writeAt(id, 100, "BBBB", t);
+    ASSERT_EQ(store.size(id), 104u);
+    std::string out;
+    store.read(id, 0, 104, out, t);
+    ASSERT_EQ(out.substr(0, 4), "AAAA");
+    ASSERT_EQ(out[50], '\0');
+    ASSERT_EQ(out.substr(100, 4), "BBBB");
+    // In-place rewrite does not grow the file.
+    store.writeAt(id, 0, "CCCC", t);
+    ASSERT_EQ(store.size(id), 104u);
+    store.read(id, 0, 4, out, t);
+    ASSERT_EQ(out, "CCCC");
+}
+
+} // namespace
+} // namespace pc::simfs
