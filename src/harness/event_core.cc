@@ -1,0 +1,45 @@
+#include "harness/event_core.h"
+
+namespace pc::harness {
+
+EventCore::Handle
+EventCore::schedule(SimTime time, std::size_t device, Continuation fn)
+{
+    // Clamp instead of asserting: a handler that computes an arrival
+    // just behind its own dispatch time (retry backoff arithmetic,
+    // clamped burst windows) schedules "immediately after everything
+    // already due now", which is the only sane meaning of a past
+    // timestamp in a monotone simulation.
+    if (time < now_)
+        time = now_;
+    return queue_.push(time, device, std::move(fn));
+}
+
+bool
+EventCore::cancel(Handle h)
+{
+    return queue_.cancel(h);
+}
+
+void
+EventCore::run()
+{
+    stopped_ = false;
+    while (!stopped_) {
+        auto ev = queue_.pop();
+        if (!ev.has_value())
+            break;
+        now_ = ev->key.time;
+        ++dispatched_;
+        EventInfo info;
+        info.time = ev->key.time;
+        info.device = ev->key.device;
+        info.seq = ev->key.seq;
+        // The continuation may schedule() into the queue we are
+        // draining (the normal case) or cancel() pending handles —
+        // both touch only the queue, never this dispatch frame.
+        ev->payload(*this, info);
+    }
+}
+
+} // namespace pc::harness

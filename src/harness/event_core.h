@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Discrete-event core for the fleet harness.
+ *
+ * The epoch-stepped harness advances every device one month at a
+ * time; this engine replaces that outer loop with a global event
+ * queue so sub-epoch structure — intra-day query bursts, staggered
+ * sync storms, mid-month outages and reconnect herds — becomes
+ * expressible. Two layers:
+ *
+ *  - **EventQueue<Payload>** — a binary min-heap of (key, payload)
+ *    entries keyed by `EventKey{time, device, seq}`. `seq` is a
+ *    global push counter, so two events at the same instant on the
+ *    same device pop in exactly the order they were scheduled, and
+ *    events tied on time across devices pop in device-index order.
+ *    That total order is the engine's whole determinism story: no
+ *    wall clocks, no pointers, no iteration over hashed containers —
+ *    a fixed schedule replays the same dispatch sequence on any
+ *    machine. cancel() is lazy (the entry is dropped when it
+ *    surfaces), so cancellation is O(1) and the heap shape stays a
+ *    pure function of the push sequence.
+ *
+ *  - **EventCore** — the dispatch loop: continuations scheduled at a
+ *    (time, device) pair run in key order; a running continuation may
+ *    schedule further events (re-entrancy is the normal case — a
+ *    query arrival schedules the next arrival) or cancel pending
+ *    ones. Scheduling into the past clamps to now(): sim time never
+ *    moves backwards, which the fleet fold and every TimeSeries
+ *    window rely on.
+ *
+ * Determinism rules (see DESIGN.md "Event-driven fleet"): handlers
+ * must derive everything from sim state and seeded RNG streams;
+ * the tie-break key is (time, device, seq); per-device telemetry is
+ * still folded in device-index order by the harness, so artifacts
+ * stay byte-identical at any worker-thread count.
+ */
+
+#ifndef PC_HARNESS_EVENT_CORE_H
+#define PC_HARNESS_EVENT_CORE_H
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pc::harness {
+
+/**
+ * Total order of scheduled events: time, then device index, then
+ * global push sequence. Every pair of events compares strictly —
+ * `seq` is unique — so the pop order is a total function of the push
+ * history.
+ */
+struct EventKey
+{
+    SimTime time = 0;
+    std::size_t device = 0;
+    u64 seq = 0;
+};
+
+constexpr bool
+operator<(const EventKey &a, const EventKey &b)
+{
+    if (a.time != b.time)
+        return a.time < b.time;
+    if (a.device != b.device)
+        return a.device < b.device;
+    return a.seq < b.seq;
+}
+
+constexpr bool
+operator==(const EventKey &a, const EventKey &b)
+{
+    return a.time == b.time && a.device == b.device && a.seq == b.seq;
+}
+
+/**
+ * Binary-heap priority queue of (EventKey, Payload). See the file
+ * comment for the ordering and cancellation contract. Not
+ * thread-safe by design: the fleet harness runs one queue per device
+ * world (or one per single-threaded run) — sharing a queue across
+ * workers would reintroduce scheduling-order nondeterminism.
+ */
+template <typename Payload>
+class EventQueue
+{
+  public:
+    /** Token returned by push(), accepted by cancel(). */
+    using Handle = u64;
+
+    /** One popped event. */
+    struct Event
+    {
+        EventKey key;
+        Payload payload;
+    };
+
+    /** Schedule `payload` at (time, device). O(log n). */
+    Handle
+    push(SimTime time, std::size_t device, Payload payload)
+    {
+        Entry e;
+        e.key.time = time;
+        e.key.device = device;
+        e.key.seq = nextSeq_++;
+        e.payload = std::move(payload);
+        const Handle h = e.key.seq;
+        heap_.push_back(std::move(e));
+        std::push_heap(heap_.begin(), heap_.end(), later);
+        live_.insert(h);
+        return h;
+    }
+
+    /**
+     * Cancel a pending event. Lazy: the heap entry is skipped when it
+     * reaches the top. @return False if the handle was never issued,
+     * already popped, or already cancelled.
+     */
+    bool
+    cancel(Handle h)
+    {
+        return live_.erase(h) != 0;
+    }
+
+    /** Pending (non-cancelled) events. */
+    std::size_t size() const { return live_.size(); }
+
+    /** True when no pending events remain. */
+    bool empty() const { return live_.empty(); }
+
+    /**
+     * Pop the earliest pending event (cancelled entries are discarded
+     * on the way). @return Empty when the queue is drained.
+     */
+    std::optional<Event>
+    pop()
+    {
+        while (!heap_.empty()) {
+            std::pop_heap(heap_.begin(), heap_.end(), later);
+            Entry e = std::move(heap_.back());
+            heap_.pop_back();
+            if (live_.erase(e.key.seq) != 0) {
+                Event out;
+                out.key = e.key;
+                out.payload = std::move(e.payload);
+                return out;
+            }
+        }
+        return std::nullopt;
+    }
+
+  private:
+    struct Entry
+    {
+        EventKey key;
+        Payload payload;
+    };
+
+    /** std::push_heap builds a max-heap; invert to pop earliest. */
+    static bool
+    later(const Entry &a, const Entry &b)
+    {
+        return b.key < a.key;
+    }
+
+    std::vector<Entry> heap_;
+    std::unordered_set<Handle> live_; ///< Membership only — never iterated.
+    u64 nextSeq_ = 0;
+};
+
+/**
+ * The dispatch engine: continuations in a single EventQueue, run to
+ * exhaustion. One EventCore per device world in the parallel fleet
+ * (workers share nothing), or one for a whole single-threaded
+ * scenario.
+ */
+class EventCore
+{
+  public:
+    /** What a continuation learns about its own dispatch. */
+    struct EventInfo
+    {
+        SimTime time = 0;      ///< Scheduled (possibly clamped) time.
+        std::size_t device = 0;
+        u64 seq = 0;
+    };
+
+    using Continuation = std::function<void(EventCore &, const EventInfo &)>;
+    using Handle = EventQueue<Continuation>::Handle;
+
+    /**
+     * Schedule `fn` at (time, device). Times before now() clamp to
+     * now() — sim time never runs backwards — and the continuation
+     * then runs after every event already pending at now().
+     */
+    Handle schedule(SimTime time, std::size_t device, Continuation fn);
+
+    /** Cancel a pending continuation (see EventQueue::cancel). */
+    bool cancel(Handle h);
+
+    /**
+     * Dispatch until the queue is empty or stop() is called.
+     * Continuations may schedule() and cancel() freely (re-entrant).
+     * Safe to call again after it returns: run() resumes with
+     * whatever is pending.
+     */
+    void run();
+
+    /** Ask the running loop to return after the current continuation. */
+    void stop() { stopped_ = true; }
+
+    /** Time of the most recently dispatched event. */
+    SimTime now() const { return now_; }
+
+    /** Pending continuations. */
+    std::size_t pending() const { return queue_.size(); }
+
+    /** Continuations dispatched so far. */
+    u64 dispatched() const { return dispatched_; }
+
+  private:
+    EventQueue<Continuation> queue_;
+    SimTime now_ = 0;
+    u64 dispatched_ = 0;
+    bool stopped_ = false;
+};
+
+} // namespace pc::harness
+
+#endif // PC_HARNESS_EVENT_CORE_H

@@ -9,11 +9,15 @@
 #include <utility>
 #include <vector>
 
+#include <cmath>
+
 #include "core/table_codec.h"
+#include "harness/event_core.h"
 #include "server/work_queue.h"
 #include "util/crc32.h"
 #include "util/hash.h"
 #include "util/logging.h"
+#include "util/rng.h"
 
 namespace pc::harness {
 
@@ -91,6 +95,33 @@ deviceTableDigest(const core::PocketSearch &ps)
     return digestWirePairs(*decoded);
 }
 
+std::string
+validateFleetRunConfig(const FleetRunConfig &cfg)
+{
+    if (cfg.chaos.enabled && cfg.cloud == nullptr)
+        return "chaos needs a cloud service attached";
+    const FlashCrowdConfig &fc = cfg.flashCrowd;
+    if (fc.enabled) {
+        if (cfg.engine != FleetEngine::EventDriven)
+            return "flash crowd needs engine = EventDriven (the epoch "
+                   "harness cannot represent sub-epoch arrivals)";
+        if (cfg.chaos.enabled)
+            return "flash crowd and chaos cannot combine (chaos "
+                   "invariants assume the epoch-granular schedule)";
+        if (cfg.outageMonths > 0)
+            return "flash crowd replaces the epoch outage episode "
+                   "(use flashCrowd.outageStart/outageLen)";
+        if (!std::isfinite(fc.arrivalsPerHour) || fc.arrivalsPerHour < 0)
+            return "flash crowd arrivalsPerHour must be finite and >= 0";
+        if (!std::isfinite(fc.burstMultiplier) || fc.burstMultiplier < 0)
+            return "flash crowd burstMultiplier must be finite and >= 0";
+        if (fc.burstStart < 0 || fc.burstLen < 0 || fc.outageStart < 0 ||
+            fc.outageLen < 0 || fc.reconnectStagger < 0 || fc.window < 0)
+            return "flash crowd times must be non-negative";
+    }
+    return "";
+}
+
 namespace {
 
 /**
@@ -118,115 +149,138 @@ struct DeviceTelemetry
     u64 rejectedDeltas = 0;   ///< Deltas validation rejected.
     u64 injectedCorruptions = 0; ///< Flips the fault plans injected.
     u64 shedSyncs = 0;        ///< Syncs shed by the admission rule.
+    u64 reconnectDrains = 0;  ///< Flash-crowd reconnect miss drains.
     bool sabotaged = false;   ///< Chaos silently corrupted this table.
     /** Flight-recorder window (chaos only), for postmortems. */
     std::vector<obs::SyncEvent> events;
 };
 
 /**
- * Simulate device `i` in a private world. Reads the workbench and the
- * cloud service (if any) strictly read-only, so any number of these
- * may run concurrently.
+ * One device's private simulation world plus the steps both engines
+ * drive it with. The epoch loop calls beginMonth / serve-per-event /
+ * endMonth directly; the event drivers schedule the *same member
+ * functions* as continuations in an EventCore. Sharing the step
+ * bodies is the structural half of the differential guarantee: with
+ * an epoch-granular schedule the two engines execute the identical
+ * operation sequence, so every registry mutation, RNG draw and
+ * snapshot lands in the same order — fleet_differential_test proves
+ * the resulting bytes match.
  */
-DeviceTelemetry
-simulateDevice(const Workbench &wb, const FleetRunConfig &cfg,
-               std::size_t i, const workload::UserProfile &profile)
+class DeviceSim
 {
-    DeviceTelemetry out;
-    out.index = i;
-    out.classKey = userClassKey(profile.cls);
-    out.registry = std::make_unique<obs::MetricRegistry>();
+  public:
+    DeviceSim(const Workbench &wb, const FleetRunConfig &cfg,
+              std::size_t i, const workload::UserProfile &profile)
+        : cfg_(cfg), i_(i), chaos_(cfg.chaos.enabled),
+          devSeed_(cfg.seed * 1000003ull + u64(i) * 7919ull)
+    {
+        out_.index = i;
+        out_.classKey = userClassKey(profile.cls);
+        out_.registry = std::make_unique<obs::MetricRegistry>();
 
-    // Chaos runs pin the cache to CommunityOnly so a synced device
-    // table is byte-comparable to the server model (the invariant the
-    // fold checks); chaos off leaves the config untouched.
-    const bool chaos = cfg.chaos.enabled;
-    core::PocketSearchConfig psCfg;
-    if (chaos)
-        psCfg.mode = core::CacheMode::CommunityOnly;
-    device::MobileDevice dev(wb.universe(), cfg.device, psCfg);
-    if (!cfg.cloud)
-        dev.installCommunityCache(wb.communityCache());
-    dev.attachMetrics(out.registry.get());
+        // Chaos runs pin the cache to CommunityOnly so a synced device
+        // table is byte-comparable to the server model (the invariant
+        // the fold checks); chaos off leaves the config untouched.
+        core::PocketSearchConfig psCfg;
+        if (chaos_)
+            psCfg.mode = core::CacheMode::CommunityOnly;
+        dev_.emplace(wb.universe(), cfg.device, psCfg);
+        if (!cfg.cloud)
+            dev_->installCommunityCache(wb.communityCache());
+        dev_->attachMetrics(out_.registry.get());
 
-    // Chaos attaches the flight recorder: every sync leaves a causal
-    // event chain (both tiers), so an invariant trip comes back as an
-    // explained postmortem instead of a bare count. The recorder is
-    // private to this worker — recording stays deterministic and
-    // thread-free.
-    std::optional<obs::FlightRecorder> recorder;
-    if (chaos) {
-        recorder.emplace(u64(i), cfg.recorderCapacity);
-        dev.attachFlightRecorder(&*recorder);
-    }
+        // Chaos attaches the flight recorder: every sync leaves a
+        // causal event chain (both tiers), so an invariant trip comes
+        // back as an explained postmortem instead of a bare count. The
+        // recorder is private to this worker — recording stays
+        // deterministic and thread-free.
+        if (chaos_) {
+            recorder_.emplace(u64(i), cfg.recorderCapacity);
+            dev_->attachFlightRecorder(&*recorder_);
+        }
 
-    // Health ledgers are plain registry counters, so they ride the
-    // same snapshots and device-index-ordered fold as every other
-    // metric — no extra plumbing keeps them deterministic.
-    std::optional<obs::health::HealthAccountant> health;
-    if (cfg.health) {
-        health.emplace(*out.registry);
-        dev.attachHealth(&*health);
-    }
+        // Health ledgers are plain registry counters, so they ride the
+        // same snapshots and device-index-ordered fold as every other
+        // metric — no extra plumbing keeps them deterministic.
+        if (cfg.health) {
+            health_.emplace(*out_.registry);
+            dev_->attachHealth(&*health_);
+        }
 
-    // Version-skew cohort: every skewEvery-th device claims a model
-    // version it never installed, alternating between an in-window lie
-    // (forces transactional rejection, then escalation) and an
-    // off-window lie (forces an immediate full install).
-    u64 lastVersion = 0;
-    if (chaos && cfg.chaos.skewEvery != 0 && cfg.cloud &&
-        i % cfg.chaos.skewEvery == 0) {
-        const u64 oldest = cfg.cloud->oldestVersion();
-        if (oldest > 0) {
-            const u64 claim = ((i / cfg.chaos.skewEvery) % 2 == 0)
-                                  ? oldest
-                                  : (oldest > 1 ? oldest - 1 : oldest);
-            dev.setCommunityVersion(claim);
-            lastVersion = claim;
+        // Version-skew cohort: every skewEvery-th device claims a
+        // model version it never installed, alternating between an
+        // in-window lie (forces transactional rejection, then
+        // escalation) and an off-window lie (forces an immediate full
+        // install).
+        if (chaos_ && cfg.chaos.skewEvery != 0 && cfg.cloud &&
+            i % cfg.chaos.skewEvery == 0) {
+            const u64 oldest = cfg.cloud->oldestVersion();
+            if (oldest > 0) {
+                const u64 claim = ((i / cfg.chaos.skewEvery) % 2 == 0)
+                                      ? oldest
+                                      : (oldest > 1 ? oldest - 1 : oldest);
+                dev_->setCommunityVersion(claim);
+                lastVersion_ = claim;
+            }
+        }
+
+        // Per-device derived seeds: device index decorrelates streams
+        // and fault schedules, the run seed shifts the whole fleet.
+        stream_.emplace(wb.universe(), profile, devSeed_);
+        fault::FaultConfig faultCfg = cfg.outageFaults;
+        faultCfg.seed = devSeed_ + 1;
+        faults_.emplace(faultCfg);
+
+        // Chaos fault plans replace the outage-episode plan for the
+        // whole run: stormPlan kills the radio outright, chaosPlan
+        // flips payload bits at the configured rate. Only built under
+        // chaos, so a disabled ChaosConfig draws nothing and changes
+        // no bytes.
+        if (chaos_) {
+            fault::FaultConfig storm;
+            storm.seed = devSeed_ + 2;
+            storm.radio.exchangeFailureRate = 1.0;
+            stormPlan_.emplace(storm);
+            fault::FaultConfig flips;
+            flips.seed = devSeed_ + 3;
+            flips.radio.payloadCorruptRate = cfg.chaos.payloadCorruptRate;
+            chaosPlan_.emplace(flips);
+        }
+
+        // Flash-crowd outage plan: radio dead between the OutageStart
+        // event and the device's staggered Reconnect event.
+        if (cfg.flashCrowd.enabled && cfg.flashCrowd.outageLen > 0) {
+            fault::FaultConfig dead;
+            dead.seed = devSeed_ + 5;
+            dead.radio.exchangeFailureRate = 1.0;
+            flashOutagePlan_.emplace(dead);
         }
     }
 
-    // Per-device derived seeds: device index decorrelates streams
-    // and fault schedules, the run seed shifts the whole fleet.
-    const u64 devSeed = cfg.seed * 1000003ull + u64(i) * 7919ull;
-    workload::UserStream stream(wb.universe(), profile, devSeed);
-    fault::FaultConfig faultCfg = cfg.outageFaults;
-    faultCfg.seed = devSeed + 1;
-    fault::FaultPlan faults(faultCfg);
-
-    // Chaos fault plans replace the outage-episode plan for the whole
-    // run: stormPlan kills the radio outright, chaosPlan flips payload
-    // bits at the configured rate. Only built under chaos, so a
-    // disabled ChaosConfig draws nothing and changes no bytes.
-    std::optional<fault::FaultPlan> stormPlan;
-    std::optional<fault::FaultPlan> chaosPlan;
-    if (chaos) {
-        fault::FaultConfig storm;
-        storm.seed = devSeed + 2;
-        storm.radio.exchangeFailureRate = 1.0;
-        stormPlan.emplace(storm);
-        fault::FaultConfig flips;
-        flips.seed = devSeed + 3;
-        flips.radio.payloadCorruptRate = cfg.chaos.payloadCorruptRate;
-        chaosPlan.emplace(flips);
-    }
-
-    u32 nonStormMonths = 0;
-    for (u32 m = 0; m < cfg.months; ++m) {
-        const SimTime windowStart = SimTime(m) * workload::kMonth;
-        const bool inOutage = cfg.outageMonths > 0 &&
-                              m >= cfg.outageStartMonth &&
-                              m < cfg.outageStartMonth + cfg.outageMonths;
+    /**
+     * Month prologue: fault-plan attachment for the epoch-granular
+     * schedule (the flash-crowd driver owns fault attachment through
+     * its outage events instead) and the monthly cloud sync.
+     */
+    void
+    beginMonth(u32 m)
+    {
+        const bool inOutage = cfg_.outageMonths > 0 &&
+                              m >= cfg_.outageStartMonth &&
+                              m < cfg_.outageStartMonth + cfg_.outageMonths;
         const bool inStorm =
-            chaos && cfg.chaos.stormMonths > 0 &&
-            m >= cfg.chaos.stormStartMonth &&
-            m < cfg.chaos.stormStartMonth + cfg.chaos.stormMonths;
+            chaos_ && cfg_.chaos.stormMonths > 0 &&
+            m >= cfg_.chaos.stormStartMonth &&
+            m < cfg_.chaos.stormStartMonth + cfg_.chaos.stormMonths;
         if (!inStorm)
-            ++nonStormMonths;
-        if (chaos)
-            dev.attachFaults(inStorm ? &*stormPlan : &*chaosPlan);
-        else
-            dev.attachFaults(inOutage ? &faults : nullptr);
+            ++nonStormMonths_;
+        if (!cfg_.flashCrowd.enabled) {
+            if (chaos_)
+                dev_->attachFaults(inStorm ? &*stormPlan_ : &*chaosPlan_);
+            else
+                dev_->attachFaults(inOutage ? &*faults_ : nullptr);
+            radioDark_ = chaos_ ? inStorm : inOutage;
+        }
 
         // Monthly model sync through the cloud service, under the
         // month's fault plan: first contact is a full install, later
@@ -234,100 +288,372 @@ simulateDevice(const Workbench &wb, const FleetRunConfig &cfg,
         // device serving from its stale model. The sync is detached:
         // the service registry is replayed by the fold, not written
         // here, so concurrent workers never share mutable state.
-        if (cfg.cloud &&
-            cfg.cloud->latestVersion() > dev.communityVersion()) {
+        if (cfg_.cloud &&
+            cfg_.cloud->latestVersion() > dev_->communityVersion()) {
             // Deterministic admission rule: each non-storm month
             // admits another herdBudgetPerMonth devices (by index), so
             // a post-storm reconnect herd drains over several months.
             // Device-local, hence thread-count independent.
             const bool shed =
-                chaos && cfg.chaos.herdBudgetPerMonth > 0 &&
-                u64(i) >=
-                    u64(nonStormMonths) * cfg.chaos.herdBudgetPerMonth;
+                chaos_ && cfg_.chaos.herdBudgetPerMonth > 0 &&
+                u64(i_) >=
+                    u64(nonStormMonths_) * cfg_.chaos.herdBudgetPerMonth;
             if (shed) {
                 server::CloudUpdateService::SyncAccounting acct;
                 acct.shed = true;
-                out.syncs.push_back(acct);
-                ++out.shedSyncs;
+                out_.syncs.push_back(acct);
+                ++out_.shedSyncs;
             } else {
                 server::CloudUpdateService::SyncAccounting acct;
-                const auto res = cfg.cloud->syncDetached(dev, &acct);
-                out.syncs.push_back(acct);
+                const auto res = cfg_.cloud->syncDetached(*dev_, &acct);
+                out_.syncs.push_back(acct);
                 if (res.ok)
-                    out.anySyncOk = true;
+                    out_.anySyncOk = true;
             }
-            if (dev.communityVersion() < lastVersion)
-                out.monotone = false;
-            lastVersion = dev.communityVersion();
+            if (dev_->communityVersion() < lastVersion_)
+                out_.monotone = false;
+            lastVersion_ = dev_->communityVersion();
         }
-
-        stream.setEpoch(m);
-        for (const auto &ev : stream.month(windowStart)) {
-            if (ev.time > dev.now())
-                dev.advanceTime(ev.time - dev.now());
-            dev.serveQuery(ev.pair, device::ServePath::PocketSearch);
-        }
-
-        // Coverage is back after an outage/storm month: drain the
-        // misses the device queued while the cloud was dark.
-        const bool radioDark = chaos ? inStorm : inOutage;
-        if (!radioDark && !dev.missQueue().empty())
-            dev.syncMissQueue();
-
-        out.windows.emplace_back(windowStart, out.registry->snapshot());
     }
-    dev.attachFaults(nullptr);
 
-    // Deliberate sabotage: silently bump one cached pair's score —
-    // a corruption the CRC frame never saw. The digest invariant must
-    // trip and the postmortem must explain it; the Sabotage event is
-    // the ground-truth marker the report carries.
-    if (chaos && cfg.chaos.sabotageEvery != 0 && cfg.cloud &&
-        i % cfg.chaos.sabotageEvery == 0 &&
-        cfg.cloud->latestVersion() > 0 &&
-        dev.communityVersion() == cfg.cloud->latestVersion()) {
-        const auto &pairs = cfg.cloud->latest().contents.pairs;
-        if (!pairs.empty()) {
-            const auto &victim = pairs.front();
-            if (dev.pocketSearch().setPairScore(victim.pair,
-                                                victim.score + 1.0)) {
-                out.sabotaged = true;
-                if (recorder.has_value()) {
-                    obs::TraceContext ctx = recorder->beginTrace();
-                    obs::SyncEvent ev;
-                    ev.traceId = ctx.traceId;
-                    ev.span = ctx.newSpan();
-                    ev.tier = obs::SyncTier::Device;
-                    ev.stage = obs::SyncStage::Sabotage;
-                    ev.ok = false;
-                    ev.fromVersion = dev.communityVersion();
-                    ev.toVersion = dev.communityVersion();
-                    ev.detail = u64(victim.pair.query);
-                    ev.start = dev.now();
-                    recorder->record(ev);
+    /** The month's epoch-granular query schedule (time-ordered). */
+    std::vector<workload::StreamEvent>
+    monthEvents(u32 m)
+    {
+        stream_->setEpoch(m);
+        return stream_->month(SimTime(m) * workload::kMonth);
+    }
+
+    /** Advance the stream's epoch/window without materializing events
+     *  (flash-crowd mode draws pairs one arrival at a time). */
+    void
+    beginStreamMonth(u32 m)
+    {
+        stream_->setEpoch(m);
+        stream_->beginMonth(SimTime(m) * workload::kMonth);
+    }
+
+    /** Draw the next arrival's pair (flash-crowd mode; the caller
+     *  overrides the stream's evenly-spread timestamp). */
+    workload::StreamEvent nextArrivalPair() { return stream_->next(); }
+
+    /** Serve one query event. */
+    void
+    serve(const workload::StreamEvent &ev)
+    {
+        if (ev.time > dev_->now())
+            dev_->advanceTime(ev.time - dev_->now());
+        dev_->serveQuery(ev.pair, device::ServePath::PocketSearch);
+    }
+
+    /**
+     * Month epilogue: drain the misses the device queued while the
+     * cloud was dark (coverage is back after an outage/storm month)
+     * and snapshot the telemetry window.
+     */
+    void
+    endMonth(u32 m)
+    {
+        if (!radioDark_ && !dev_->missQueue().empty())
+            dev_->syncMissQueue();
+        out_.windows.emplace_back(SimTime(m) * workload::kMonth,
+                                  out_.registry->snapshot());
+    }
+
+    /** Flash-crowd OutageStart event: the radio goes dark mid-month. */
+    void
+    radioDown()
+    {
+        dev_->attachFaults(&*flashOutagePlan_);
+        radioDark_ = true;
+    }
+
+    /**
+     * Flash-crowd Reconnect event: coverage returns at this device's
+     * staggered slot; the queued misses sync immediately — the
+     * sub-epoch sync storm the epoch harness cannot express.
+     */
+    void
+    reconnect()
+    {
+        dev_->attachFaults(nullptr);
+        radioDark_ = false;
+        if (!dev_->missQueue().empty()) {
+            dev_->syncMissQueue();
+            ++out_.reconnectDrains;
+        }
+    }
+
+    /** Snapshot one telemetry window (flash-crowd sub-month widths). */
+    void
+    snapshotWindow(SimTime windowStart)
+    {
+        out_.windows.emplace_back(windowStart, out_.registry->snapshot());
+    }
+
+    /** Run epilogue: sabotage injection, chaos evidence, detach. */
+    DeviceTelemetry
+    finish()
+    {
+        dev_->attachFaults(nullptr);
+
+        // Deliberate sabotage: silently bump one cached pair's score —
+        // a corruption the CRC frame never saw. The digest invariant
+        // must trip and the postmortem must explain it; the Sabotage
+        // event is the ground-truth marker the report carries.
+        if (chaos_ && cfg_.chaos.sabotageEvery != 0 && cfg_.cloud &&
+            i_ % cfg_.chaos.sabotageEvery == 0 &&
+            cfg_.cloud->latestVersion() > 0 &&
+            dev_->communityVersion() == cfg_.cloud->latestVersion()) {
+            const auto &pairs = cfg_.cloud->latest().contents.pairs;
+            if (!pairs.empty()) {
+                const auto &victim = pairs.front();
+                if (dev_->pocketSearch().setPairScore(victim.pair,
+                                                      victim.score + 1.0)) {
+                    out_.sabotaged = true;
+                    if (recorder_.has_value()) {
+                        obs::TraceContext ctx = recorder_->beginTrace();
+                        obs::SyncEvent ev;
+                        ev.traceId = ctx.traceId;
+                        ev.span = ctx.newSpan();
+                        ev.tier = obs::SyncTier::Device;
+                        ev.stage = obs::SyncStage::Sabotage;
+                        ev.ok = false;
+                        ev.fromVersion = dev_->communityVersion();
+                        ev.toVersion = dev_->communityVersion();
+                        ev.detail = u64(victim.pair.query);
+                        ev.start = dev_->now();
+                        recorder_->record(ev);
+                    }
                 }
             }
         }
+
+        out_.finalVersion = dev_->communityVersion();
+        if (chaos_) {
+            out_.tableDigest = deviceTableDigest(dev_->pocketSearch());
+            out_.injectedCorruptions =
+                chaosPlan_->stats().payloadCorruptions +
+                stormPlan_->stats().payloadCorruptions;
+            out_.corruptRejected = dev_->resilience().corruptDeltas;
+            out_.rejectedDeltas = dev_->resilience().rejectedDeltas;
+            if (recorder_.has_value()) {
+                out_.events = recorder_->events();
+                // Ring pressure into the device registry, so the fleet
+                // snapshot exposes trace loss ("obs.flight.*").
+                recorder_->publishMetrics(*out_.registry);
+            }
+            dev_->attachFlightRecorder(nullptr);
+        }
+        if (health_.has_value())
+            dev_->attachHealth(nullptr);
+        return std::move(out_);
     }
 
-    out.finalVersion = dev.communityVersion();
-    if (chaos) {
-        out.tableDigest = deviceTableDigest(dev.pocketSearch());
-        out.injectedCorruptions = chaosPlan->stats().payloadCorruptions +
-                                  stormPlan->stats().payloadCorruptions;
-        out.corruptRejected = dev.resilience().corruptDeltas;
-        out.rejectedDeltas = dev.resilience().rejectedDeltas;
-        if (recorder.has_value()) {
-            out.events = recorder->events();
-            // Ring pressure into the device registry, so the fleet
-            // snapshot exposes trace loss ("obs.flight.*").
-            recorder->publishMetrics(*out.registry);
-        }
-        dev.attachFlightRecorder(nullptr);
+    u64 deviceSeed() const { return devSeed_; }
+
+  private:
+    const FleetRunConfig &cfg_;
+    std::size_t i_;
+    bool chaos_;
+    u64 devSeed_;
+    DeviceTelemetry out_;
+    std::optional<device::MobileDevice> dev_;
+    std::optional<obs::FlightRecorder> recorder_;
+    std::optional<obs::health::HealthAccountant> health_;
+    std::optional<workload::UserStream> stream_;
+    std::optional<fault::FaultPlan> faults_;
+    std::optional<fault::FaultPlan> stormPlan_;
+    std::optional<fault::FaultPlan> chaosPlan_;
+    std::optional<fault::FaultPlan> flashOutagePlan_;
+    u64 lastVersion_ = 0;
+    u32 nonStormMonths_ = 0;
+    bool radioDark_ = false;
+};
+
+/**
+ * EventDriven engine, epoch-granular schedule: the exact month
+ * structure of the epoch loop expressed as continuations. MonthBegin
+ * schedules the month's query arrivals (timestamps clamped to a
+ * running maximum so the heap's (time, device, seq) order replays the
+ * stream's generation order even across duplicate timestamps) and the
+ * MonthEnd boundary event; MonthEnd schedules the next MonthBegin at
+ * the *same* boundary instant — the seq tie-break guarantees epilogue
+ * before prologue, which the differential gate would instantly catch
+ * if it ever regressed.
+ */
+void
+driveEpochSchedule(DeviceSim &sim, const FleetRunConfig &cfg,
+                   std::size_t i)
+{
+    EventCore core;
+    std::function<void(EventCore &, u32)> beginMonth =
+        [&](EventCore &c, u32 m) {
+            sim.beginMonth(m);
+            const SimTime windowStart = SimTime(m) * workload::kMonth;
+            SimTime cursor = windowStart;
+            for (const auto &ev : sim.monthEvents(m)) {
+                cursor = std::max(cursor, ev.time);
+                c.schedule(cursor, i,
+                           [&sim, ev](EventCore &,
+                                      const EventCore::EventInfo &) {
+                               sim.serve(ev);
+                           });
+            }
+            const SimTime boundary = windowStart + workload::kMonth;
+            c.schedule(
+                boundary, i,
+                [&sim, &beginMonth, &cfg, m,
+                 i](EventCore &c2, const EventCore::EventInfo &) {
+                    sim.endMonth(m);
+                    if (m + 1 < cfg.months)
+                        c2.schedule(c2.now(), i,
+                                    [&beginMonth, m](
+                                        EventCore &c3,
+                                        const EventCore::EventInfo &) {
+                                        beginMonth(c3, m + 1);
+                                    });
+                });
+        };
+    if (cfg.months > 0)
+        core.schedule(0, i,
+                      [&beginMonth](EventCore &c,
+                                    const EventCore::EventInfo &) {
+                          beginMonth(c, 0);
+                      });
+    core.run();
+}
+
+/**
+ * EventDriven engine, flash-crowd schedule: Poisson query arrivals
+ * (thinning against the burst-boosted peak rate), a mid-month radio
+ * outage with per-device staggered reconnect, monthly cloud syncs at
+ * month-begin events, and telemetry snapshots on the scenario's own
+ * (possibly sub-month) window width. Push order at equal timestamps:
+ * window snapshot, then month begin, then outage transitions, then
+ * arrivals — fixed here once so the artifact bytes are a pure
+ * function of the config.
+ */
+void
+driveFlashCrowd(DeviceSim &sim, const FleetRunConfig &cfg, std::size_t i)
+{
+    const FlashCrowdConfig &fc = cfg.flashCrowd;
+    const SimTime horizon = SimTime(cfg.months) * workload::kMonth;
+    if (horizon <= 0)
+        return;
+    EventCore core;
+
+    // Telemetry windows first, so a window ending exactly on a month
+    // boundary closes before that month's sync runs.
+    const SimTime width = fc.window > 0 ? fc.window : workload::kMonth;
+    for (SimTime ws = 0; ws < horizon; ws += width) {
+        const SimTime end = std::min(ws + width, horizon);
+        core.schedule(end, i,
+                      [&sim, ws](EventCore &,
+                                 const EventCore::EventInfo &) {
+                          sim.snapshotWindow(ws);
+                      });
     }
-    if (health.has_value())
-        dev.attachHealth(nullptr);
-    return out;
+
+    for (u32 m = 0; m < cfg.months; ++m)
+        core.schedule(SimTime(m) * workload::kMonth, i,
+                      [&sim, m](EventCore &,
+                                const EventCore::EventInfo &) {
+                          sim.beginMonth(m);
+                          sim.beginStreamMonth(m);
+                      });
+
+    if (fc.outageLen > 0 && fc.outageStart < horizon) {
+        core.schedule(fc.outageStart, i,
+                      [&sim](EventCore &, const EventCore::EventInfo &) {
+                          sim.radioDown();
+                      });
+        // Staggered reconnect: device i's slot; clamped so the drain
+        // still happens inside the run.
+        const SimTime outageEnd =
+            std::min(fc.outageStart + fc.outageLen, horizon);
+        SimTime reconnectAt = outageEnd;
+        if (fc.reconnectStagger > 0) {
+            const double slot = double(outageEnd) +
+                                double(i) * double(fc.reconnectStagger);
+            reconnectAt = slot >= double(horizon) ? horizon
+                                                  : SimTime(slot);
+        }
+        core.schedule(reconnectAt, i,
+                      [&sim](EventCore &, const EventCore::EventInfo &) {
+                          sim.reconnect();
+                      });
+    }
+
+    // Poisson arrival chain: each arrival schedules its successor.
+    // Thinning keeps the draw sequence a pure function of (seed,
+    // device): candidate steps come from the peak rate, and a second
+    // uniform accepts with probability rate(t)/peak.
+    const double perTick =
+        fc.arrivalsPerHour / (3600.0 * double(kSecond));
+    const double peak = perTick * std::max(1.0, fc.burstMultiplier);
+    const SimTime burstStart = std::min(fc.burstStart, horizon);
+    const SimTime burstEnd =
+        fc.burstLen > horizon - burstStart ? horizon
+                                           : burstStart + fc.burstLen;
+    const auto rateAt = [&](SimTime t) {
+        return perTick * (t >= burstStart && t < burstEnd
+                              ? fc.burstMultiplier
+                              : 1.0);
+    };
+    auto arrivals = std::make_shared<Rng>(sim.deviceSeed() + 4);
+    std::function<void(EventCore &, SimTime)> scheduleNext =
+        [&sim, &scheduleNext, arrivals, rateAt, peak, horizon,
+         i](EventCore &c, SimTime from) {
+            if (!(peak > 0))
+                return;
+            double t = double(from);
+            for (;;) {
+                const double u = arrivals->uniform();
+                t += -std::log(1.0 - u) / peak;
+                if (t >= double(horizon))
+                    return;
+                if (arrivals->uniform() * peak < rateAt(SimTime(t)))
+                    break;
+            }
+            const SimTime at = SimTime(t);
+            c.schedule(at, i,
+                       [&sim, &scheduleNext, at](
+                           EventCore &c2, const EventCore::EventInfo &) {
+                           workload::StreamEvent se =
+                               sim.nextArrivalPair();
+                           se.time = at;
+                           sim.serve(se);
+                           scheduleNext(c2, at);
+                       });
+        };
+    scheduleNext(core, 0);
+    core.run();
+}
+
+/**
+ * Simulate device `i` in a private world under the configured engine.
+ * Reads the workbench and the cloud service (if any) strictly
+ * read-only, so any number of these may run concurrently.
+ */
+DeviceTelemetry
+simulateDevice(const Workbench &wb, const FleetRunConfig &cfg,
+               std::size_t i, const workload::UserProfile &profile)
+{
+    DeviceSim sim(wb, cfg, i, profile);
+    if (cfg.engine == FleetEngine::EpochStepped) {
+        for (u32 m = 0; m < cfg.months; ++m) {
+            sim.beginMonth(m);
+            for (const auto &ev : sim.monthEvents(m))
+                sim.serve(ev);
+            sim.endMonth(m);
+        }
+    } else if (!cfg.flashCrowd.enabled) {
+        driveEpochSchedule(sim, cfg, i);
+    } else {
+        driveFlashCrowd(sim, cfg, i);
+    }
+    return sim.finish();
 }
 
 /**
@@ -374,6 +700,7 @@ foldDevice(DeviceTelemetry &&t, const FleetRunConfig &cfg,
     }
     result.corruptRejected += t.corruptRejected;
     result.rejectedDeltas += t.rejectedDeltas;
+    result.reconnectSyncs += t.reconnectDrains;
 
     if (ctx.active) {
         // Violations come back explained: the verdict plus the
@@ -435,10 +762,12 @@ FleetRunResult
 runFleet(const Workbench &wb, const FleetRunConfig &cfg,
          obs::FleetCollector &collector)
 {
-    pc_assert(cfg.devices > 0, "runFleet: need at least one device");
-    pc_assert(cfg.months > 0, "runFleet: need at least one month");
-    pc_assert(!cfg.chaos.enabled || cfg.cloud != nullptr,
-              "runFleet: chaos needs a cloud service");
+    FleetRunResult earlyOut;
+    earlyOut.error = validateFleetRunConfig(cfg);
+    if (!earlyOut.error.empty()) {
+        pc_warn("runFleet refused: ", earlyOut.error);
+        return earlyOut;
+    }
 
     ChaosCheckCtx ctx;
     if (cfg.chaos.enabled && cfg.cloud &&
@@ -456,8 +785,12 @@ runFleet(const Workbench &wb, const FleetRunConfig &cfg,
         cfg.threads ? cfg.threads : std::thread::hardware_concurrency();
     if (threads == 0)
         threads = 1;
+    // A 0-device fleet (or a 0-month horizon, which samples devices
+    // but simulates nothing) is a clean empty run, not an error: the
+    // in-place path folds zero (or all-zero) devices and the cloud
+    // registry still merges below — identically under both engines.
     if (std::size_t(threads) > cfg.devices)
-        threads = unsigned(cfg.devices);
+        threads = cfg.devices > 0 ? unsigned(cfg.devices) : 1;
 
     FleetRunResult result;
     if (threads == 1) {

@@ -136,6 +136,79 @@ struct ChaosConfig
     u32 sabotageEvery = 0;
 };
 
+/**
+ * Which engine drives each device's simulated horizon.
+ *
+ * `EpochStepped` (the default) is the original month-granular loop.
+ * `EventDriven` replays the *same* schedule through the discrete-event
+ * core (harness/event_core.h): month begins, query arrivals, month
+ * ends become continuations in a per-device event queue keyed by
+ * (time, deviceIndex, seq). With an epoch-granular schedule — i.e.
+ * `flashCrowd` disabled — the two engines execute the identical
+ * operation sequence per device, so every artifact (snapshots, series
+ * and anomaly CSVs, postmortems, BENCH JSON) is byte-identical
+ * between them at any thread count; fleet_differential_test gates
+ * that over a devices x months x threads x chaos grid. Only the
+ * event engine can express sub-epoch structure (FlashCrowdConfig).
+ */
+enum class FleetEngine
+{
+    EpochStepped,
+    EventDriven,
+};
+
+/**
+ * Flash-crowd query storm: the first genuinely event-driven scenario,
+ * requiring `FleetRunConfig::engine == EventDriven` (the epoch
+ * harness cannot represent sub-month arrivals; validation rejects the
+ * combination). Per device, query arrivals become a seeded Poisson
+ * process (thinning against the burst-boosted peak rate) instead of
+ * the stream's evenly-spread monthly volume; the stream still supplies
+ * *which* pair each arrival issues, so hot-set/repeat behaviour and
+ * monthly epoch churn are unchanged. A burst window multiplies the
+ * arrival rate; an optional mid-month radio outage (sub-epoch — the
+ * whole point) kills the radio between OutageStart and a per-device
+ * staggered Reconnect event, which drains the miss queue the moment
+ * coverage returns instead of waiting for a month boundary: the
+ * staggered sync storm. Everything derives from (run seed, device
+ * index), so flash-crowd runs are byte-deterministic at any thread
+ * count like every other fleet run.
+ */
+struct FlashCrowdConfig
+{
+    bool enabled = false;
+
+    /** Base Poisson arrival rate, per device (events per hour). */
+    double arrivalsPerHour = 2.0;
+
+    /** Burst window [burstStart, burstStart + burstLen) — absolute
+     *  sim time since run start; clamped to the horizon. */
+    SimTime burstStart = 0;
+    SimTime burstLen = 0;
+    /** Arrival-rate multiplier inside the burst window (>= 1). */
+    double burstMultiplier = 1.0;
+
+    /** Mid-month radio outage [outageStart, outageStart + outageLen);
+     *  0 length disables. Clamped to the horizon. */
+    SimTime outageStart = 0;
+    SimTime outageLen = 0;
+    /**
+     * Reconnect stagger: device i's radio comes back (and its miss
+     * queue drains) at outageEnd + i * reconnectStagger — the herd
+     * spreads instead of thundering. 0 reconnects everyone at once.
+     */
+    SimTime reconnectStagger = 0;
+
+    /**
+     * Telemetry window width for this scenario (0 = one month, the
+     * epoch default). Sub-month widths give the collector intra-month
+     * resolution — how the burst and the reconnect storm show up in
+     * the series at all. The FleetCollector must be constructed with
+     * the same width.
+     */
+    SimTime window = 0;
+};
+
 /** Fleet run shape. */
 struct FleetRunConfig
 {
@@ -190,6 +263,18 @@ struct FleetRunConfig
     std::size_t recorderCapacity = obs::FlightRecorder::kDefaultCapacity;
 
     /**
+     * Simulation engine (see FleetEngine). EpochStepped keeps every
+     * previously committed baseline byte-identical; EventDriven with
+     * `flashCrowd` disabled reproduces them too — differentially
+     * gated — and with `flashCrowd` enabled opens the sub-epoch
+     * scenarios only an event queue can express.
+     */
+    FleetEngine engine = FleetEngine::EpochStepped;
+
+    /** Flash-crowd scenario (EventDriven only; see FlashCrowdConfig). */
+    FlashCrowdConfig flashCrowd{};
+
+    /**
      * Attach a health accountant (obs/health.h) to every device: the
      * fleet snapshot and windowed series gain `health.*` busy-time /
      * demand ledgers for the bottleneck analyzer, still folded in
@@ -210,6 +295,8 @@ struct FleetRunResult
     u64 cloudSyncs = 0;        ///< Successful community syncs (cloud set).
     u64 cloudSyncFailures = 0; ///< Syncs that exhausted their retries.
     u64 cloudSyncsShed = 0;    ///< Syncs dropped by admission control.
+    u64 reconnectSyncs = 0;    ///< Mid-month miss-queue drains fired by
+                               ///< flash-crowd reconnect events.
     u64 corruptRejected = 0;   ///< Delta frames the CRC check rejected.
     u64 rejectedDeltas = 0;    ///< Verified deltas failing validation.
     u64 escalatedFullInstalls = 0; ///< Bad-streak full-install syncs.
@@ -232,7 +319,28 @@ struct FleetRunResult
      * empty whenever invariantViolations is 0.
      */
     std::vector<InvariantReport> invariantReports;
+
+    /**
+     * Why the run refused to start (validateFleetRunConfig). Empty on
+     * every run that executed — including legitimately empty ones
+     * (0 devices, 0 months). A non-empty error means nothing ran and
+     * no collector/service state was touched.
+     */
+    std::string error;
 };
+
+/**
+ * Validate a FleetRunConfig before running it. @return Empty when the
+ * config is runnable (possibly as a clean empty run — 0 devices or 0
+ * months execute nothing and report zeros); otherwise a one-line
+ * reason. Degenerate schedules that clamp harmlessly (outage episodes
+ * longer than the horizon, burst windows straddling the end) are
+ * valid; combinations the engines cannot honor (chaos without a cloud
+ * service, flash crowd on the epoch engine, non-finite or negative
+ * rates) are errors. runFleet() checks this itself and returns the
+ * reason in FleetRunResult::error instead of asserting.
+ */
+std::string validateFleetRunConfig(const FleetRunConfig &cfg);
 
 /**
  * Run the fleet against `wb`'s world, reducing into `collector`. The

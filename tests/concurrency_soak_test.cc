@@ -158,6 +158,74 @@ TEST(ConcurrencySoak, TryPopInterleavesWithBlockingPop)
     EXPECT_EQ(got.load(), 10000);
 }
 
+TEST(ConcurrencySoak, CloseWhileTryPopPollersDrainRemainder)
+{
+    // close() racing a crowd of tryPop pollers: whatever was pushed
+    // before the close must still drain exactly once — close gates
+    // new work, never buffered work — and every poller must exit via
+    // the closed-and-empty path, not wedge or double-deliver.
+    constexpr int kPollers = 4;
+    constexpr int kItems = 8000;
+    for (int round = 0; round < 8; ++round) {
+        WorkQueue<int> q(16);
+        std::mutex mu;
+        std::set<int> seen;
+        std::atomic<bool> closed{false};
+
+        std::vector<std::thread> pollers;
+        for (int c = 0; c < kPollers; ++c) {
+            pollers.emplace_back([&] {
+                int v;
+                std::set<int> local;
+                for (;;) {
+                    if (q.tryPop(v)) {
+                        local.insert(v);
+                        // Items landing after close() must not exist.
+                        if (closed.load()) {
+                            ASSERT_LT(v, kItems);
+                        }
+                    } else if (q.closed()) {
+                        // Closed is not drained: one more sweep until
+                        // tryPop comes up dry with closed() still set.
+                        while (q.tryPop(v))
+                            local.insert(v);
+                        break;
+                    } else {
+                        std::this_thread::yield();
+                    }
+                }
+                std::lock_guard<std::mutex> lk(mu);
+                for (int x : local) {
+                    ASSERT_TRUE(seen.insert(x).second)
+                        << "item " << x << " delivered twice";
+                }
+            });
+        }
+
+        int accepted = 0;
+        std::thread producer([&] {
+            for (int i = 0; i < kItems; ++i) {
+                if (!q.push(i))
+                    break;
+                ++accepted;
+            }
+            q.close();
+            closed.store(true);
+        });
+
+        producer.join();
+        for (auto &t : pollers)
+            t.join();
+
+        EXPECT_EQ(int(seen.size()), accepted)
+            << "round " << round
+            << ": pre-close pushes must drain exactly once";
+        int v;
+        EXPECT_FALSE(q.tryPop(v)) << "closed and drained";
+        EXPECT_FALSE(q.push(1));
+    }
+}
+
 } // namespace
 } // namespace pc::server
 

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Functional coverage of the discrete-event core (harness/event_core):
+ * key ordering, deterministic tie-breaking, lazy cancellation, and the
+ * dispatch loop's re-entrancy rules (continuations scheduling and
+ * cancelling while the queue drains). The seeded random interleaving
+ * sweep against a reference model lives in event_queue_property_test
+ * (slow tier, run under ASan/TSan in CI).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/event_core.h"
+
+namespace pc::harness {
+namespace {
+
+TEST(EventQueue, PopsInTimeDeviceSeqOrder)
+{
+    EventQueue<int> q;
+    q.push(30, 0, 1);
+    q.push(10, 5, 2);
+    q.push(20, 0, 3);
+    q.push(10, 2, 4); // same time as #2, lower device: pops first
+    q.push(10, 5, 5); // same (time, device) as #2, later seq: after it
+
+    std::vector<int> order;
+    while (auto ev = q.pop())
+        order.push_back(ev->payload);
+    EXPECT_EQ(order, (std::vector<int>{4, 2, 5, 3, 1}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EqualKeysPreserveInsertionOrder)
+{
+    // A long run of identical (time, device) events must pop in exact
+    // push order — the seq tie-break, not heap luck.
+    EventQueue<int> q;
+    for (int i = 0; i < 200; ++i)
+        q.push(42, 7, i);
+    for (int i = 0; i < 200; ++i) {
+        auto ev = q.pop();
+        ASSERT_TRUE(ev.has_value());
+        EXPECT_EQ(ev->payload, i);
+        EXPECT_EQ(ev->key.time, 42);
+        EXPECT_EQ(ev->key.device, 7u);
+    }
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(EventQueue, CancelDropsPendingEventsLazily)
+{
+    EventQueue<std::string> q;
+    const auto a = q.push(1, 0, "a");
+    const auto b = q.push(2, 0, "b");
+    const auto c = q.push(3, 0, "c");
+    EXPECT_EQ(q.size(), 3u);
+
+    EXPECT_TRUE(q.cancel(b));
+    EXPECT_FALSE(q.cancel(b)) << "double cancel must fail";
+    EXPECT_EQ(q.size(), 2u);
+
+    auto ev = q.pop();
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->payload, "a");
+    EXPECT_FALSE(q.cancel(a)) << "cancel after pop must fail";
+
+    ev = q.pop();
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->payload, "c") << "cancelled event must be skipped";
+    EXPECT_TRUE(q.empty());
+    EXPECT_TRUE(q.cancel(c) == false);
+    EXPECT_FALSE(q.cancel(999)) << "unknown handle must fail";
+}
+
+TEST(EventQueue, CancelEverythingDrainsClean)
+{
+    EventQueue<int> q;
+    std::vector<EventQueue<int>::Handle> hs;
+    for (int i = 0; i < 50; ++i)
+        hs.push_back(q.push(i, 0, i));
+    for (auto h : hs)
+        EXPECT_TRUE(q.cancel(h));
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(EventCore, DispatchesInOrderAndTracksNow)
+{
+    EventCore core;
+    std::vector<SimTime> times;
+    for (SimTime t : {50, 10, 30})
+        core.schedule(t, 0,
+                      [&times](EventCore &c, const EventCore::EventInfo &i) {
+                          times.push_back(i.time);
+                          EXPECT_EQ(c.now(), i.time);
+                      });
+    core.run();
+    EXPECT_EQ(times, (std::vector<SimTime>{10, 30, 50}));
+    EXPECT_EQ(core.now(), 50);
+    EXPECT_EQ(core.dispatched(), 3u);
+    EXPECT_EQ(core.pending(), 0u);
+}
+
+TEST(EventCore, ContinuationsScheduleContinuations)
+{
+    // The arrival-chain pattern: each event schedules its successor.
+    EventCore core;
+    std::vector<SimTime> fired;
+    std::function<void(EventCore &, SimTime)> chain =
+        [&](EventCore &c, SimTime t) {
+            if (t > 40)
+                return;
+            c.schedule(t, 0,
+                       [&fired, &chain, t](EventCore &c2,
+                                           const EventCore::EventInfo &) {
+                           fired.push_back(t);
+                           chain(c2, t + 10);
+                       });
+        };
+    chain(core, 10);
+    core.run();
+    EXPECT_EQ(fired, (std::vector<SimTime>{10, 20, 30, 40}));
+}
+
+TEST(EventCore, SameInstantRunsInScheduleOrderAcrossReentry)
+{
+    // An event scheduling another event at its own timestamp: the new
+    // one runs after everything already pending at that instant —
+    // month-end before next month-begin relies on exactly this.
+    EventCore core;
+    std::vector<std::string> order;
+    core.schedule(5, 0, [&](EventCore &c, const EventCore::EventInfo &) {
+        order.push_back("end");
+        c.schedule(5, 0, [&](EventCore &, const EventCore::EventInfo &) {
+            order.push_back("begin");
+        });
+    });
+    core.schedule(5, 0, [&](EventCore &, const EventCore::EventInfo &) {
+        order.push_back("sibling");
+    });
+    core.run();
+    EXPECT_EQ(order,
+              (std::vector<std::string>{"end", "sibling", "begin"}));
+}
+
+TEST(EventCore, SchedulingIntoThePastClampsToNow)
+{
+    EventCore core;
+    std::vector<SimTime> times;
+    core.schedule(100, 0, [&](EventCore &c, const EventCore::EventInfo &) {
+        times.push_back(c.now());
+        // "Yesterday" clamps to now and runs later this instant.
+        c.schedule(1, 0, [&](EventCore &c2, const EventCore::EventInfo &i) {
+            times.push_back(i.time);
+            EXPECT_EQ(c2.now(), 100);
+        });
+    });
+    core.run();
+    EXPECT_EQ(times, (std::vector<SimTime>{100, 100}));
+}
+
+TEST(EventCore, CancelFromInsideAContinuation)
+{
+    EventCore core;
+    bool victimRan = false;
+    const auto victim = core.schedule(
+        20, 0, [&](EventCore &, const EventCore::EventInfo &) {
+            victimRan = true;
+        });
+    core.schedule(10, 0, [&](EventCore &c, const EventCore::EventInfo &) {
+        EXPECT_TRUE(c.cancel(victim));
+    });
+    core.run();
+    EXPECT_FALSE(victimRan);
+    EXPECT_EQ(core.dispatched(), 1u);
+}
+
+TEST(EventCore, StopPausesAndRunResumes)
+{
+    EventCore core;
+    std::vector<int> fired;
+    for (int i = 0; i < 4; ++i)
+        core.schedule(i * 10, 0,
+                      [&fired, i](EventCore &c,
+                                  const EventCore::EventInfo &) {
+                          fired.push_back(i);
+                          if (i == 1)
+                              c.stop();
+                      });
+    core.run();
+    EXPECT_EQ(fired, (std::vector<int>{0, 1}));
+    EXPECT_EQ(core.pending(), 2u);
+    core.run();
+    EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventCore, DeviceIndexBreaksTimeTiesAcrossDevices)
+{
+    // Events tied on time across devices dispatch in device order —
+    // the multi-device determinism rule of the key.
+    EventCore core;
+    std::vector<std::size_t> devices;
+    for (std::size_t d : {3u, 1u, 2u, 0u})
+        core.schedule(7, d,
+                      [&devices](EventCore &,
+                                 const EventCore::EventInfo &i) {
+                          devices.push_back(i.device);
+                      });
+    core.run();
+    EXPECT_EQ(devices, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+} // namespace
+} // namespace pc::harness

@@ -1,0 +1,465 @@
+/**
+ * @file
+ * Differential gate for the event-driven fleet engine: with an
+ * epoch-granular schedule, `FleetEngine::EventDriven` must reproduce
+ * every artifact of the `EpochStepped` harness byte for byte — fleet
+ * registry snapshot, per-class snapshots, series CSV, anomaly CSV,
+ * cloud-service registry, chaos postmortem JSON and a BENCH-style
+ * report — across a devices x months x threads x chaos grid. The two
+ * engines share the per-month step bodies (DeviceSim in fleet.cc), so
+ * a divergence here means the event schedule reordered an operation:
+ * exactly the class of bug a discrete-event refactor introduces.
+ *
+ * Also pins the harness edge cases the gate depends on: 0-device
+ * fleets, 1-month horizons, a cloud sync landing in the final epoch,
+ * chaos + sabotage under the event engine, and the clean-error paths
+ * of validateFleetRunConfig. Labelled `fast` — it IS the tier-1
+ * correctness anchor for the event core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "harness/fleet.h"
+#include "harness/postmortem.h"
+#include "obs/fleet.h"
+#include "obs/json.h"
+#include "obs/report.h"
+#include "server/service.h"
+
+namespace pc::harness {
+namespace {
+
+const Workbench &
+sharedWorkbench()
+{
+    static const Workbench wb(smallWorkbenchConfig());
+    return wb;
+}
+
+/** Everything one engine run is compared by. */
+struct RunBytes
+{
+    std::string snapshotJson;  ///< Fleet registry (incl. server.*).
+    std::string classJson;     ///< Per-class registries, class order.
+    std::string seriesCsv;     ///< Fleet time series.
+    std::string anomaliesCsv;  ///< Drift report.
+    std::string cloudJson;     ///< Service registry after replay.
+    std::string postmortemJson; ///< Chaos invariant reports.
+    std::string benchJson;     ///< BENCH-style report document.
+    FleetRunResult result;
+};
+
+/** Scheduling-dependent service build gauges (console-only by doc). */
+std::string
+scrubTimingLines(const std::string &json)
+{
+    static const char *const kTiming[] = {
+        "server.build.wall_ms",
+        "server.ingest.records_per_s",
+        "server.queue.max_depth",
+        "server.queue.mean_depth",
+    };
+    std::string out;
+    out.reserve(json.size());
+    std::istringstream in(json);
+    std::string line;
+    while (std::getline(in, line)) {
+        bool timing = false;
+        for (const char *name : kTiming)
+            timing = timing || line.find(name) != std::string::npos;
+        if (!timing) {
+            out += line;
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+struct CellShape
+{
+    std::size_t devices = 7;
+    u32 months = 3;
+    unsigned threads = 1;
+    bool cloud = false;
+    bool chaos = false;
+};
+
+RunBytes
+runCell(FleetEngine engine, const CellShape &shape)
+{
+    const Workbench &wb = sharedWorkbench();
+
+    std::unique_ptr<server::CloudUpdateService> svc;
+    if (shape.cloud || shape.chaos) {
+        server::ServiceConfig scfg;
+        scfg.build.shards = 4;
+        scfg.build.threads = 2;
+        svc = std::make_unique<server::CloudUpdateService>(wb.universe(),
+                                                           scfg);
+        svc->ingest(wb.buildLog());
+    }
+
+    FleetRunConfig cfg;
+    cfg.engine = engine;
+    cfg.devices = shape.devices;
+    cfg.months = shape.months;
+    cfg.threads = shape.threads;
+    cfg.outageStartMonth = 1;
+    cfg.outageMonths = 1;
+    cfg.cloud = svc.get();
+    if (shape.chaos) {
+        cfg.outageMonths = 0;
+        cfg.chaos.enabled = true;
+        cfg.chaos.stormStartMonth = 1;
+        cfg.chaos.stormMonths = 1;
+        cfg.chaos.payloadCorruptRate = 0.3;
+        cfg.chaos.skewEvery = 3;
+        cfg.chaos.sabotageEvery = 4;
+    }
+
+    obs::FleetConfig fc;
+    fc.windowWidth = workload::kMonth;
+    obs::FleetCollector collector(fc);
+
+    RunBytes out;
+    out.result = runFleet(wb, cfg, collector);
+    EXPECT_EQ(out.result.error, "");
+
+    {
+        std::ostringstream os;
+        collector.fleetRegistry().snapshot().writeJson(os, true);
+        out.snapshotJson = scrubTimingLines(os.str());
+    }
+    {
+        std::ostringstream os;
+        for (const auto &[cls, reg] : collector.classRegistries()) {
+            os << cls << "\n";
+            reg.snapshot().writeJson(os, true);
+        }
+        out.classJson = os.str();
+    }
+    {
+        std::ostringstream os;
+        collector.writeSeriesCsv(os);
+        out.seriesCsv = os.str();
+    }
+    {
+        obs::DriftConfig dc;
+        dc.warmup = 1;
+        std::ostringstream os;
+        obs::FleetCollector::writeAnomaliesCsv(
+            os, collector.scanAnomalies(dc));
+        out.anomaliesCsv = os.str();
+    }
+    if (svc) {
+        std::ostringstream os;
+        svc->metrics().snapshot().writeJson(os, true);
+        out.cloudJson = scrubTimingLines(os.str());
+    }
+    {
+        std::ostringstream os;
+        obs::JsonWriter w(os, /*pretty=*/true);
+        writePostmortem(w, out.result.invariantReports);
+        out.postmortemJson = os.str();
+    }
+    {
+        // BENCH-artifact shape: the scalar metrics + embedded snapshot
+        // a gated bench would ship (identical builder for both
+        // engines, so the comparison covers the report pipeline too).
+        obs::BenchReport report("fleet_differential",
+                                "engine differential cell");
+        report.metric("queries", double(out.result.queries));
+        report.metric("cache_hits", double(out.result.cacheHits));
+        report.metric("degraded_serves",
+                      double(out.result.degradedServes));
+        report.metric("cloud_syncs", double(out.result.cloudSyncs));
+        report.metric("violations",
+                      double(out.result.invariantViolations));
+        report.attachSnapshot(collector.fleetRegistry().snapshot());
+        std::ostringstream os;
+        report.writeJson(os);
+        out.benchJson = scrubTimingLines(os.str());
+    }
+    return out;
+}
+
+void
+expectSameBytes(const RunBytes &event, const RunBytes &epoch)
+{
+    EXPECT_EQ(event.snapshotJson, epoch.snapshotJson)
+        << "fleet registry snapshot diverged";
+    EXPECT_EQ(event.classJson, epoch.classJson)
+        << "per-class snapshots diverged";
+    EXPECT_EQ(event.seriesCsv, epoch.seriesCsv)
+        << "series CSV diverged";
+    EXPECT_EQ(event.anomaliesCsv, epoch.anomaliesCsv)
+        << "anomaly CSV diverged";
+    EXPECT_EQ(event.cloudJson, epoch.cloudJson)
+        << "cloud service registry diverged";
+    EXPECT_EQ(event.postmortemJson, epoch.postmortemJson)
+        << "postmortem artifact diverged";
+    EXPECT_EQ(event.benchJson, epoch.benchJson)
+        << "BENCH report diverged";
+    EXPECT_EQ(event.result.queries, epoch.result.queries);
+    EXPECT_EQ(event.result.cacheHits, epoch.result.cacheHits);
+    EXPECT_EQ(event.result.degradedServes,
+              epoch.result.degradedServes);
+    EXPECT_EQ(event.result.cloudSyncs, epoch.result.cloudSyncs);
+    EXPECT_EQ(event.result.cloudSyncFailures,
+              epoch.result.cloudSyncFailures);
+    EXPECT_EQ(event.result.cloudSyncsShed, epoch.result.cloudSyncsShed);
+    EXPECT_EQ(event.result.invariantViolations,
+              epoch.result.invariantViolations);
+    EXPECT_EQ(event.result.devicesSabotaged,
+              epoch.result.devicesSabotaged);
+    EXPECT_EQ(event.result.devicesVerified,
+              epoch.result.devicesVerified);
+}
+
+/** devices x months x threads x mode (0 plain, 1 cloud, 2 chaos). */
+class EngineDifferentialGrid
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, u32, unsigned, int>>
+{
+};
+
+TEST_P(EngineDifferentialGrid, EventDrivenMatchesEpochSteppedBytes)
+{
+    const auto [devices, months, threads, mode] = GetParam();
+    CellShape shape;
+    shape.devices = devices;
+    shape.months = months;
+    shape.threads = threads;
+    shape.cloud = mode >= 1;
+    shape.chaos = mode == 2;
+
+    const RunBytes epoch = runCell(FleetEngine::EpochStepped, shape);
+    const RunBytes event = runCell(FleetEngine::EventDriven, shape);
+    expectSameBytes(event, epoch);
+
+    EXPECT_EQ(epoch.result.devices, devices);
+    if (devices > 0 && months > 0) {
+        EXPECT_GT(epoch.result.queries, 0u);
+    }
+    if (shape.chaos && devices >= 4) {
+        EXPECT_GT(epoch.result.devicesSabotaged, 0u)
+            << "sabotage cells must actually sabotage";
+        EXPECT_EQ(epoch.result.invariantViolations,
+                  epoch.result.devicesSabotaged)
+            << "only sabotage may trip invariants";
+    }
+}
+
+std::string
+gridCellName(const ::testing::TestParamInfo<
+             EngineDifferentialGrid::ParamType> &info)
+{
+    static const char *const kMode[] = {"plain", "cloud", "chaos"};
+    return "d" + std::to_string(std::get<0>(info.param)) + "_m" +
+           std::to_string(std::get<1>(info.param)) + "_t" +
+           std::to_string(std::get<2>(info.param)) + "_" +
+           kMode[std::get<3>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineDifferentialGrid,
+    ::testing::Combine(::testing::Values(std::size_t(1), std::size_t(7),
+                                         std::size_t(25)),
+                       ::testing::Values(u32(1), u32(3)),
+                       ::testing::Values(1u, 3u),
+                       ::testing::Values(0, 1, 2)),
+    gridCellName);
+
+// ---------------------------------------------------------------------
+// Edge cases the differential gate needs pinned.
+
+TEST(FleetEdgeCases, ZeroDeviceFleetIsACleanEmptyRun)
+{
+    for (const FleetEngine engine :
+         {FleetEngine::EpochStepped, FleetEngine::EventDriven}) {
+        FleetRunConfig cfg;
+        cfg.engine = engine;
+        cfg.devices = 0;
+        cfg.months = 3;
+        obs::FleetConfig fc;
+        fc.windowWidth = workload::kMonth;
+        obs::FleetCollector collector(fc);
+        const FleetRunResult r =
+            runFleet(sharedWorkbench(), cfg, collector);
+        EXPECT_EQ(r.error, "");
+        EXPECT_EQ(r.devices, 0u);
+        EXPECT_EQ(r.queries, 0u);
+        EXPECT_EQ(collector.devices(), 0u);
+        std::ostringstream os;
+        collector.writeSeriesCsv(os);
+        EXPECT_EQ(os.str().find("device.queries"), std::string::npos)
+            << "empty run must not invent series rows";
+    }
+}
+
+TEST(FleetEdgeCases, ZeroMonthHorizonFoldsDevicesWithNoWindows)
+{
+    for (const FleetEngine engine :
+         {FleetEngine::EpochStepped, FleetEngine::EventDriven}) {
+        FleetRunConfig cfg;
+        cfg.engine = engine;
+        cfg.devices = 3;
+        cfg.months = 0;
+        obs::FleetConfig fc;
+        fc.windowWidth = workload::kMonth;
+        obs::FleetCollector collector(fc);
+        const FleetRunResult r =
+            runFleet(sharedWorkbench(), cfg, collector);
+        EXPECT_EQ(r.error, "");
+        EXPECT_EQ(r.devices, 3u);
+        EXPECT_EQ(r.queries, 0u);
+        EXPECT_EQ(collector.devices(), 3u);
+    }
+}
+
+TEST(FleetEdgeCases, OutageLongerThanHorizonClampsCleanly)
+{
+    CellShape shape;
+    shape.devices = 5;
+    shape.months = 2;
+    const auto run = [&](FleetEngine engine) {
+        FleetRunConfig cfg;
+        cfg.engine = engine;
+        cfg.devices = shape.devices;
+        cfg.months = shape.months;
+        cfg.outageStartMonth = 0;
+        cfg.outageMonths = 100; // dwarfs the horizon
+        obs::FleetConfig fc;
+        fc.windowWidth = workload::kMonth;
+        obs::FleetCollector collector(fc);
+        const FleetRunResult r =
+            runFleet(sharedWorkbench(), cfg, collector);
+        EXPECT_EQ(r.error, "");
+        std::ostringstream os;
+        collector.writeSeriesCsv(os);
+        return std::make_pair(r.degradedServes, os.str());
+    };
+    const auto epoch = run(FleetEngine::EpochStepped);
+    const auto event = run(FleetEngine::EventDriven);
+    EXPECT_GT(epoch.first, 0u) << "whole-run outage must degrade serves";
+    EXPECT_EQ(event.first, epoch.first);
+    EXPECT_EQ(event.second, epoch.second);
+}
+
+TEST(FleetEdgeCases, CloudSyncInFinalEpochMatchesAcrossEngines)
+{
+    // months=1: the only sync epoch IS the final epoch; the miss-queue
+    // drain and window snapshot follow it with no later month to paper
+    // over ordering bugs.
+    CellShape shape;
+    shape.devices = 6;
+    shape.months = 1;
+    shape.cloud = true;
+    const RunBytes epoch = runCell(FleetEngine::EpochStepped, shape);
+    const RunBytes event = runCell(FleetEngine::EventDriven, shape);
+    expectSameBytes(event, epoch);
+    EXPECT_GT(epoch.result.cloudSyncs + epoch.result.cloudSyncFailures,
+              0u)
+        << "final-epoch cell must actually sync";
+}
+
+TEST(FleetEdgeCases, ChaosSabotagePostmortemIdenticalAcrossEngines)
+{
+    CellShape shape;
+    shape.devices = 12;
+    shape.months = 3;
+    shape.chaos = true;
+    for (const unsigned threads : {1u, 4u}) {
+        shape.threads = threads;
+        const RunBytes epoch = runCell(FleetEngine::EpochStepped, shape);
+        const RunBytes event = runCell(FleetEngine::EventDriven, shape);
+        EXPECT_GT(epoch.result.devicesSabotaged, 0u);
+        EXPECT_EQ(event.postmortemJson, epoch.postmortemJson)
+            << "postmortem must be byte-identical across engines at "
+               "threads="
+            << threads;
+        expectSameBytes(event, epoch);
+    }
+}
+
+TEST(FleetEdgeCases, ValidationRejectsImpossibleConfigs)
+{
+    const Workbench &wb = sharedWorkbench();
+    obs::FleetConfig fc;
+    fc.windowWidth = workload::kMonth;
+
+    {
+        // Flash crowd on the epoch engine: the whole point of the
+        // event core is that the epoch harness cannot express it.
+        FleetRunConfig cfg;
+        cfg.devices = 2;
+        cfg.flashCrowd.enabled = true;
+        obs::FleetCollector collector(fc);
+        const FleetRunResult r = runFleet(wb, cfg, collector);
+        EXPECT_NE(r.error, "");
+        EXPECT_EQ(r.devices, 0u);
+        EXPECT_EQ(collector.devices(), 0u)
+            << "refused runs must not touch the collector";
+    }
+    {
+        // Chaos without a cloud service.
+        FleetRunConfig cfg;
+        cfg.devices = 2;
+        cfg.chaos.enabled = true;
+        obs::FleetCollector collector(fc);
+        const FleetRunResult r = runFleet(wb, cfg, collector);
+        EXPECT_NE(r.error, "");
+        EXPECT_EQ(collector.devices(), 0u);
+    }
+    {
+        // Negative flash-crowd rate.
+        FleetRunConfig cfg;
+        cfg.devices = 2;
+        cfg.engine = FleetEngine::EventDriven;
+        cfg.flashCrowd.enabled = true;
+        cfg.flashCrowd.arrivalsPerHour = -1.0;
+        obs::FleetCollector collector(fc);
+        const FleetRunResult r = runFleet(wb, cfg, collector);
+        EXPECT_NE(r.error, "");
+    }
+}
+
+TEST(FleetEdgeCases, FlashCrowdBurstWindowStraddlingEndClamps)
+{
+    FleetRunConfig cfg;
+    cfg.engine = FleetEngine::EventDriven;
+    cfg.devices = 4;
+    cfg.months = 1;
+    cfg.flashCrowd.enabled = true;
+    cfg.flashCrowd.arrivalsPerHour = 3.0;
+    cfg.flashCrowd.burstMultiplier = 8.0;
+    // Burst opens mid-month and nominally runs far past the horizon.
+    cfg.flashCrowd.burstStart = workload::kMonth / 2;
+    cfg.flashCrowd.burstLen = 40 * workload::kMonth;
+    obs::FleetConfig fc;
+    fc.windowWidth = workload::kMonth;
+    obs::FleetCollector collector(fc);
+    const FleetRunResult r = runFleet(sharedWorkbench(), cfg, collector);
+    EXPECT_EQ(r.error, "");
+    EXPECT_EQ(r.devices, 4u);
+    EXPECT_GT(r.queries, 0u);
+
+    // Determinism: same config, same bytes, regardless of threads.
+    obs::FleetCollector again(fc);
+    cfg.threads = 3;
+    const FleetRunResult r2 = runFleet(sharedWorkbench(), cfg, again);
+    EXPECT_EQ(r2.queries, r.queries);
+    std::ostringstream a, b;
+    collector.writeSeriesCsv(a);
+    again.writeSeriesCsv(b);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+} // namespace
+} // namespace pc::harness
